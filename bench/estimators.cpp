@@ -1,0 +1,73 @@
+// Wirelength-estimator calibration (extension bench): HPWL vs rectilinear
+// MST vs iterated 1-Steiner against the wire the PathFinder router
+// actually used, summed over all net components of a placed benchmark.
+// HPWL is the SA default; this harness shows how much each model
+// undershoots reality (router detours, congestion).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "geom/steiner.h"
+#include "pdgraph/pd_graph.h"
+#include "place/nodes.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+int main() {
+  using namespace tqec;
+
+  std::printf("Wirelength estimators vs routed wire (summed over nets)\n");
+  bench::print_rule(104);
+  std::printf("%-14s | %10s %10s %10s %10s | %8s %8s %8s\n", "Benchmark",
+              "HPWL", "MST", "Steiner", "routed", "hpwl/rt", "mst/rt",
+              "stn/rt");
+  bench::print_rule(104);
+
+  for (const core::PaperBenchmark& b : bench::benchmark_set(true)) {
+    const icm::IcmCircuit circuit = bench::workload_for(b);
+    const pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+    const compress::IshapeResult ishape = compress::simplify_ishape(graph);
+    const compress::PrimalBridging bridging =
+        compress::bridge_primal(graph, ishape, bench::seed_from_env());
+    compress::DualBridging dual = compress::bridge_dual(graph, ishape);
+    const place::NodeSet nodes =
+        place::build_nodes(graph, ishape, bridging, dual);
+    place::PlaceOptions popt;
+    popt.seed = bench::seed_from_env();
+    const place::Placement placement = place::place_modules(nodes, popt);
+    route::RouteOptions ropt;
+    const route::RoutingResult routing =
+        route::route_nets(nodes, placement, ropt);
+
+    std::int64_t total_hpwl = 0;
+    std::int64_t total_mst = 0;
+    std::int64_t total_steiner = 0;
+    for (const auto& pins : nodes.net_pins) {
+      std::vector<Vec3> cells;
+      cells.reserve(pins.size());
+      for (pdgraph::ModuleId m : pins)
+        cells.push_back(placement.module_cell[static_cast<std::size_t>(m)]);
+      total_hpwl += geom::hpwl(cells);
+      total_mst += geom::rectilinear_mst_length(cells);
+      // 1-Steiner is O(|Hanan|) per round; cap the pin count it sees.
+      if (cells.size() <= 10)
+        total_steiner += geom::rectilinear_steiner_tree(cells, 4).length;
+      else
+        total_steiner += geom::rectilinear_mst_length(cells);
+    }
+    const double routed = static_cast<double>(routing.total_wire);
+    std::printf("%-14s | %10lld %10lld %10lld %10lld | %8.3f %8.3f %8.3f\n",
+                b.name.c_str(), static_cast<long long>(total_hpwl),
+                static_cast<long long>(total_mst),
+                static_cast<long long>(total_steiner),
+                static_cast<long long>(routing.total_wire),
+                total_hpwl / routed, total_mst / routed,
+                total_steiner / routed);
+  }
+  bench::print_rule(104);
+  std::printf("Expect HPWL <= Steiner <= MST <= routed (trees share wire; "
+              "routes add pin cells and detours).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates the paper's Figure 15 ablation: the f-value dual-segment
+// planning step (eq. 5). With planning, the dual-segment access sides
+// alternate along each primal-bridging chain; without it every segment
+// exits on the same side, which congests the channel and lengthens routes
+// ("we might get poor routing results", Sec. 3.5).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace tqec;
+
+  std::printf("Figure 15: routed dual wirelength with vs without f-value "
+              "planning\n");
+  bench::print_rule(108);
+  std::printf("%-14s | %12s %12s %8s | %12s %12s %8s\n", "Benchmark",
+              "wire(plan)", "wire(none)", "delta", "vol(plan)", "vol(none)",
+              "delta");
+  bench::print_rule(108);
+
+  for (const core::PaperBenchmark& b : bench::benchmark_set(true)) {
+    const icm::IcmCircuit circuit = bench::workload_for(b);
+    core::CompileOptions opt;
+    opt.seed = bench::seed_from_env();
+    opt.effort = bench::effort_from_env();
+    opt.emit_geometry = false;
+
+    opt.plan_flips = true;
+    const core::CompileResult planned = core::compile(circuit, opt);
+    opt.plan_flips = false;
+    const core::CompileResult naive = core::compile(circuit, opt);
+
+    const double wire_delta =
+        100.0 *
+        (static_cast<double>(naive.routing.total_wire) /
+             static_cast<double>(planned.routing.total_wire) -
+         1.0);
+    const double vol_delta =
+        100.0 * (static_cast<double>(naive.volume) /
+                     static_cast<double>(planned.volume) -
+                 1.0);
+    std::printf("%-14s | %12lld %12lld %+7.1f%% | %12lld %12lld %+7.1f%%\n",
+                b.name.c_str(),
+                static_cast<long long>(planned.routing.total_wire),
+                static_cast<long long>(naive.routing.total_wire), wire_delta,
+                static_cast<long long>(planned.volume),
+                static_cast<long long>(naive.volume), vol_delta);
+  }
+  bench::print_rule(108);
+  std::printf("Positive deltas = the unplanned variant needs more wire / "
+              "volume, as in Fig. 15(b).\n");
+  return 0;
+}

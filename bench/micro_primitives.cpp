@@ -1,0 +1,110 @@
+// Google-benchmark microbenchmarks for the core algorithmic primitives:
+// PD-graph construction, I-shaped simplification, greedy primal bridging,
+// iterative dual bridging, B*-tree packing, and Gauss linking numbers.
+// These track the per-stage throughput that the table harnesses aggregate.
+#include <benchmark/benchmark.h>
+
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "core/paper_tables.h"
+#include "geom/linking.h"
+#include "icm/workload.h"
+#include "pdgraph/pd_graph.h"
+#include "place/bstar_tree.h"
+
+namespace {
+
+using namespace tqec;
+
+icm::IcmCircuit workload_of_size(int scale) {
+  icm::WorkloadSpec spec;
+  spec.name = "micro";
+  spec.a_states = 10 * scale;
+  spec.y_states = 2 * spec.a_states;
+  spec.qubits = 3 * spec.a_states + 40 * scale;
+  spec.cnots = 3 * spec.a_states + 60 * scale;
+  spec.seed = 11;
+  return icm::make_workload(spec);
+}
+
+void BM_PdGraphBuild(benchmark::State& state) {
+  const auto circuit = workload_of_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto graph = pdgraph::build_pd_graph(circuit);
+    benchmark::DoNotOptimize(graph.module_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(circuit.cnots().size()));
+}
+BENCHMARK(BM_PdGraphBuild)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_IshapeSimplify(benchmark::State& state) {
+  const auto circuit = workload_of_size(static_cast<int>(state.range(0)));
+  const auto graph = pdgraph::build_pd_graph(circuit);
+  for (auto _ : state) {
+    auto ishape = compress::simplify_ishape(graph);
+    benchmark::DoNotOptimize(ishape.merge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.module_count());
+}
+BENCHMARK(BM_IshapeSimplify)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PrimalBridging(benchmark::State& state) {
+  const auto circuit = workload_of_size(static_cast<int>(state.range(0)));
+  const auto graph = pdgraph::build_pd_graph(circuit);
+  const auto ishape = compress::simplify_ishape(graph);
+  for (auto _ : state) {
+    auto bridging = compress::bridge_primal(graph, ishape, 7);
+    benchmark::DoNotOptimize(bridging.chain_count());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.module_count());
+}
+BENCHMARK(BM_PrimalBridging)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_DualBridging(benchmark::State& state) {
+  const auto circuit = workload_of_size(static_cast<int>(state.range(0)));
+  const auto graph = pdgraph::build_pd_graph(circuit);
+  const auto ishape = compress::simplify_ishape(graph);
+  for (auto _ : state) {
+    auto dual = compress::bridge_dual(graph, ishape);
+    benchmark::DoNotOptimize(dual.component_count());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.net_count());
+}
+BENCHMARK(BM_DualBridging)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BStarTreePack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  place::BStarTree tree;
+  std::vector<place::Footprint> dims(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    dims[static_cast<std::size_t>(i)] = {rng.range(1, 6), rng.range(1, 6)};
+    tree.insert(i, rng);
+  }
+  for (auto _ : state) {
+    auto pack = tree.pack(
+        [&](int item) { return dims[static_cast<std::size_t>(item)]; });
+    benchmark::DoNotOptimize(pack.width);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BStarTreePack)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_LinkingNumber(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const geom::Loop primal =
+      geom::rectangle_loop({0, 0, 0}, Axis::X, side, Axis::Y, side);
+  const geom::Loop dual = geom::offset_loop(
+      geom::rectangle_loop({0, 0, -side}, Axis::X, side, Axis::Z, 2 * side),
+      0.5, 0.5, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::linking_number(primal, dual));
+  }
+}
+BENCHMARK(BM_LinkingNumber)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Compare every implemented flow on one benchmark workload:
+// canonical form, Lin'17 1-D / 2-D layout synthesis, modularization only,
+// the dual-only bridging baseline [Hsu DAC'21], and the full primal+dual
+// bridge compression.
+//
+//   ./examples/baseline_comparison [benchmark-name] [effort]
+//
+// Benchmark names are the paper's (default 4gt10-v1_81); see
+// core/paper_tables.h for the list.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baseline/lin2017.h"
+#include "core/compiler.h"
+#include "core/paper_tables.h"
+#include "geom/canonical.h"
+#include "icm/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace tqec;
+
+  const std::string name = argc > 1 ? argv[1] : "4gt10-v1_81";
+  const double effort = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  const core::PaperBenchmark& bench = core::paper_benchmark(name);
+  const icm::IcmCircuit circuit =
+      icm::make_workload(core::workload_spec(bench));
+  const std::int64_t canonical = geom::canonical_volume(circuit.stats());
+
+  std::printf("benchmark %s: %d lines, %d CNOTs\n\n", name.c_str(),
+              circuit.stats().qubits, circuit.stats().cnots);
+  std::printf("%-34s %14s %10s\n", "flow", "volume", "vs ours");
+
+  const baseline::LinResult lin1 = baseline::lin_1d(circuit);
+  const baseline::LinResult lin2 = baseline::lin_2d(circuit);
+
+  auto run = [&](core::PipelineMode mode) {
+    core::CompileOptions opt;
+    opt.mode = mode;
+    opt.effort = effort;
+    opt.emit_geometry = false;
+    return core::compile(circuit, opt);
+  };
+  const auto modular = run(core::PipelineMode::ModularOnly);
+  const auto dual_only = run(core::PipelineMode::DualOnly);
+  const auto ours = run(core::PipelineMode::Full);
+  const double ours_v = static_cast<double>(ours.volume);
+
+  auto row = [&](const char* label, std::int64_t volume) {
+    std::printf("%-34s %14lld %9.2fx\n", label,
+                static_cast<long long>(volume),
+                static_cast<double>(volume) / ours_v);
+  };
+  row("canonical form", canonical);
+  row("Lin'17 layout synthesis (1-D)", lin1.volume);
+  row("Lin'17 layout synthesis (2-D)", lin2.volume);
+  row("modularization only", modular.volume);
+  row("dual-only bridging [Hsu DAC'21]", dual_only.volume);
+  row("primal+dual bridging (this work)", ours.volume);
+
+  std::printf("\npaper reference for %s: canonical %lld, 1-D %lld, 2-D "
+              "%lld, Hsu %lld, ours %lld\n",
+              name.c_str(), static_cast<long long>(bench.canonical_volume),
+              static_cast<long long>(bench.lin1d_volume),
+              static_cast<long long>(bench.lin2d_volume),
+              static_cast<long long>(bench.hsu_volume),
+              static_cast<long long>(bench.ours_volume));
+  return ours.routed_legal ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Quickstart: compress a small reversible circuit end-to-end.
+//
+//   reversible circuit -> Clifford+T -> ICM -> PD graph -> I-shape ->
+//   flipping/primal bridging -> dual bridging -> 2.5D placement -> routing
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "decompose/decompose.h"
+#include "geom/canonical.h"
+#include "geom/validate.h"
+#include "icm/builder.h"
+#include "qcir/circuit.h"
+
+int main() {
+  using namespace tqec;
+
+  // A 1-bit full adder out of Toffoli/CNOT gates (a, b, cin, cout).
+  qcir::Circuit adder(4, "full-adder");
+  adder.add(qcir::Gate::toffoli(0, 1, 3));
+  adder.add(qcir::Gate::cnot(0, 1));
+  adder.add(qcir::Gate::toffoli(1, 2, 3));
+  adder.add(qcir::Gate::cnot(1, 2));
+  adder.add(qcir::Gate::cnot(0, 1));
+
+  // Stage 1: gate decomposition to Clifford+T, then the ICM form.
+  const qcir::Circuit clifford_t = decompose::decompose(adder);
+  const icm::IcmCircuit icm = icm::from_clifford_t(clifford_t);
+  const icm::IcmStats stats = icm.stats();
+  std::printf("ICM form: %d lines, %d CNOTs, %d |Y>, %d |A>\n", stats.qubits,
+              stats.cnots, stats.y_states, stats.a_states);
+  std::printf("canonical space-time volume: %lld\n",
+              static_cast<long long>(geom::canonical_volume(stats)));
+
+  // Stages 2-7: the bridge-compression pipeline.
+  core::CompileOptions options;
+  options.seed = 7;
+  const core::CompileResult result = core::compile(icm, options);
+
+  std::printf("PD graph: %d modules, %d dual nets\n", result.modules,
+              stats.cnots);
+  std::printf("compression: %d I-shape merges, %d primal bridges, %d dual "
+              "bridges -> %d placement nodes, %d net components\n",
+              result.ishape_merges, result.primal_bridges,
+              result.dual_bridges, result.nodes, result.net_components);
+  const Vec3 dims = result.routing.bounding.dims();
+  std::printf("final space-time volume: %lld (%dx%dx%d), %s\n",
+              static_cast<long long>(result.volume), dims.x, dims.y, dims.z,
+              result.routed_legal ? "legally routed" : "NOT legal");
+  std::printf("reduction vs canonical: %.1fx\n",
+              static_cast<double>(result.canonical_volume) /
+                  static_cast<double>(result.volume));
+
+  const geom::ValidationReport report = geom::validate(result.geometry);
+  std::printf("geometry validation: %s\n", report.summary().c_str());
+  return report.ok() && result.routed_legal ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "baseline/lin2017.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/canonical.h"
+
+namespace tqec::baseline {
+
+namespace {
+
+/// 2D interval/box on the qubit-arrangement plane.
+struct Rect {
+  int x0, y0, x1, y1;
+  bool intersects(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+};
+
+/// Greedy list scheduling with conflicts and per-line dependencies: each
+/// CNOT goes to the earliest step after its line predecessors in which its
+/// routing footprint conflicts with nothing already scheduled there. This
+/// is the greedy equivalent of Lin et al.'s per-step maximum-weight
+/// independent-set selection.
+int schedule(const icm::IcmCircuit& circuit,
+             const std::vector<Rect>& footprint) {
+  const auto lines = static_cast<std::size_t>(circuit.num_lines());
+  std::vector<int> line_ready(lines, 0);  // earliest step per line
+  std::vector<std::vector<std::size_t>> step_gates;
+
+  for (std::size_t g = 0; g < circuit.cnots().size(); ++g) {
+    const icm::IcmCnot cnot = circuit.cnots()[g];
+    int step = std::max(line_ready[static_cast<std::size_t>(cnot.control)],
+                        line_ready[static_cast<std::size_t>(cnot.target)]);
+    for (;; ++step) {
+      if (step >= static_cast<int>(step_gates.size())) break;
+      const auto& gates = step_gates[static_cast<std::size_t>(step)];
+      const bool clash = std::any_of(
+          gates.begin(), gates.end(), [&](std::size_t other) {
+            return footprint[g].intersects(footprint[other]);
+          });
+      if (!clash) break;
+    }
+    if (step >= static_cast<int>(step_gates.size()))
+      step_gates.resize(static_cast<std::size_t>(step) + 1);
+    step_gates[static_cast<std::size_t>(step)].push_back(g);
+    line_ready[static_cast<std::size_t>(cnot.control)] = step + 1;
+    line_ready[static_cast<std::size_t>(cnot.target)] = step + 1;
+  }
+  return static_cast<int>(step_gates.size());
+}
+
+std::int64_t box_total(const icm::IcmStats& stats) {
+  return geom::box_volume(geom::BoxKind::YBox) * stats.y_states +
+         geom::box_volume(geom::BoxKind::ABox) * stats.a_states;
+}
+
+}  // namespace
+
+LinResult lin_1d(const icm::IcmCircuit& circuit) {
+  const icm::IcmStats stats = circuit.stats();
+  std::vector<Rect> footprint;
+  footprint.reserve(circuit.cnots().size());
+  for (const icm::IcmCnot& cnot : circuit.cnots()) {
+    const int lo = std::min(cnot.control, cnot.target);
+    const int hi = std::max(cnot.control, cnot.target);
+    footprint.push_back({lo, 0, hi, 0});
+  }
+  LinResult result;
+  result.time_steps = schedule(circuit, footprint);
+  result.grid_x = stats.qubits;
+  result.grid_y = 1;
+  result.volume = std::int64_t{3} * result.time_steps * stats.qubits * 2 +
+                  box_total(stats);
+  return result;
+}
+
+LinResult lin_2d(const icm::IcmCircuit& circuit) {
+  const icm::IcmStats stats = circuit.stats();
+  const int gx = std::max(
+      1, static_cast<int>(std::lround(std::ceil(
+             std::sqrt(static_cast<double>(stats.qubits))))));
+  const int gy = (stats.qubits + gx - 1) / gx;
+  auto cell_of = [&](int line) {
+    return Rect{line % gx, line / gx, line % gx, line / gx};
+  };
+  std::vector<Rect> footprint;
+  footprint.reserve(circuit.cnots().size());
+  for (const icm::IcmCnot& cnot : circuit.cnots()) {
+    // L-shaped route: the bounding box of the two grid cells.
+    const Rect a = cell_of(cnot.control);
+    const Rect b = cell_of(cnot.target);
+    footprint.push_back({std::min(a.x0, b.x0), std::min(a.y0, b.y0),
+                         std::max(a.x1, b.x1), std::max(a.y1, b.y1)});
+  }
+  LinResult result;
+  result.time_steps = schedule(circuit, footprint);
+  result.grid_x = gx;
+  result.grid_y = gy;
+  result.volume = std::int64_t{3} * result.time_steps * gx * (2 * gy) +
+                  box_total(stats);
+  return result;
+}
+
+}  // namespace tqec::baseline

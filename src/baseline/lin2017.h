@@ -1,0 +1,43 @@
+// Reimplementation of the layout-synthesis baseline of Lin et al.,
+// "Layout synthesis for topological quantum circuits with 1-D and 2-D
+// architectures" (TCAD'17) — the comparison rows of the paper's Table 2.
+//
+// Lin et al. fix the primal-defect qubit placement in a 1-D row or a 2-D
+// grid and compress only along the time axis: CNOTs whose dual-defect
+// routing patterns do not conflict share a time step (selected via a
+// maximum-weight-independent-set formulation; we use the standard greedy
+// equivalent). Volumes follow the same canonical normalization as Table 2
+// (3 x-units per step, one y-unit per line, z-depth 2, distillation boxes
+// accounted additively):
+//
+//   1-D: conflict when the qubit intervals [min(c,t), max(c,t)] of two
+//        CNOTs intersect (their braids would cross on the row);
+//        V = 3*S1 * Q * 2 + boxes.
+//   2-D: lines arranged on a ceil(sqrt(Q))-wide grid; conflict when the
+//        L-shaped routing bounding boxes intersect;
+//        V = 3*S2 * gx * 2*gy + boxes.
+//
+// Gate dependencies (two CNOTs sharing a line keep their order) are
+// respected, so the schedule is a legal topological compaction.
+#pragma once
+
+#include <cstdint>
+
+#include "icm/icm.h"
+
+namespace tqec::baseline {
+
+struct LinResult {
+  int time_steps = 0;      // S: scheduled step count
+  std::int64_t volume = 0; // canonical-normalized space-time volume
+  int grid_x = 0;          // 2-D: grid width (1-D: Q)
+  int grid_y = 0;          // 2-D: grid height (1-D: 1)
+};
+
+/// 1-D architecture schedule + volume.
+LinResult lin_1d(const icm::IcmCircuit& circuit);
+
+/// 2-D architecture schedule + volume.
+LinResult lin_2d(const icm::IcmCircuit& circuit);
+
+}  // namespace tqec::baseline

@@ -1,0 +1,43 @@
+// Error handling for the TQEC compression library.
+//
+// Invariant violations and invalid inputs raise TqecError (derived from
+// std::runtime_error). TQEC_REQUIRE is for checking preconditions on public
+// API boundaries; TQEC_ASSERT documents internal invariants and is compiled
+// in all build types (the algorithms here are cheap relative to SA/routing,
+// so the checks cost nothing measurable).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tqec {
+
+class TqecError : public std::runtime_error {
+ public:
+  explicit TqecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw TqecError(full);
+}
+}  // namespace detail
+
+#define TQEC_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tqec::detail::fail("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define TQEC_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::tqec::detail::fail("invariant", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace tqec

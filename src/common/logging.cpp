@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace tqec {
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("TQEC_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{static_cast<int>(parse_env_level())};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Info: return "INFO ";
+    default: return "DEBUG";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load());
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= threshold_storage().load();
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[tqec " << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace tqec

@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is controlled by the TQEC_LOG environment variable
+// ("error" | "warn" | "info" | "debug"); default is "warn" so library
+// consumers, tests, and benches stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tqec {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Current threshold (from TQEC_LOG, cached on first use).
+LogLevel log_threshold();
+
+/// Override the threshold programmatically (tests).
+void set_log_threshold(LogLevel level);
+
+bool log_enabled(LogLevel level);
+
+/// Emit one log line; prefer the TQEC_LOG_* macros below.
+void log_line(LogLevel level, const std::string& message);
+
+#define TQEC_LOG_AT(level, stream_expr)                  \
+  do {                                                   \
+    if (::tqec::log_enabled(level)) {                    \
+      std::ostringstream tqec_log_os;                    \
+      tqec_log_os << stream_expr;                        \
+      ::tqec::log_line(level, tqec_log_os.str());        \
+    }                                                    \
+  } while (0)
+
+#define TQEC_LOG_ERROR(s) TQEC_LOG_AT(::tqec::LogLevel::Error, s)
+#define TQEC_LOG_WARN(s) TQEC_LOG_AT(::tqec::LogLevel::Warn, s)
+#define TQEC_LOG_INFO(s) TQEC_LOG_AT(::tqec::LogLevel::Info, s)
+#define TQEC_LOG_DEBUG(s) TQEC_LOG_AT(::tqec::LogLevel::Debug, s)
+
+}  // namespace tqec

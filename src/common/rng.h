@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized stage of the flow (workload generation, greedy restarts,
+// simulated annealing) takes an explicit seed so that tests and the
+// table-regeneration benches are bit-reproducible across runs and platforms.
+// We use xoshiro256** seeded through SplitMix64 rather than std::mt19937 to
+// guarantee identical streams independent of the standard library.
+#pragma once
+
+#include <cstdint>
+
+namespace tqec {
+
+/// SplitMix64 step; used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x1234567ull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Debiased via rejection sampling (Lemire-style threshold).
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  constexpr int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-restart streams).
+  constexpr Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tqec

@@ -1,0 +1,28 @@
+// Small string helpers for the RevLib parser and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tqec {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; keeps empty tokens.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if s starts with the given prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Format an integer with thousands separators ("1234567" -> "1,234,567").
+std::string with_commas(long long value);
+
+}  // namespace tqec

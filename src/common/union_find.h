@@ -1,0 +1,58 @@
+// Disjoint-set (union-find) with path halving and union by size.
+// Used by iterative dual bridging (net merging) and by the geometry
+// validator (connected-component checks on defect segments).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace tqec {
+
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    size_.assign(n, 1);
+    components_ = n;
+  }
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t component_count() const { return components_; }
+
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Merge the sets containing a and b; returns false if already merged.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  /// Number of elements in the set containing v.
+  std::size_t set_size(std::size_t v) { return size_[find(v)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_ = 0;
+};
+
+}  // namespace tqec

@@ -1,0 +1,183 @@
+// Integer 3D vector and axis-aligned box primitives used throughout the
+// geometric-description layer. Coordinates are lattice-cell units of the
+// surface-code cluster state: x is the time axis in canonical descriptions,
+// y and z span the 2D code surface.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace tqec {
+
+/// Axis identifiers for axis-aligned geometry.
+enum class Axis : std::uint8_t { X = 0, Y = 1, Z = 2 };
+
+constexpr std::array<Axis, 3> kAllAxes{Axis::X, Axis::Y, Axis::Z};
+
+/// Integer lattice point / displacement.
+struct Vec3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr int& operator[](Axis a) {
+    switch (a) {
+      case Axis::X: return x;
+      case Axis::Y: return y;
+      default: return z;
+    }
+  }
+  constexpr int operator[](Axis a) const {
+    switch (a) {
+      case Axis::X: return x;
+      case Axis::Y: return y;
+      default: return z;
+    }
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(int k, Vec3 v) {
+    return {k * v.x, k * v.y, k * v.z};
+  }
+  constexpr Vec3& operator+=(Vec3 b) {
+    x += b.x;
+    y += b.y;
+    z += b.z;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) = default;
+  friend constexpr auto operator<=>(Vec3 a, Vec3 b) = default;
+
+  /// L1 (Manhattan) norm; routing distance on the lattice.
+  constexpr int l1() const { return std::abs(x) + std::abs(y) + std::abs(z); }
+
+  /// L-infinity (Chebyshev) norm; used for defect-separation checks.
+  constexpr int linf() const {
+    return std::max({std::abs(x), std::abs(y), std::abs(z)});
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec3 v) {
+    return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+  }
+};
+
+constexpr int manhattan(Vec3 a, Vec3 b) { return (a - b).l1(); }
+constexpr int chebyshev(Vec3 a, Vec3 b) { return (a - b).linf(); }
+
+/// Unit step along an axis.
+constexpr Vec3 unit(Axis a) {
+  switch (a) {
+    case Axis::X: return {1, 0, 0};
+    case Axis::Y: return {0, 1, 0};
+    default: return {0, 0, 1};
+  }
+}
+
+/// Closed axis-aligned integer box: all lattice cells p with
+/// lo <= p <= hi component-wise. A box is empty iff any lo > hi.
+struct Box3 {
+  Vec3 lo;
+  Vec3 hi;
+
+  constexpr Box3() : lo{0, 0, 0}, hi{-1, -1, -1} {}  // empty
+  constexpr Box3(Vec3 lo_, Vec3 hi_) : lo(lo_), hi(hi_) {}
+
+  /// Smallest box containing both endpoints (order-insensitive).
+  static constexpr Box3 spanning(Vec3 a, Vec3 b) {
+    return Box3{{std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)},
+                {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)}};
+  }
+
+  constexpr bool empty() const {
+    return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+  }
+
+  /// Extent in lattice units along each axis (cell count, inclusive).
+  constexpr Vec3 dims() const {
+    if (empty()) return {0, 0, 0};
+    return {hi.x - lo.x + 1, hi.y - lo.y + 1, hi.z - lo.z + 1};
+  }
+
+  /// Space-time volume of the box: #x * #y * #z in lattice units.
+  constexpr std::int64_t volume() const {
+    const Vec3 d = dims();
+    return std::int64_t{d.x} * d.y * d.z;
+  }
+
+  constexpr bool contains(Vec3 p) const {
+    return !empty() && lo.x <= p.x && p.x <= hi.x && lo.y <= p.y &&
+           p.y <= hi.y && lo.z <= p.z && p.z <= hi.z;
+  }
+
+  constexpr bool intersects(const Box3& o) const {
+    if (empty() || o.empty()) return false;
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y && lo.z <= o.hi.z && o.lo.z <= hi.z;
+  }
+
+  /// Grow the box by `m` units on every side.
+  constexpr Box3 inflated(int m) const {
+    if (empty()) return *this;
+    return Box3{lo - Vec3{m, m, m}, hi + Vec3{m, m, m}};
+  }
+
+  /// Smallest box covering this box and `p`.
+  constexpr Box3 expanded(Vec3 p) const {
+    if (empty()) return Box3{p, p};
+    return Box3{{std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)},
+                {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)}};
+  }
+
+  /// Smallest box covering both boxes.
+  constexpr Box3 merged(const Box3& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return expanded(o.lo).expanded(o.hi);
+  }
+
+  /// Chebyshev gap between two boxes (0 when touching or overlapping).
+  constexpr int separation(const Box3& o) const {
+    auto axis_gap = [](int alo, int ahi, int blo, int bhi) {
+      if (ahi < blo) return blo - ahi - 1;
+      if (bhi < alo) return alo - bhi - 1;
+      return 0;
+    };
+    return std::max({axis_gap(lo.x, hi.x, o.lo.x, o.hi.x),
+                     axis_gap(lo.y, hi.y, o.lo.y, o.hi.y),
+                     axis_gap(lo.z, hi.z, o.lo.z, o.hi.z)});
+  }
+
+  friend constexpr bool operator==(const Box3&, const Box3&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Box3& b) {
+    return os << '[' << b.lo << ".." << b.hi << ']';
+  }
+};
+
+}  // namespace tqec
+
+template <>
+struct std::hash<tqec::Vec3> {
+  std::size_t operator()(const tqec::Vec3& v) const noexcept {
+    // 3D lattice hash; coordinates in practice fit comfortably in 21 bits.
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y));
+    const auto uz = static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.z));
+    std::uint64_t h = ux * 0x9E3779B97F4A7C15ull;
+    h ^= uy * 0xC2B2AE3D27D4EB4Full + (h << 6) + (h >> 2);
+    h ^= uz * 0x165667B19E3779F9ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,105 @@
+#include "compress/dual_bridging.h"
+
+#include <algorithm>
+
+namespace tqec::compress {
+
+using pdgraph::ModuleId;
+using pdgraph::NetId;
+using pdgraph::PdGraph;
+
+namespace {
+
+/// Closed range of measurement levels a net (or merged component) touches.
+struct LevelRange {
+  int lo = 0;
+  int hi = -1;  // empty when hi < lo
+  bool empty() const { return hi < lo; }
+
+  void absorb(const LevelRange& o) {
+    if (o.empty()) return;
+    if (empty()) {
+      *this = o;
+    } else {
+      lo = std::min(lo, o.lo);
+      hi = std::max(hi, o.hi);
+    }
+  }
+};
+
+/// Merged structures become time-rigid; their measurement-level ranges must
+/// stay orderable: equal, disjoint/touching, or unconstrained.
+bool ranges_compatible(const LevelRange& a, const LevelRange& b) {
+  if (a.empty() || b.empty()) return true;
+  if (a.lo == b.lo && a.hi == b.hi) return true;
+  return a.hi <= b.lo || b.hi <= a.lo;
+}
+
+std::vector<LevelRange> net_level_ranges(const PdGraph& graph) {
+  std::vector<LevelRange> ranges(static_cast<std::size_t>(graph.net_count()));
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    LevelRange& r = ranges[static_cast<std::size_t>(net.id)];
+    for (ModuleId m : net.path()) {
+      const pdgraph::PrimalModule& mod = graph.module(m);
+      if (mod.meas_constrained)
+        r.absorb({mod.meas_level, mod.meas_level});
+    }
+  }
+  return ranges;
+}
+
+DualBridging run_bridging(const PdGraph& graph,
+                          const std::vector<std::vector<NetId>>& zones) {
+  DualBridging out(graph.net_count());
+  std::vector<LevelRange> range = net_level_ranges(graph);
+
+  // Component-representative range lookup.
+  auto rep_range = [&](NetId n) -> LevelRange& {
+    return range[static_cast<std::size_t>(out.component_of(n))];
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t m = 0; m < zones.size(); ++m) {
+      const auto& zone = zones[m];
+      if (zone.size() < 2) continue;
+      for (std::size_t i = 0; i < zone.size(); ++i) {
+        for (std::size_t j = i + 1; j < zone.size(); ++j) {
+          const NetId a = zone[i];
+          const NetId b = zone[j];
+          if (out.components().same(static_cast<std::size_t>(a),
+                                    static_cast<std::size_t>(b)))
+            continue;  // second bridge would create an extra loop
+          const LevelRange ra = rep_range(a);
+          const LevelRange rb = rep_range(b);
+          if (!ranges_compatible(ra, rb)) continue;
+          LevelRange merged = ra;
+          merged.absorb(rb);
+          out.components().unite(static_cast<std::size_t>(a),
+                                 static_cast<std::size_t>(b));
+          rep_range(a) = merged;
+          out.record_bridge({static_cast<ModuleId>(m), a, b});
+          changed = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DualBridging bridge_dual(const PdGraph& graph, const IshapeResult& ishape) {
+  return run_bridging(graph, ishape.zone_nets());
+}
+
+DualBridging bridge_dual_without_ishape(const PdGraph& graph) {
+  std::vector<std::vector<NetId>> zones;
+  zones.reserve(static_cast<std::size_t>(graph.module_count()));
+  for (const pdgraph::PrimalModule& m : graph.modules())
+    zones.push_back(m.nets);
+  return run_bridging(graph, zones);
+}
+
+}  // namespace tqec::compress

@@ -1,0 +1,74 @@
+// Iterative dual bridging (paper Sec. 3.4, Fig. 14), extending the
+// dual-only bridging of Hsu et al. (DAC'21) with I-shape split awareness.
+//
+// Two dual nets crossing the same primal module may be merged by a dual
+// bridge there, sharing one continuous common segment. Constraints:
+//   - never merge two nets already in the same merged structure (a second
+//     bridge between the same structures would create an extra loop and
+//     change the computation, Sec. 2.4);
+//   - respect the I-shape splits: a net whose control side was absorbed
+//     into an x-axis bridge no longer shares a bridgeable zone with the
+//     other nets of the merged modules (Fig. 14) — we consume the *zone*
+//     net lists computed by the I-shape stage;
+//   - respect time-ordered measurement constraints: merged nets become one
+//     rigid structure, so the measurement levels they touch must not
+//     interleave (equal, disjoint, or unconstrained level ranges are
+//     allowed; partial overlap is rejected). This is our concrete reading
+//     of the constraint handling in [Hsu DAC'21], documented in DESIGN.md.
+//
+// The algorithm sweeps all zones, greedily merging candidate pairs, and
+// iterates until a fixpoint (hence *iterative* dual bridging).
+#pragma once
+
+#include <vector>
+
+#include "common/union_find.h"
+#include "compress/ishape.h"
+
+namespace tqec::compress {
+
+struct DualBridge {
+  pdgraph::ModuleId site = -1;  // module whose zone hosts the bridge
+  pdgraph::NetId net_a = -1;
+  pdgraph::NetId net_b = -1;
+};
+
+class DualBridging {
+ public:
+  explicit DualBridging(int net_count) : components_(
+      static_cast<std::size_t>(net_count)) {}
+
+  const std::vector<DualBridge>& bridges() const { return bridges_; }
+
+  /// Merged-net components (union-find over net ids).
+  UnionFind& components() { return components_; }
+  const UnionFind& components() const { return components_; }
+
+  /// Representative net id per net.
+  pdgraph::NetId component_of(pdgraph::NetId n) {
+    return static_cast<pdgraph::NetId>(
+        components_.find(static_cast<std::size_t>(n)));
+  }
+
+  int component_count() const {
+    return static_cast<int>(components_.component_count());
+  }
+  int bridge_count() const { return static_cast<int>(bridges_.size()); }
+
+  /// Record a performed bridge (used by the bridging drivers).
+  void record_bridge(DualBridge bridge) { bridges_.push_back(bridge); }
+
+ private:
+  UnionFind components_;
+  std::vector<DualBridge> bridges_;
+};
+
+/// Run iterative dual bridging on the I-shape-aware zones (paper stage 5).
+DualBridging bridge_dual(const pdgraph::PdGraph& graph,
+                         const IshapeResult& ishape);
+
+/// Dual-only baseline variant ([Hsu DAC'21]): bridging on the raw module
+/// pass-through records, without I-shape splits.
+DualBridging bridge_dual_without_ishape(const pdgraph::PdGraph& graph);
+
+}  // namespace tqec::compress

@@ -1,0 +1,78 @@
+// Flipping operation and greedy primal bridging (paper Sec. 3.3, Figs. 11-13).
+//
+// Direct primal bridging blocks dual bridging and vice versa (Fig. 11). The
+// flipping operation first flips primal modules onto a common layer so that
+// primal bridges run along the z axis while the I-shape bridges run along
+// the x axis — the two never conflict — and dual segments stay routable
+// (Fig. 12). Flipping a module mirrors it; it does not change which dual
+// nets pass through it, so the braiding relationship is preserved.
+//
+// The bridging itself is the paper's greedy chain construction on the PD
+// graph: every I-shape group is a *point*; two points are connectable when
+// a dual net passes through modules of both; each point may bridge with at
+// most two neighbours on the z axis (chain predecessor/successor). From the
+// current point the greedy picks the unvisited connectable point M
+// maximizing
+//     Phi(M) = sum over M's dual nets of |{untraversed points reachable
+//              through that net}|                         (paper eqs. 3-4)
+// and restarts on a fresh point until every point is traversed.
+//
+// Each chain becomes one primal-bridging super-module (one 2.5D B*-tree
+// node). Dual-segment directionality is planned with the Boolean flip value
+// of eq. (5): f(first point) = 0 and f(next) = 1 - f(previous), since each
+// z-bridge mirrors the module it attaches to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/ishape.h"
+
+namespace tqec::compress {
+
+using PointId = int;
+
+struct Chain {
+  /// Points in z order; each consecutive pair is a primal bridge.
+  std::vector<PointId> points;
+};
+
+struct PrimalBridging {
+  /// Point's member modules (points are I-shape groups). Injection modules
+  /// are excluded (they bind to their distillation boxes) and so are
+  /// order-constrained measurement modules (they go into time-dependent
+  /// super-modules).
+  std::vector<std::vector<pdgraph::ModuleId>> point_members;
+  /// Point of each module; -1 for modules excluded from bridging.
+  std::vector<PointId> point_of_module;
+  /// Chains (z-axis primal bridging super-modules), singletons included.
+  std::vector<Chain> chains;
+  /// Flip value per point (eq. 5), defined by its chain position.
+  std::vector<std::uint8_t> flip_of_point;
+  /// Chain of each point.
+  std::vector<int> chain_of_point;
+
+  int point_count() const { return static_cast<int>(point_members.size()); }
+  int chain_count() const { return static_cast<int>(chains.size()); }
+
+  /// Number of z-axis bridges added (sum over chains of |points| - 1).
+  int bridge_count() const;
+};
+
+/// Run the flipping operation + greedy primal bridging (paper stage 4).
+/// `seed` selects the greedy starting points (the paper starts "randomly on
+/// an edge"); the default reproduces the documented tables.
+PrimalBridging bridge_primal(const pdgraph::PdGraph& graph,
+                             const IshapeResult& ishape,
+                             std::uint64_t seed = 1);
+
+/// Multi-restart variant: run the greedy `restarts` times with derived
+/// seeds and keep the cover with the fewest chains (ties broken toward
+/// more total bridges). The paper's greedy is randomized exactly so that
+/// restarts can escape bad start choices; this is deterministic for a
+/// fixed base seed.
+PrimalBridging bridge_primal_best(const pdgraph::PdGraph& graph,
+                                  const IshapeResult& ishape,
+                                  std::uint64_t seed = 1, int restarts = 4);
+
+}  // namespace tqec::compress

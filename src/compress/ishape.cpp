@@ -1,0 +1,82 @@
+#include "compress/ishape.h"
+
+#include <algorithm>
+
+namespace tqec::compress {
+
+using pdgraph::ModuleId;
+using pdgraph::NetId;
+using pdgraph::PdGraph;
+using pdgraph::PrimalModule;
+
+IshapeResult::IshapeResult(const PdGraph& graph)
+    : x_groups_(static_cast<std::size_t>(graph.module_count())) {
+  group_of_.resize(static_cast<std::size_t>(graph.module_count()));
+  for (std::size_t m = 0; m < group_of_.size(); ++m)
+    group_of_[m] = static_cast<ModuleId>(m);  // identity before any merge
+  zone_nets_.reserve(static_cast<std::size_t>(graph.module_count()));
+  for (const PrimalModule& m : graph.modules()) zone_nets_.push_back(m.nets);
+}
+
+std::vector<std::vector<ModuleId>> IshapeResult::group_members() const {
+  std::vector<std::vector<ModuleId>> members(group_of_.size());
+  for (std::size_t m = 0; m < group_of_.size(); ++m)
+    members[static_cast<std::size_t>(group_of_[m])].push_back(
+        static_cast<ModuleId>(m));
+  std::erase_if(members, [](const auto& v) { return v.empty(); });
+  return members;
+}
+
+IshapeResult simplify_ishape(const PdGraph& graph) {
+  IshapeResult result(graph);
+
+  auto remove_net = [&](ModuleId m, NetId n) {
+    auto& zone = result.zone_nets_[static_cast<std::size_t>(m)];
+    const auto it = std::find(zone.begin(), zone.end(), n);
+    TQEC_ASSERT(it != zone.end(), "net missing from zone during I-shape");
+    zone.erase(it);
+  };
+
+  // Whether a module already spent its I/M end segment on a merge.
+  std::vector<bool> im_used(static_cast<std::size_t>(graph.module_count()),
+                            false);
+
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    const PrimalModule& a = graph.module(net.control_a);
+    const PrimalModule& b = graph.module(net.control_b);
+
+    // Constrained measurements are placed inside time-dependent
+    // super-modules (paper Sec. 3.5), so their modules never join an
+    // x-axis bridge group.
+    if (a.meas_constrained || b.meas_constrained) continue;
+
+    // Initialization-side merge: the current module carries the row's I/M.
+    if (a.has_init && !im_used[static_cast<std::size_t>(a.id)]) {
+      im_used[static_cast<std::size_t>(a.id)] = true;
+      result.x_groups_.unite(static_cast<std::size_t>(a.id),
+                             static_cast<std::size_t>(b.id));
+      remove_net(a.id, net.id);
+      remove_net(b.id, net.id);
+      result.merges_.push_back({a.id, b.id, net.id});
+      continue;
+    }
+
+    // Measurement-side merge: the innovative module is row-final and
+    // carries the measurement I/M.
+    if (b.has_meas && !im_used[static_cast<std::size_t>(b.id)]) {
+      im_used[static_cast<std::size_t>(b.id)] = true;
+      result.x_groups_.unite(static_cast<std::size_t>(a.id),
+                             static_cast<std::size_t>(b.id));
+      remove_net(a.id, net.id);
+      remove_net(b.id, net.id);
+      result.merges_.push_back({b.id, a.id, net.id});
+    }
+  }
+
+  for (std::size_t m = 0; m < result.group_of_.size(); ++m)
+    result.group_of_[m] =
+        static_cast<ModuleId>(result.x_groups_.find(m));
+  return result;
+}
+
+}  // namespace tqec::compress

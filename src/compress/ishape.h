@@ -1,0 +1,69 @@
+// I-shaped simplification (paper Sec. 3.2, Figs. 7-10).
+//
+// When a dual net's control-side *current* module carries an I/M terminal
+// (initialization, measurement, or state injection), that module and the
+// net's control-side *innovative* module can be merged by an x-axis primal
+// bridge: the two primal loops share a maximally extended common segment
+// (Fig. 9). Symmetrically, when the innovative module is the row-final
+// module carrying the measurement I/M, it merges with the current module.
+//
+// Split semantics (Fig. 14): after the merge, the shared common segment
+// carries only the merging net d, and each module's remainder keeps its
+// other nets. For iterative dual bridging this means d no longer shares a
+// bridgeable zone with the other nets of either merged module — bridging
+// them there would create an extra loop and change the computation. We
+// realize this by removing d from both modules' *zone* net lists while the
+// full braiding records in the PD graph stay untouched.
+//
+// Each module participates in at most one x-axis merge on each side of its
+// row position, and merges chain through a row (a module that absorbed its
+// row-initial neighbour can still merge with the row-final one), which the
+// x-group union-find captures. Complexity: O(#nets).
+#pragma once
+
+#include <vector>
+
+#include "common/union_find.h"
+#include "pdgraph/pd_graph.h"
+
+namespace tqec::compress {
+
+struct IshapeMerge {
+  pdgraph::ModuleId im_module = -1;     // module carrying the I/M terminal
+  pdgraph::ModuleId partner = -1;       // the other control-side module
+  pdgraph::NetId net = -1;              // net whose control side merged
+};
+
+class IshapeResult {
+ public:
+  explicit IshapeResult(const pdgraph::PdGraph& graph);
+
+  const std::vector<IshapeMerge>& merges() const { return merges_; }
+
+  /// X-axis merge groups over module ids.
+  UnionFind& x_groups() { return x_groups_; }
+  const std::vector<pdgraph::ModuleId>& group_of() const { return group_of_; }
+
+  /// Zone nets per module: the nets still able to dual-bridge there.
+  const std::vector<std::vector<pdgraph::NetId>>& zone_nets() const {
+    return zone_nets_;
+  }
+
+  /// Modules merged into each x-group (group representative -> members).
+  std::vector<std::vector<pdgraph::ModuleId>> group_members() const;
+
+  int merge_count() const { return static_cast<int>(merges_.size()); }
+
+ private:
+  friend IshapeResult simplify_ishape(const pdgraph::PdGraph& graph);
+
+  UnionFind x_groups_;
+  std::vector<pdgraph::ModuleId> group_of_;  // representative per module
+  std::vector<std::vector<pdgraph::NetId>> zone_nets_;
+  std::vector<IshapeMerge> merges_;
+};
+
+/// Run I-shaped simplification on a PD graph (paper stage 3).
+IshapeResult simplify_ishape(const pdgraph::PdGraph& graph);
+
+}  // namespace tqec::compress

@@ -1,0 +1,217 @@
+#include "core/compiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "geom/canonical.h"
+
+namespace tqec::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Append one segment per maximal collinear run of cells.
+void emit_cell_runs(geom::Defect& defect, std::vector<Vec3> cells) {
+  if (cells.empty()) return;
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  // Greedy x-runs (cells sorted lexicographically by (x, y, z) — group by
+  // (y, z) and emit maximal x intervals; remaining singleton cells are
+  // still correct single-cell segments).
+  std::sort(cells.begin(), cells.end(), [](Vec3 a, Vec3 b) {
+    return std::tuple(a.y, a.z, a.x) < std::tuple(b.y, b.z, b.x);
+  });
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    std::size_t j = i;
+    while (j + 1 < cells.size() && cells[j + 1].y == cells[i].y &&
+           cells[j + 1].z == cells[i].z && cells[j + 1].x == cells[j].x + 1)
+      ++j;
+    defect.segments.push_back({cells[i], cells[j]});
+    i = j + 1;
+  }
+}
+
+}  // namespace
+
+geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
+                                    const place::NodeSet& nodes,
+                                    const place::Placement& placement,
+                                    const route::RoutingResult& routing,
+                                    const std::string& name) {
+  geom::GeomDescription g(name);
+
+  // Primal structures: one defect per placement node of bridged modules
+  // (a chain is a single connected primal structure); time-dependent and
+  // distillation nodes contribute one single-cell defect per module (each
+  // is an unbridged primal loop).
+  for (const place::PlacementNode& node : nodes.nodes) {
+    if (node.kind == place::NodeKind::PrimalChain && node.modules.size() > 1) {
+      geom::Defect defect;
+      defect.type = geom::DefectType::Primal;
+      defect.source_id = node.id;
+      std::vector<Vec3> cells;
+      cells.reserve(node.modules.size());
+      for (pdgraph::ModuleId m : node.modules)
+        cells.push_back(placement.module_cell[static_cast<std::size_t>(m)]);
+      emit_cell_runs(defect, std::move(cells));
+      const int index = g.add_defect(defect);
+      // Attach the I/M components carried by the chain's modules.
+      for (pdgraph::ModuleId m : node.modules) {
+        const pdgraph::PrimalModule& mod = graph.module(m);
+        const Vec3 cell = placement.module_cell[static_cast<std::size_t>(m)];
+        if (mod.has_init) {
+          geom::ComponentKind kind = geom::ComponentKind::InitZ;
+          switch (mod.init_basis) {
+            case icm::InitBasis::Zero: kind = geom::ComponentKind::InitZ; break;
+            case icm::InitBasis::Plus: kind = geom::ComponentKind::InitX; break;
+            case icm::InitBasis::YState:
+              kind = geom::ComponentKind::InjectY;
+              break;
+            case icm::InitBasis::AState:
+              kind = geom::ComponentKind::InjectA;
+              break;
+          }
+          g.add_component({kind, cell, index});
+        }
+        if (mod.has_meas)
+          g.add_component({mod.meas_basis == icm::MeasBasis::Z
+                               ? geom::ComponentKind::MeasZ
+                               : geom::ComponentKind::MeasX,
+                           cell, index});
+      }
+    } else {
+      for (std::size_t i = 0; i < node.modules.size(); ++i) {
+        const pdgraph::ModuleId m = node.modules[i];
+        geom::Defect defect;
+        defect.type = geom::DefectType::Primal;
+        defect.source_id = m;
+        const Vec3 cell = placement.module_cell[static_cast<std::size_t>(m)];
+        defect.segments.push_back({cell, cell});
+        g.add_defect(defect);
+      }
+    }
+  }
+
+  // Dual structures: one defect per routed component.
+  for (const route::RoutedNet& net : routing.nets) {
+    if (net.cells.empty()) continue;
+    geom::Defect defect;
+    defect.type = geom::DefectType::Dual;
+    defect.source_id = net.component;
+    emit_cell_runs(defect, net.cells);
+    g.add_defect(defect);
+  }
+
+  for (const geom::DistillBox& box : placement.boxes) g.add_box(box);
+  return g;
+}
+
+CompileResult compile(const icm::IcmCircuit& circuit,
+                      const CompileOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  CompileResult result;
+  result.name = circuit.name();
+  result.stats = circuit.stats();
+  result.canonical_volume = geom::canonical_volume(result.stats);
+
+  // Stage 2: PD graph.
+  auto t = std::chrono::steady_clock::now();
+  const pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  result.modules = graph.module_count();
+  result.timings.pd_graph_s = seconds_since(t);
+
+  // Stages 3-5 depend on the pipeline mode.
+  const bool full = options.mode == PipelineMode::Full;
+  const bool use_ishape = full && options.enable_ishape;
+  const bool use_primal = full && options.enable_primal;
+
+  compress::IshapeResult ishape(graph);  // identity (no merges) by default
+  t = std::chrono::steady_clock::now();
+  if (use_ishape) ishape = compress::simplify_ishape(graph);
+  result.ishape_merges = ishape.merge_count();
+  result.timings.ishape_s = seconds_since(t);
+
+  t = std::chrono::steady_clock::now();
+  compress::PrimalBridging bridging;
+  if (use_primal) {
+    bridging = compress::bridge_primal_best(graph, ishape, options.seed,
+                                            options.primal_restarts);
+    result.primal_bridges = bridging.bridge_count();
+  }
+  result.timings.primal_bridge_s = seconds_since(t);
+
+  t = std::chrono::steady_clock::now();
+  compress::DualBridging dual(graph.net_count());
+  switch (options.mode) {
+    case PipelineMode::Full:
+      if (options.enable_dual) dual = compress::bridge_dual(graph, ishape);
+      break;
+    case PipelineMode::DualOnly:
+      dual = compress::bridge_dual_without_ishape(graph);
+      break;
+    case PipelineMode::ModularOnly:
+      break;  // no bridging: every net stays its own component
+  }
+  result.dual_bridges = dual.bridge_count();
+  result.net_components = dual.component_count();
+  result.timings.dual_bridge_s = seconds_since(t);
+
+  // Stage 6 + 7: module placement and dual-defect net routing. When the
+  // router cannot legalize the tightest packing, escalate once with a free
+  // routing plane between layers (congestion-driven whitespace insertion).
+  place::NodeSet nodes =
+      use_primal ? place::build_nodes(graph, ishape, bridging, dual,
+                                      options.plan_flips)
+                 : place::build_nodes_dual_only(graph, dual);
+  result.nodes = nodes.node_count();
+
+  place::Placement placement;
+  route::RoutingResult routing;
+  for (const int y_gap : {0, 1}) {
+    t = std::chrono::steady_clock::now();
+    place::PlaceOptions place_opt = options.place;
+    place_opt.seed = options.seed;
+    place_opt.effort *= options.effort;
+    place_opt.layer_y_gap = std::max(place_opt.layer_y_gap, y_gap);
+    placement = place_modules(nodes, place_opt);
+    result.timings.place_s += seconds_since(t);
+
+    t = std::chrono::steady_clock::now();
+    route::RouteOptions route_opt = options.route;
+    route_opt.seed = options.seed;
+    routing = route::route_nets(nodes, placement, route_opt);
+    result.timings.route_s += seconds_since(t);
+    if (routing.legal) break;
+    TQEC_LOG_INFO("routing illegal at y-gap " << y_gap
+                                              << "; escalating whitespace");
+  }
+
+  result.placement = placement;
+  result.routing = routing;
+  result.routed_legal = routing.legal;
+  result.volume = routing.volume;
+  if (options.emit_geometry)
+    result.geometry =
+        emit_geometry(graph, nodes, placement, routing, circuit.name());
+  if (options.keep_internals) {
+    result.internals = std::make_shared<PipelineInternals>(
+        PipelineInternals{graph, std::move(nodes), std::move(dual)});
+  }
+
+  result.timings.total_s = seconds_since(t_start);
+  TQEC_LOG_INFO("compile '" << circuit.name() << "': modules="
+                            << result.modules << " nodes=" << result.nodes
+                            << " volume=" << result.volume << " ("
+                            << result.timings.total_s << "s)");
+  return result;
+}
+
+}  // namespace tqec::core

@@ -1,0 +1,120 @@
+// Top-level TQEC circuit compression pipeline (paper Fig. 5).
+//
+// Orchestrates the seven stages on an ICM circuit:
+//   (1) preprocess / gate decomposition happens upstream (decompose + icm);
+//   (2) PD-graph generation, (3) I-shaped simplification, (4) flipping /
+//   primal bridging, (5) iterative dual bridging, (6) 2.5D module
+//   placement, (7) dual-defect net routing — and emits the final 3D
+//   geometric description with its space-time volume.
+//
+// Three pipeline modes select how much of the paper's contribution runs:
+//   Full        — the paper's algorithm (primal + dual bridging).
+//   DualOnly    — the [Hsu DAC'21] baseline: dual bridging on the raw
+//                 module records, every module its own placement node.
+//   ModularOnly — modularization + placement + routing with no bridging at
+//                 all (the "topological deformation only" point of Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "geom/geometry.h"
+#include "icm/icm.h"
+#include "pdgraph/pd_graph.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace tqec::core {
+
+enum class PipelineMode : std::uint8_t { Full, DualOnly, ModularOnly };
+
+struct CompileOptions {
+  PipelineMode mode = PipelineMode::Full;
+  std::uint64_t seed = 7;
+  /// Multiplier on the SA iteration budget (and other effort knobs).
+  double effort = 1.0;
+  /// f-value dual-segment planning (eq. 5); disable for the Fig. 15
+  /// "no planning" ablation.
+  bool plan_flips = true;
+  /// Fine-grained stage ablations (Full mode only): individually disable
+  /// I-shaped simplification, primal bridging (chains + super-modules), or
+  /// iterative dual bridging.
+  bool enable_ishape = true;
+  bool enable_primal = true;
+  bool enable_dual = true;
+  /// Greedy primal-bridging restarts (best-of-N chain covers; the greedy
+  /// start is randomized per the paper, so restarts escape bad starts).
+  int primal_restarts = 4;
+  /// Validate and keep the emitted geometric description (adds memory and
+  /// time on the largest benchmarks; tables only need the volume).
+  bool emit_geometry = true;
+  /// Retain the intermediate pipeline structures (PD graph, placement
+  /// nodes, merged-net components) on the result, enabling end-to-end
+  /// verification via verify::verify_result().
+  bool keep_internals = false;
+  place::PlaceOptions place;
+  route::RouteOptions route;
+};
+
+struct StageTimings {
+  double pd_graph_s = 0;
+  double ishape_s = 0;
+  double primal_bridge_s = 0;
+  double dual_bridge_s = 0;
+  double place_s = 0;
+  double route_s = 0;
+  double total_s = 0;
+};
+
+/// Intermediate pipeline structures, kept when
+/// CompileOptions::keep_internals is set.
+struct PipelineInternals {
+  pdgraph::PdGraph graph;
+  place::NodeSet nodes;
+  compress::DualBridging dual{0};
+};
+
+struct CompileResult {
+  std::string name;
+  icm::IcmStats stats;
+
+  // Compression statistics (paper Table 1).
+  int modules = 0;          // #Modules: PD-graph modules
+  int nodes = 0;            // #Nodes: 2.5D B*-tree nodes after bridging
+  int ishape_merges = 0;
+  int primal_bridges = 0;
+  int dual_bridges = 0;
+  int net_components = 0;
+
+  std::int64_t canonical_volume = 0;
+  place::Placement placement;
+  route::RoutingResult routing;
+  /// Final space-time volume (#x * #y * #z of the routed design).
+  std::int64_t volume = 0;
+  bool routed_legal = false;
+
+  /// Emitted final geometry (empty when emit_geometry is off).
+  geom::GeomDescription geometry;
+
+  /// Intermediate structures (null unless keep_internals was set).
+  std::shared_ptr<PipelineInternals> internals;
+
+  StageTimings timings;
+};
+
+/// Run the compression pipeline on an ICM circuit.
+CompileResult compile(const icm::IcmCircuit& circuit,
+                      const CompileOptions& options = {});
+
+/// Emit the final geometric description of a placed-and-routed design.
+geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
+                                    const place::NodeSet& nodes,
+                                    const place::Placement& placement,
+                                    const route::RoutingResult& routing,
+                                    const std::string& name);
+
+}  // namespace tqec::core

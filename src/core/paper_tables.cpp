@@ -1,0 +1,61 @@
+#include "core/paper_tables.h"
+
+#include "common/error.h"
+
+namespace tqec::core {
+
+const std::vector<PaperBenchmark>& paper_benchmarks() {
+  // Columns: name, Q, G, #|Y>, #|A>, #Modules, #Nodes,
+  //          canonical, lin-1D, lin-2D, hsu volume, hsu runtime,
+  //          ours volume, ours runtime.
+  static const std::vector<PaperBenchmark> benchmarks = {
+      {"4gt10-v1_81", 131, 168, 42, 21, 362, 18,
+       136836, 98322, 91116, 25520, 15, 20880, 16},
+      {"4gt4-v0_73", 257, 341, 84, 42, 724, 360,
+       535398, 361152, 327816, 58696, 26, 45560, 184},
+      {"rd84_142", 897, 1162, 294, 147, 2500, 1242,
+       6287400, 2805246, 2744316, 451440, 262, 190773, 654},
+      {"hwb5_53", 1307, 1729, 434, 217, 3687, 1853,
+       13608294, 9114828, 8203548, 1341704, 447, 465800, 1295},
+      {"add16_174", 1394, 1792, 448, 224, 3857, 1904,
+       15028608, 6449532, 6173928, 1069362, 590, 519350, 941},
+      {"sym6_145", 1519, 1980, 504, 252, 4255, 2148,
+       18103176, 10720836, 9852336, 1971840, 793, 585060, 1538},
+      {"cycle17_3_112", 1911, 2478, 630, 315, 5321, 2744,
+       28469700, 19082448, 16843884, 2354100, 1402, 1327656, 1666},
+      {"ham15_107", 3753, 4938, 1246, 623, 10560, 5301,
+       111335928, 69294822, 63017484, 7331454, 4901, 3650985, 4541},
+  };
+  return benchmarks;
+}
+
+const PaperBenchmark& paper_benchmark(const std::string& name) {
+  for (const PaperBenchmark& b : paper_benchmarks())
+    if (b.name == name) return b;
+  throw TqecError("unknown paper benchmark: " + name);
+}
+
+icm::WorkloadSpec workload_spec(const PaperBenchmark& bench,
+                                std::uint64_t seed) {
+  icm::WorkloadSpec spec;
+  spec.name = bench.name;
+  spec.qubits = bench.qubits;
+  spec.cnots = bench.cnots;
+  spec.y_states = bench.y_states;
+  spec.a_states = bench.a_states;
+  spec.seed = seed;
+  return spec;
+}
+
+icm::IcmCircuit three_cnot_example() {
+  icm::IcmCircuit circuit("three-cnot");
+  const int a = circuit.add_line(icm::InitBasis::Zero);
+  const int b = circuit.add_line(icm::InitBasis::Zero);
+  const int c = circuit.add_line(icm::InitBasis::Zero);
+  circuit.add_cnot(a, b);
+  circuit.add_cnot(c, b);
+  circuit.add_cnot(b, a);
+  return circuit;
+}
+
+}  // namespace tqec::core

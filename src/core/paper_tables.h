@@ -1,0 +1,56 @@
+// Published data from the paper (Tables 1-3 and the Figure-1 example),
+// used by the benchmark harnesses to print paper-vs-measured comparisons
+// and by the workload generator to reproduce the benchmark statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "icm/workload.h"
+
+namespace tqec::core {
+
+struct PaperBenchmark {
+  std::string name;
+  // Table 1: benchmark statistics after gate decomposition.
+  int qubits = 0;
+  int cnots = 0;
+  int y_states = 0;
+  int a_states = 0;
+  int modules = 0;  // #Modules before primal bridging
+  int nodes = 0;    // #Nodes after primal bridging (2.5D B*-tree nodes)
+  // Table 2: space-time volumes (ratios are relative to the paper's "Ours").
+  std::int64_t canonical_volume = 0;
+  std::int64_t lin1d_volume = 0;  // [Lin et al. TCAD'17], 1D architecture
+  std::int64_t lin2d_volume = 0;  // [Lin et al. TCAD'17], 2D architecture
+  // Table 3: bridge-compression comparison.
+  std::int64_t hsu_volume = 0;    // [Hsu et al. DAC'21], dual-only bridging
+  double hsu_runtime_s = 0;
+  std::int64_t ours_volume = 0;   // the paper's result
+  double ours_runtime_s = 0;
+};
+
+/// The eight RevLib benchmarks of the paper's evaluation.
+const std::vector<PaperBenchmark>& paper_benchmarks();
+
+/// Look up a benchmark by name; throws TqecError when unknown.
+const PaperBenchmark& paper_benchmark(const std::string& name);
+
+/// Workload-generator spec reproducing a benchmark's Table-1 statistics.
+icm::WorkloadSpec workload_spec(const PaperBenchmark& bench,
+                                std::uint64_t seed = 7);
+
+/// Figure 1: volume progression of the 3-CNOT example.
+struct Fig1Volumes {
+  std::int64_t canonical = 54;       // 9 x 3 x 2
+  std::int64_t deformed = 32;        // 4 x 4 x 2, topological deformation only
+  std::int64_t dual_only = 18;       // 3 x 3 x 2, dual bridging only
+  std::int64_t primal_dual = 6;      // 2 x 1 x 3, primal + dual bridging
+};
+
+/// The paper's 3-CNOT worked example (Figs. 1, 6, 10-14): three lines;
+/// CNOT(A->B), CNOT(C->B), CNOT(B->A).
+icm::IcmCircuit three_cnot_example();
+
+}  // namespace tqec::core

@@ -1,0 +1,133 @@
+#include "decompose/decompose.h"
+
+#include <algorithm>
+
+namespace tqec::decompose {
+
+using qcir::Circuit;
+using qcir::Gate;
+using qcir::GateKind;
+
+namespace {
+
+/// Emit the V-chain Toffoli ladder computing AND(controls) into `target`
+/// using `ancillas` (one per control beyond the second). `forward` emits the
+/// compute direction; the uncompute direction is the exact reverse (each
+/// Toffoli is self-inverse).
+void emit_mct_chain(Circuit& out, const std::vector<int>& controls, int target,
+                    const std::vector<int>& ancillas) {
+  TQEC_ASSERT(controls.size() >= 3, "MCT chain needs >= 3 controls");
+  TQEC_ASSERT(ancillas.size() + 2 >= controls.size(), "not enough ancillas");
+
+  std::vector<Gate> compute;
+  compute.push_back(Gate::toffoli(controls[0], controls[1], ancillas[0]));
+  for (std::size_t i = 2; i + 1 < controls.size(); ++i)
+    compute.push_back(
+        Gate::toffoli(controls[i], ancillas[i - 2], ancillas[i - 1]));
+
+  for (const Gate& g : compute) out.add(g);
+  out.add(Gate::toffoli(controls.back(),
+                        ancillas[controls.size() - 3], target));
+  for (auto it = compute.rbegin(); it != compute.rend(); ++it) out.add(*it);
+}
+
+}  // namespace
+
+Circuit lower_to_toffoli(const Circuit& circuit) {
+  // First sweep: how many ancillas does the widest MCT need?
+  std::size_t max_ancillas = 0;
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::Mct)
+      max_ancillas = std::max(max_ancillas, g.controls.size() - 2);
+    if (g.kind == GateKind::Fredkin && g.controls.size() >= 2)
+      max_ancillas = std::max(max_ancillas, g.controls.size() - 1);
+  }
+
+  Circuit out(circuit.num_qubits() + static_cast<int>(max_ancillas),
+              circuit.name());
+  const int ancilla_base = circuit.num_qubits();
+  std::vector<int> ancillas(max_ancillas);
+  for (std::size_t i = 0; i < max_ancillas; ++i)
+    ancillas[i] = ancilla_base + static_cast<int>(i);
+
+  for (const Gate& g : circuit.gates()) {
+    switch (g.kind) {
+      case GateKind::Mct:
+        emit_mct_chain(out, g.controls, g.targets[0], ancillas);
+        break;
+      case GateKind::Swap:
+        out.add(Gate::cnot(g.targets[0], g.targets[1]));
+        out.add(Gate::cnot(g.targets[1], g.targets[0]));
+        out.add(Gate::cnot(g.targets[0], g.targets[1]));
+        break;
+      case GateKind::Fredkin: {
+        // CSWAP = CNOT(b,a) . C-controls-Toffoli(a -> b) . CNOT(b,a)
+        const int a = g.targets[0];
+        const int b = g.targets[1];
+        out.add(Gate::cnot(b, a));
+        std::vector<int> and_controls = g.controls;
+        and_controls.push_back(a);
+        if (and_controls.size() == 2)
+          out.add(Gate::toffoli(and_controls[0], and_controls[1], b));
+        else
+          emit_mct_chain(out, and_controls, b, ancillas);
+        out.add(Gate::cnot(b, a));
+        break;
+      }
+      default:
+        out.add(g);
+        break;
+    }
+  }
+  return out;
+}
+
+Circuit lower_to_clifford_t(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::Toffoli) {
+      const int a = g.controls[0];
+      const int b = g.controls[1];
+      const int t = g.targets[0];
+      // Standard 7-T Toffoli network (Nielsen & Chuang Fig. 4.9).
+      out.add(Gate::h(t));
+      out.add(Gate::cnot(b, t));
+      out.add(Gate::tdg(t));
+      out.add(Gate::cnot(a, t));
+      out.add(Gate::t(t));
+      out.add(Gate::cnot(b, t));
+      out.add(Gate::tdg(t));
+      out.add(Gate::cnot(a, t));
+      out.add(Gate::t(b));
+      out.add(Gate::t(t));
+      out.add(Gate::h(t));
+      out.add(Gate::cnot(a, b));
+      out.add(Gate::t(a));
+      out.add(Gate::tdg(b));
+      out.add(Gate::cnot(a, b));
+    } else {
+      TQEC_REQUIRE(qcir::is_clifford_t(g.kind),
+                   "lower_to_clifford_t: unexpected gate " + g.to_string());
+      out.add(g);
+    }
+  }
+  return out;
+}
+
+Circuit decompose(const Circuit& circuit) {
+  return lower_to_clifford_t(lower_to_toffoli(circuit));
+}
+
+DecomposeStats summarize(const Circuit& original, const Circuit& decomposed) {
+  const auto stats = decomposed.stats();
+  DecomposeStats out;
+  out.original_qubits = original.num_qubits();
+  out.ancilla_qubits = decomposed.num_qubits() - original.num_qubits();
+  out.cnot_count = stats.cnot;
+  out.t_count = stats.t;
+  out.s_count = stats.s;
+  out.h_count = stats.h;
+  return out;
+}
+
+}  // namespace tqec::decompose

@@ -1,0 +1,90 @@
+#include "geom/canonical.h"
+
+#include <algorithm>
+
+namespace tqec::geom {
+
+std::int64_t canonical_volume(const icm::IcmStats& stats) {
+  return std::int64_t{6} * stats.qubits * stats.cnots +
+         box_volume(BoxKind::YBox) * stats.y_states +
+         box_volume(BoxKind::ABox) * stats.a_states;
+}
+
+GeomDescription build_canonical(const icm::IcmCircuit& circuit) {
+  GeomDescription g(circuit.name() + ".canonical");
+  const int lines = circuit.num_lines();
+  const int cnots = static_cast<int>(circuit.cnots().size());
+  const int x_extent = std::max(3 * cnots, 3);
+
+  // Primal rail pair per line: z = 0 and z = 1 at y = line.
+  std::vector<int> rail_defect(static_cast<std::size_t>(lines), -1);
+  for (int line = 0; line < lines; ++line) {
+    Defect rails;
+    rails.type = DefectType::Primal;
+    rails.source_id = line;
+    rails.segments.push_back(
+        {{0, line, 0}, {x_extent - 1, line, 0}});
+    rails.segments.push_back(
+        {{0, line, 1}, {x_extent - 1, line, 1}});
+    // Close the pair at both ends so each line is one connected structure
+    // terminated by its I/M components.
+    rails.segments.push_back({{0, line, 0}, {0, line, 1}});
+    rails.segments.push_back(
+        {{x_extent - 1, line, 0}, {x_extent - 1, line, 1}});
+    rail_defect[static_cast<std::size_t>(line)] = g.add_defect(rails);
+  }
+
+  // One dual ring per CNOT in its own 3-unit x slot.
+  for (int k = 0; k < cnots; ++k) {
+    const icm::IcmCnot cnot = circuit.cnots()[static_cast<std::size_t>(k)];
+    const int y_lo = std::min(cnot.control, cnot.target);
+    const int y_hi = std::max(cnot.control, cnot.target);
+    const int x = 3 * k + 1;
+    Defect ring;
+    ring.type = DefectType::Dual;
+    ring.source_id = k;
+    ring.segments.push_back({{x, y_lo, 0}, {x, y_hi, 0}});
+    ring.segments.push_back({{x, y_lo, 1}, {x, y_hi, 1}});
+    ring.segments.push_back({{x, y_lo, 0}, {x, y_lo, 1}});
+    ring.segments.push_back({{x, y_hi, 0}, {x, y_hi, 1}});
+    g.add_defect(ring);
+  }
+
+  // I/M components at the rail ends.
+  for (int line = 0; line < lines; ++line) {
+    const int defect = rail_defect[static_cast<std::size_t>(line)];
+    ComponentKind init_kind = ComponentKind::InitZ;
+    switch (circuit.init_basis(line)) {
+      case icm::InitBasis::Zero: init_kind = ComponentKind::InitZ; break;
+      case icm::InitBasis::Plus: init_kind = ComponentKind::InitX; break;
+      case icm::InitBasis::YState: init_kind = ComponentKind::InjectY; break;
+      case icm::InitBasis::AState: init_kind = ComponentKind::InjectA; break;
+    }
+    g.add_component({init_kind, {0, line, 0}, defect});
+    const ComponentKind meas_kind =
+        circuit.meas_basis(line) == icm::MeasBasis::Z ? ComponentKind::MeasZ
+                                                      : ComponentKind::MeasX;
+    g.add_component({meas_kind, {x_extent - 1, line, 0}, defect});
+  }
+
+  // Distillation boxes: stacked beside the core (canonical accounting is
+  // additive, so only non-overlap matters here). One column of A boxes and
+  // one of Y boxes, each box separated by a 1-unit gap.
+  int a_cursor = 0;
+  int y_cursor = 0;
+  const int box_y = lines + 2;
+  for (int line = 0; line < lines; ++line) {
+    const icm::InitBasis basis = circuit.init_basis(line);
+    if (basis == icm::InitBasis::AState) {
+      g.add_box({BoxKind::ABox, {a_cursor, box_y, 0}, line});
+      a_cursor += kABoxDims.x + 1;
+    } else if (basis == icm::InitBasis::YState) {
+      g.add_box({BoxKind::YBox, {y_cursor, box_y + kABoxDims.y + 1, 0}, line});
+      y_cursor += kYBoxDims.x + 1;
+    }
+  }
+
+  return g;
+}
+
+}  // namespace tqec::geom

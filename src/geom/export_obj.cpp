@@ -1,0 +1,113 @@
+#include "geom/export_obj.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace tqec::geom {
+
+namespace {
+
+struct Cuboid {
+  double x0, y0, z0, x1, y1, z1;
+};
+
+/// Emit one cuboid as 8 vertices + 6 quad faces. `base` is the 1-based OBJ
+/// vertex index of the first vertex; returns the next free index.
+int emit_cuboid(std::ostream& out, const Cuboid& c, int base) {
+  out << "v " << c.x0 << ' ' << c.y0 << ' ' << c.z0 << '\n'
+      << "v " << c.x1 << ' ' << c.y0 << ' ' << c.z0 << '\n'
+      << "v " << c.x1 << ' ' << c.y1 << ' ' << c.z0 << '\n'
+      << "v " << c.x0 << ' ' << c.y1 << ' ' << c.z0 << '\n'
+      << "v " << c.x0 << ' ' << c.y0 << ' ' << c.z1 << '\n'
+      << "v " << c.x1 << ' ' << c.y0 << ' ' << c.z1 << '\n'
+      << "v " << c.x1 << ' ' << c.y1 << ' ' << c.z1 << '\n'
+      << "v " << c.x0 << ' ' << c.y1 << ' ' << c.z1 << '\n';
+  const int v = base;
+  // Quad faces with outward orientation.
+  out << "f " << v << ' ' << v + 3 << ' ' << v + 2 << ' ' << v + 1 << '\n'
+      << "f " << v + 4 << ' ' << v + 5 << ' ' << v + 6 << ' ' << v + 7 << '\n'
+      << "f " << v << ' ' << v + 1 << ' ' << v + 5 << ' ' << v + 4 << '\n'
+      << "f " << v + 1 << ' ' << v + 2 << ' ' << v + 6 << ' ' << v + 5 << '\n'
+      << "f " << v + 2 << ' ' << v + 3 << ' ' << v + 7 << ' ' << v + 6 << '\n'
+      << "f " << v + 3 << ' ' << v << ' ' << v + 4 << ' ' << v + 7 << '\n';
+  return base + 8;
+}
+
+Cuboid segment_cuboid(const Segment& s, double thickness, double offset) {
+  const Box3 box = s.box();
+  const double pad = (1.0 - thickness) / 2.0;
+  return {box.lo.x + pad + offset, box.lo.y + pad + offset,
+          box.lo.z + pad + offset, box.hi.x + 1 - pad + offset,
+          box.hi.y + 1 - pad + offset, box.hi.z + 1 - pad + offset};
+}
+
+}  // namespace
+
+int export_obj(const GeomDescription& g, std::ostream& out,
+               const ObjExportOptions& options) {
+  TQEC_REQUIRE(options.defect_thickness > 0 && options.defect_thickness <= 1,
+               "defect thickness must be in (0, 1]");
+  out << "# TQEC geometric description";
+  if (!g.name().empty()) out << ": " << g.name();
+  out << "\n# primal = red defects, dual = blue defects (half-offset "
+         "sublattice)\n";
+
+  int cuboids = 0;
+  int vertex = 1;
+
+  out << "g primal_defects\nusemtl primal\n";
+  for (const Defect& d : g.defects()) {
+    if (d.type != DefectType::Primal) continue;
+    for (const Segment& s : d.segments) {
+      vertex = emit_cuboid(
+          out, segment_cuboid(s, options.defect_thickness, 0.0), vertex);
+      ++cuboids;
+    }
+  }
+
+  out << "g dual_defects\nusemtl dual\n";
+  for (const Defect& d : g.defects()) {
+    if (d.type != DefectType::Dual) continue;
+    for (const Segment& s : d.segments) {
+      vertex = emit_cuboid(
+          out,
+          segment_cuboid(s, options.defect_thickness, options.dual_offset),
+          vertex);
+      ++cuboids;
+    }
+  }
+
+  if (options.include_boxes && !g.boxes().empty()) {
+    out << "g distillation_boxes\nusemtl box\n";
+    for (const DistillBox& b : g.boxes()) {
+      const Box3 e = b.extent();
+      vertex = emit_cuboid(out,
+                           {static_cast<double>(e.lo.x),
+                            static_cast<double>(e.lo.y),
+                            static_cast<double>(e.lo.z),
+                            static_cast<double>(e.hi.x + 1),
+                            static_cast<double>(e.hi.y + 1),
+                            static_cast<double>(e.hi.z + 1)},
+                           vertex);
+      ++cuboids;
+    }
+  }
+  return cuboids;
+}
+
+std::string to_obj(const GeomDescription& g, const ObjExportOptions& options) {
+  std::ostringstream os;
+  export_obj(g, os, options);
+  return os.str();
+}
+
+void write_obj_file(const GeomDescription& g, const std::string& path,
+                    const ObjExportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw TqecError("cannot open " + path + " for writing");
+  export_obj(g, out, options);
+  if (!out) throw TqecError("write failed: " + path);
+}
+
+}  // namespace tqec::geom

@@ -1,0 +1,122 @@
+#include "geom/export_svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace tqec::geom {
+
+namespace {
+
+template <typename Fn>
+void for_each_cell(const Segment& s, Fn&& fn) {
+  Vec3 step{0, 0, 0};
+  const Vec3 d = s.b - s.a;
+  if (d.x != 0) step = {d.x > 0 ? 1 : -1, 0, 0};
+  else if (d.y != 0) step = {0, d.y > 0 ? 1 : -1, 0};
+  else if (d.z != 0) step = {0, 0, d.z > 0 ? 1 : -1};
+  Vec3 p = s.a;
+  for (;;) {
+    fn(p);
+    if (p == s.b) break;
+    p += step;
+  }
+}
+
+}  // namespace
+
+int export_svg(const GeomDescription& g, std::ostream& out,
+               const SvgExportOptions& opt) {
+  TQEC_REQUIRE(opt.cell_px > 0, "cell size must be positive");
+  const Box3 bb = g.bounding_box();
+  if (bb.empty()) {
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1\" "
+           "height=\"1\"/>\n";
+    return 0;
+  }
+
+  // Collect cells per y layer.
+  struct LayerCells {
+    std::vector<std::pair<Vec3, bool>> cells;  // (cell, is_primal)
+  };
+  std::map<int, LayerCells> layers;
+  for (const Defect& d : g.defects()) {
+    const bool primal = d.type == DefectType::Primal;
+    for (const Segment& s : d.segments)
+      for_each_cell(s, [&](Vec3 p) { layers[p.y].cells.push_back({p, primal}); });
+  }
+  if (opt.include_boxes) {
+    for (const DistillBox& b : g.boxes()) {
+      const Box3 e = b.extent();
+      for (int y = e.lo.y; y <= e.hi.y; ++y)
+        layers.try_emplace(y);  // ensure the panel exists
+    }
+  }
+
+  const int panels =
+      std::min(static_cast<int>(layers.size()), opt.max_layers);
+  const int panel_w = bb.dims().x * opt.cell_px;
+  const int panel_h = bb.dims().z * opt.cell_px;
+  const int total_w = panel_w + 2 * opt.cell_px;
+  const int total_h = panels * (panel_h + opt.panel_gap_px) + opt.cell_px;
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << total_w
+      << "\" height=\"" << total_h << "\">\n";
+  out << "<style>.primal{fill:#c0392b}.dual{fill:#2980b9}"
+         ".box{fill:none;stroke:#27ae60;stroke-width:2}"
+         ".label{font:10px monospace;fill:#333}</style>\n";
+
+  int panel_index = 0;
+  for (const auto& [y, layer] : layers) {
+    if (panel_index >= panels) break;
+    const int oy = panel_index * (panel_h + opt.panel_gap_px) + opt.cell_px;
+    out << "<text class=\"label\" x=\"2\" y=\"" << oy - 4 << "\">y=" << y
+        << "</text>\n";
+    auto px = [&](int x) { return (x - bb.lo.x) * opt.cell_px + opt.cell_px; };
+    auto pz = [&](int z) { return (z - bb.lo.z) * opt.cell_px + oy; };
+    for (const auto& [cell, primal] : layer.cells) {
+      if (primal) {
+        out << "<rect class=\"primal\" x=\"" << px(cell.x) << "\" y=\""
+            << pz(cell.z) << "\" width=\"" << opt.cell_px << "\" height=\""
+            << opt.cell_px << "\"/>\n";
+      } else {
+        // Dual cells drawn inset (half-offset sublattice).
+        const int inset = opt.cell_px / 3;
+        out << "<rect class=\"dual\" x=\"" << px(cell.x) + inset << "\" y=\""
+            << pz(cell.z) + inset << "\" width=\"" << opt.cell_px - inset
+            << "\" height=\"" << opt.cell_px - inset << "\"/>\n";
+      }
+    }
+    if (opt.include_boxes) {
+      for (const DistillBox& b : g.boxes()) {
+        const Box3 e = b.extent();
+        if (y < e.lo.y || y > e.hi.y) continue;
+        out << "<rect class=\"box\" x=\"" << px(e.lo.x) << "\" y=\""
+            << pz(e.lo.z) << "\" width=\""
+            << (e.dims().x) * opt.cell_px << "\" height=\""
+            << (e.dims().z) * opt.cell_px << "\"/>\n";
+      }
+    }
+    ++panel_index;
+  }
+  out << "</svg>\n";
+  return panel_index;
+}
+
+std::string to_svg(const GeomDescription& g, const SvgExportOptions& options) {
+  std::ostringstream os;
+  export_svg(g, os, options);
+  return os.str();
+}
+
+void write_svg_file(const GeomDescription& g, const std::string& path,
+                    const SvgExportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw TqecError("cannot open " + path + " for writing");
+  export_svg(g, out, options);
+  if (!out) throw TqecError("write failed: " + path);
+}
+
+}  // namespace tqec::geom

@@ -1,0 +1,34 @@
+// SVG export of geometric descriptions as per-layer (y-slice) maps.
+//
+// Each y plane of the bounding box becomes one panel: primal cells are
+// drawn red, dual cells blue (half-offset within the cell, so threading is
+// visible as an inset square), distillation boxes as outlined rectangles.
+// The output is a single self-contained SVG document — the 2D companion of
+// the OBJ mesh export, convenient for quick inspection in a browser.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/geometry.h"
+
+namespace tqec::geom {
+
+struct SvgExportOptions {
+  int cell_px = 12;        // pixels per lattice cell
+  int panel_gap_px = 24;   // gap between layer panels
+  int max_layers = 64;     // safety cap on emitted panels
+  bool include_boxes = true;
+};
+
+/// Write the SVG document; returns the number of layer panels emitted.
+int export_svg(const GeomDescription& g, std::ostream& out,
+               const SvgExportOptions& options = {});
+
+std::string to_svg(const GeomDescription& g,
+                   const SvgExportOptions& options = {});
+
+void write_svg_file(const GeomDescription& g, const std::string& path,
+                    const SvgExportOptions& options = {});
+
+}  // namespace tqec::geom

@@ -1,0 +1,143 @@
+#include "geom/geometry.h"
+
+#include <sstream>
+
+namespace tqec::geom {
+
+int GeomDescription::add_defect(Defect defect) {
+  for (const Segment& s : defect.segments)
+    TQEC_REQUIRE(s.axis_aligned(), "defect segment not axis-aligned");
+  defects_.push_back(std::move(defect));
+  return static_cast<int>(defects_.size()) - 1;
+}
+
+int GeomDescription::add_box(DistillBox box) {
+  boxes_.push_back(box);
+  return static_cast<int>(boxes_.size()) - 1;
+}
+
+void GeomDescription::add_component(ImComponent component) {
+  TQEC_REQUIRE(component.defect_index >= -1 &&
+                   component.defect_index < static_cast<int>(defects_.size()),
+               "component defect index out of range");
+  components_.push_back(component);
+}
+
+Box3 GeomDescription::bounding_box() const {
+  Box3 box;
+  for (const Defect& d : defects_) box = box.merged(d.bounding_box());
+  for (const DistillBox& b : boxes_) box = box.merged(b.extent());
+  return box;
+}
+
+std::int64_t GeomDescription::additive_volume() const {
+  Box3 core;
+  for (const Defect& d : defects_) core = core.merged(d.bounding_box());
+  std::int64_t total = core.volume();
+  for (const DistillBox& b : boxes_) total += box_volume(b.kind);
+  return total;
+}
+
+void GeomDescription::translate(Vec3 delta) {
+  for (Defect& d : defects_) {
+    for (Segment& s : d.segments) {
+      s.a += delta;
+      s.b += delta;
+    }
+  }
+  for (DistillBox& b : boxes_) b.origin += delta;
+  for (ImComponent& c : components_) c.position += delta;
+}
+
+void GeomDescription::absorb(GeomDescription other) {
+  const int defect_shift = static_cast<int>(defects_.size());
+  for (Defect& d : other.defects_) defects_.push_back(std::move(d));
+  for (const DistillBox& b : other.boxes_) boxes_.push_back(b);
+  for (ImComponent c : other.components_) {
+    if (c.defect_index >= 0) c.defect_index += defect_shift;
+    components_.push_back(c);
+  }
+}
+
+std::int64_t GeomDescription::defect_cell_count() const {
+  std::int64_t n = 0;
+  for (const Defect& d : defects_) n += d.cell_count();
+  return n;
+}
+
+namespace {
+const char* component_kind_name(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::InitZ: return "init_z";
+    case ComponentKind::InitX: return "init_x";
+    case ComponentKind::MeasZ: return "meas_z";
+    case ComponentKind::MeasX: return "meas_x";
+    case ComponentKind::InjectY: return "inject_y";
+    case ComponentKind::InjectA: return "inject_a";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string describe(const GeomDescription& g) {
+  std::ostringstream os;
+  const Box3 bb = g.bounding_box();
+  const Vec3 d = bb.dims();
+  os << "geometric description";
+  if (!g.name().empty()) os << " '" << g.name() << "'";
+  os << ": " << g.defects().size() << " defects, " << g.boxes().size()
+     << " boxes, volume " << d.x << "x" << d.y << "x" << d.z << " = "
+     << g.volume() << "\n";
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const Defect& def = g.defects()[i];
+    os << "  defect " << i << " (" << defect_type_name(def.type) << ", src "
+       << def.source_id << "): ";
+    for (const Segment& s : def.segments) os << s.a << "->" << s.b << ' ';
+    os << "\n";
+  }
+  for (const DistillBox& b : g.boxes()) {
+    os << "  box " << (b.kind == BoxKind::YBox ? 'Y' : 'A') << " at "
+       << b.origin << " line " << b.line << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const GeomDescription& g) {
+  std::ostringstream os;
+  auto vec = [&](Vec3 v) {
+    std::ostringstream o;
+    o << '[' << v.x << ',' << v.y << ',' << v.z << ']';
+    return o.str();
+  };
+  os << "{\"name\":\"" << g.name() << "\",\"defects\":[";
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const Defect& d = g.defects()[i];
+    if (i) os << ',';
+    os << "{\"type\":\"" << defect_type_name(d.type) << "\",\"source\":"
+       << d.source_id << ",\"segments\":[";
+    for (std::size_t j = 0; j < d.segments.size(); ++j) {
+      if (j) os << ',';
+      os << "{\"a\":" << vec(d.segments[j].a) << ",\"b\":"
+         << vec(d.segments[j].b) << '}';
+    }
+    os << "]}";
+  }
+  os << "],\"boxes\":[";
+  for (std::size_t i = 0; i < g.boxes().size(); ++i) {
+    const DistillBox& b = g.boxes()[i];
+    if (i) os << ',';
+    os << "{\"kind\":\"" << (b.kind == BoxKind::YBox ? "Y" : "A")
+       << "\",\"origin\":" << vec(b.origin) << ",\"line\":" << b.line << '}';
+  }
+  os << "],\"components\":[";
+  for (std::size_t i = 0; i < g.components().size(); ++i) {
+    const ImComponent& c = g.components()[i];
+    if (i) os << ',';
+    os << "{\"kind\":\"" << component_kind_name(c.kind) << "\",\"position\":"
+       << vec(c.position) << ",\"defect\":" << c.defect_index << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace tqec::geom

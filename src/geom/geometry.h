@@ -1,0 +1,167 @@
+// 3D geometric descriptions of TQEC circuits (paper Sec. 2.1).
+//
+// A geometric description is the 3D visual representation of a braided TQEC
+// computation: primal and dual defects (chains of axis-aligned cuboid
+// segments) moving through the code surface along the time axis, plus the
+// qubit initialization/measurement components and the |Y> / |A> state
+// distillation boxes.
+//
+// Coordinate convention ("plumbing-piece" units, calibrated to the paper's
+// published volumes — see DESIGN.md): one lattice cell is one unit; the
+// required one-unit separation between disjoint defects is part of the cell
+// pitch, so disjoint same-type defects must simply occupy distinct cells.
+// Primal and dual structures live on half-offset sublattices, so a primal
+// and a dual element may legally share a cell. The space-time volume of a
+// description is #x * #y * #z of its bounding box, and distillation boxes
+// either fall inside the bounding box (after placement) or are accounted
+// additively (canonical forms, matching the paper's Table 2 note).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/vec3.h"
+
+namespace tqec::geom {
+
+enum class DefectType : std::uint8_t { Primal, Dual };
+
+inline const char* defect_type_name(DefectType t) {
+  return t == DefectType::Primal ? "primal" : "dual";
+}
+
+/// One axis-aligned run of defect cells from a to b inclusive.
+/// a == b encodes a single-cell segment.
+struct Segment {
+  Vec3 a;
+  Vec3 b;
+
+  /// True when the endpoints differ in at most one coordinate.
+  bool axis_aligned() const {
+    const Vec3 d = b - a;
+    return (d.x == 0 && d.y == 0) || (d.x == 0 && d.z == 0) ||
+           (d.y == 0 && d.z == 0);
+  }
+
+  Box3 box() const { return Box3::spanning(a, b); }
+  int length() const { return manhattan(a, b) + 1; }  // cell count
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// A defect: one connected primal or dual structure.
+struct Defect {
+  DefectType type = DefectType::Primal;
+  std::vector<Segment> segments;
+  /// Back-reference into the PD graph (module id for primal structures,
+  /// net id for dual structures); -1 when not applicable.
+  int source_id = -1;
+
+  Box3 bounding_box() const {
+    Box3 box;
+    for (const Segment& s : segments) box = box.merged(s.box());
+    return box;
+  }
+
+  /// Total number of defect cells (double-counts shared corner cells of
+  /// adjacent segments only if segments overlap; builders avoid overlap).
+  std::int64_t cell_count() const {
+    std::int64_t n = 0;
+    for (const Segment& s : segments) n += s.length();
+    return n;
+  }
+};
+
+/// Kinds of distillation boxes (paper Sec. 2.1; sizes from Fowler-Devitt).
+enum class BoxKind : std::uint8_t { YBox, ABox };
+
+/// |Y> distillation box: 3 x 3 x 2 = 18 units.
+constexpr Vec3 kYBoxDims{3, 3, 2};
+/// |A> distillation box: 16 x 6 x 2 = 192 units.
+constexpr Vec3 kABoxDims{16, 6, 2};
+
+constexpr Vec3 box_dims(BoxKind kind) {
+  return kind == BoxKind::YBox ? kYBoxDims : kABoxDims;
+}
+constexpr std::int64_t box_volume(BoxKind kind) {
+  const Vec3 d = box_dims(kind);
+  return std::int64_t{d.x} * d.y * d.z;
+}
+
+struct DistillBox {
+  BoxKind kind = BoxKind::YBox;
+  Vec3 origin;  // minimum corner
+  /// ICM line fed by this box (-1 if unbound).
+  int line = -1;
+
+  Box3 extent() const { return Box3{origin, origin + box_dims(kind) - Vec3{1, 1, 1}}; }
+};
+
+/// Qubit I/M and injection components attached to defect ends (Fig. 2).
+enum class ComponentKind : std::uint8_t {
+  InitZ,     // Z-basis initialization of a primal defect pair
+  InitX,     // X-basis initialization
+  MeasZ,     // Z-basis measurement
+  MeasX,     // X-basis measurement
+  InjectY,   // |Y> state injection point
+  InjectA,   // |A> state injection point
+};
+
+struct ImComponent {
+  ComponentKind kind = ComponentKind::InitZ;
+  Vec3 position;
+  int defect_index = -1;  // defect this component terminates
+};
+
+class GeomDescription {
+ public:
+  GeomDescription() = default;
+  explicit GeomDescription(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<Defect>& defects() const { return defects_; }
+  const std::vector<DistillBox>& boxes() const { return boxes_; }
+  const std::vector<ImComponent>& components() const { return components_; }
+
+  /// Append a defect; returns its index.
+  int add_defect(Defect defect);
+  int add_box(DistillBox box);
+  void add_component(ImComponent component);
+
+  /// Bounding box over all defect cells and all box extents.
+  Box3 bounding_box() const;
+
+  /// Space-time volume of the bounding box (#x * #y * #z).
+  std::int64_t volume() const { return bounding_box().volume(); }
+
+  /// Canonical-form volume accounting (paper Table 2 note): core bounding
+  /// box volume plus the sum of distillation-box volumes, for descriptions
+  /// whose boxes are not placed inside the core region.
+  std::int64_t additive_volume() const;
+
+  /// Translate all geometry by `delta`.
+  void translate(Vec3 delta);
+
+  /// Merge another description into this one (defect/box indices shift).
+  void absorb(GeomDescription other);
+
+  std::int64_t defect_cell_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Defect> defects_;
+  std::vector<DistillBox> boxes_;
+  std::vector<ImComponent> components_;
+};
+
+/// Human-readable multi-line dump (examples, debugging).
+std::string describe(const GeomDescription& g);
+
+/// JSON export for external visualization tooling.
+std::string to_json(const GeomDescription& g);
+
+}  // namespace tqec::geom

@@ -1,0 +1,111 @@
+#include "geom/linking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace tqec::geom {
+
+namespace {
+
+Vec3d sub(Vec3d a, Vec3d b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+Vec3d cross(Vec3d a, Vec3d b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+double dot(Vec3d a, Vec3d b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+double norm(Vec3d a) { return std::sqrt(dot(a, a)); }
+
+/// Normalize; returns false when the vector is (numerically) zero.
+bool normalize(Vec3d& v) {
+  const double n = norm(v);
+  if (n < 1e-12) return false;
+  v = {v.x / n, v.y / n, v.z / n};
+  return true;
+}
+
+double safe_asin(double x) { return std::asin(std::clamp(x, -1.0, 1.0)); }
+
+/// Signed solid-angle contribution of segment pair (p1->p2, p3->p4) to the
+/// Gauss integral (Klenin & Langowski 2000, method 1a).
+double segment_pair_omega(Vec3d p1, Vec3d p2, Vec3d p3, Vec3d p4) {
+  const Vec3d r12 = sub(p2, p1);
+  const Vec3d r34 = sub(p4, p3);
+  const Vec3d r13 = sub(p3, p1);
+  const Vec3d r14 = sub(p4, p1);
+  const Vec3d r23 = sub(p3, p2);
+  const Vec3d r24 = sub(p4, p2);
+
+  Vec3d n1 = cross(r13, r14);
+  Vec3d n2 = cross(r14, r24);
+  Vec3d n3 = cross(r24, r23);
+  Vec3d n4 = cross(r23, r13);
+  if (!normalize(n1) || !normalize(n2) || !normalize(n3) || !normalize(n4))
+    return 0.0;  // degenerate (coplanar through an endpoint): no solid angle
+
+  const double omega_star = safe_asin(dot(n1, n2)) + safe_asin(dot(n2, n3)) +
+                            safe_asin(dot(n3, n4)) + safe_asin(dot(n4, n1));
+  const double orientation = dot(cross(r34, r12), r13);
+  if (orientation > 0) return omega_star;
+  if (orientation < 0) return -omega_star;
+  return 0.0;  // parallel segments contribute nothing
+}
+
+}  // namespace
+
+Loop loop_from_lattice(const std::vector<Vec3>& vertices) {
+  TQEC_REQUIRE(vertices.size() >= 3, "loop needs >= 3 vertices");
+  Loop loop;
+  loop.points.reserve(vertices.size());
+  for (const Vec3& v : vertices)
+    loop.points.push_back({static_cast<double>(v.x),
+                           static_cast<double>(v.y),
+                           static_cast<double>(v.z)});
+  return loop;
+}
+
+Loop rectangle_loop(Vec3 corner, Axis u, int u_len, Axis v, int v_len) {
+  TQEC_REQUIRE(u != v, "rectangle axes must differ");
+  TQEC_REQUIRE(u_len >= 1 && v_len >= 1, "rectangle extents must be >= 1");
+  const Vec3 du = u_len * unit(u);
+  const Vec3 dv = v_len * unit(v);
+  return loop_from_lattice({corner, corner + du, corner + du + dv,
+                            corner + dv});
+}
+
+Loop offset_loop(const Loop& loop, double dx, double dy, double dz) {
+  Loop out = loop;
+  for (Vec3d& p : out.points) {
+    p.x += dx;
+    p.y += dy;
+    p.z += dz;
+  }
+  return out;
+}
+
+int linking_number(const Loop& a, const Loop& b) {
+  TQEC_REQUIRE(a.points.size() >= 3 && b.points.size() >= 3,
+               "degenerate loop");
+  double total = 0.0;
+  const std::size_t na = a.points.size();
+  const std::size_t nb = b.points.size();
+  for (std::size_t i = 0; i < na; ++i) {
+    const Vec3d p1 = a.points[i];
+    const Vec3d p2 = a.points[(i + 1) % na];
+    for (std::size_t j = 0; j < nb; ++j) {
+      const Vec3d p3 = b.points[j];
+      const Vec3d p4 = b.points[(j + 1) % nb];
+      total += segment_pair_omega(p1, p2, p3, p4);
+    }
+  }
+  const double lk = total / (4.0 * std::numbers::pi);
+  const double rounded = std::round(lk);
+  TQEC_ASSERT(std::abs(lk - rounded) < 1e-6,
+              "linking number did not converge to an integer "
+              "(curves not in general position?)");
+  return static_cast<int>(rounded);
+}
+
+}  // namespace tqec::geom

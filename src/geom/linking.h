@@ -1,0 +1,50 @@
+// Gauss linking numbers between closed defect loops.
+//
+// The functionality of a braided TQEC circuit is fixed by the braiding
+// relationships between primal and dual defect loops — which dual loops
+// thread which primal loops, and how many times. Topological deformation
+// and bridge compression must preserve these linking numbers (paper
+// Sec. 2.4: "the relationship between loops remains unchanged"). This
+// module computes the linking number of two closed polygonal curves with
+// the Gauss double sum over segment pairs (Klenin & Langowski 2000, method
+// 1a), which the test suite uses to verify that compression stages preserve
+// braiding.
+//
+// Dual curves live on the half-offset sublattice; offset_loop() shifts a
+// lattice loop by (+0.5,+0.5,+0.5) before the computation so curves are in
+// general position.
+#pragma once
+
+#include <vector>
+
+#include "common/vec3.h"
+
+namespace tqec::geom {
+
+struct Vec3d {
+  double x = 0;
+  double y = 0;
+  double z = 0;
+};
+
+/// Closed polygonal curve: consecutive points are edges, and the last point
+/// connects back to the first. Points must be distinct (no repeated vertex).
+struct Loop {
+  std::vector<Vec3d> points;
+};
+
+/// Build a loop from integer lattice vertices.
+Loop loop_from_lattice(const std::vector<Vec3>& vertices);
+
+/// Axis-aligned rectangular loop: corner, then extents along two distinct
+/// axes (in cells; extent >= 1).
+Loop rectangle_loop(Vec3 corner, Axis u, int u_len, Axis v, int v_len);
+
+/// Shift every vertex by (dx, dy, dz) — use (0.5, 0.5, 0.5) for dual loops.
+Loop offset_loop(const Loop& loop, double dx, double dy, double dz);
+
+/// Gauss linking number of two disjoint closed curves (exact integer for
+/// curves in general position; the double sum is rounded).
+int linking_number(const Loop& a, const Loop& b);
+
+}  // namespace tqec::geom

@@ -1,0 +1,103 @@
+#include "geom/steiner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tqec::geom {
+
+std::int64_t hpwl(const std::vector<Vec3>& pins) {
+  if (pins.size() < 2) return 0;
+  Box3 box;
+  for (const Vec3& p : pins) box = box.expanded(p);
+  const Vec3 d = box.dims();
+  return std::int64_t{d.x - 1} + (d.y - 1) + (d.z - 1);
+}
+
+std::int64_t rectilinear_mst_length(const std::vector<Vec3>& pins) {
+  const std::size_t n = pins.size();
+  if (n < 2) return 0;
+  // Prim with O(n^2) distance scans; fine for routing-net pin counts.
+  std::vector<bool> in_tree(n, false);
+  std::vector<std::int64_t> best(n, std::numeric_limits<std::int64_t>::max());
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v) best[v] = manhattan(pins[0], pins[v]);
+  std::int64_t total = 0;
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    std::int64_t pick_cost = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < pick_cost) {
+        pick = v;
+        pick_cost = best[v];
+      }
+    }
+    in_tree[pick] = true;
+    total += pick_cost;
+    for (std::size_t v = 0; v < n; ++v)
+      if (!in_tree[v])
+        best[v] = std::min(best[v],
+                           static_cast<std::int64_t>(manhattan(pins[pick],
+                                                               pins[v])));
+  }
+  return total;
+}
+
+SteinerTree rectilinear_steiner_tree(const std::vector<Vec3>& pins,
+                                     int max_points) {
+  TQEC_REQUIRE(max_points >= 0, "negative Steiner point budget");
+  SteinerTree tree;
+  tree.length = rectilinear_mst_length(pins);
+  if (pins.size() < 3 || max_points == 0) return tree;
+
+  // Hanan grid coordinates.
+  std::vector<int> xs, ys, zs;
+  for (const Vec3& p : pins) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+    zs.push_back(p.z);
+  }
+  auto dedup = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(xs);
+  dedup(ys);
+  dedup(zs);
+
+  std::vector<Vec3> terminals = pins;
+  for (int round = 0; round < max_points; ++round) {
+    const std::int64_t base = rectilinear_mst_length(terminals);
+    std::int64_t best_len = base;
+    Vec3 best_point;
+    bool found = false;
+    for (int x : xs) {
+      for (int y : ys) {
+        for (int z : zs) {
+          const Vec3 candidate{x, y, z};
+          if (std::find(terminals.begin(), terminals.end(), candidate) !=
+              terminals.end())
+            continue;
+          terminals.push_back(candidate);
+          const std::int64_t len = rectilinear_mst_length(terminals);
+          terminals.pop_back();
+          if (len < best_len) {
+            best_len = len;
+            best_point = candidate;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) break;
+    terminals.push_back(best_point);
+    tree.steiner_points.push_back(best_point);
+    tree.length = best_len;
+  }
+  // Drop Steiner points that ended up degree<=2 refinements with no gain is
+  // unnecessary: the loop only ever added strictly improving points.
+  return tree;
+}
+
+}  // namespace tqec::geom

@@ -1,0 +1,38 @@
+// Rectilinear spanning/Steiner tree estimation on the lattice.
+//
+// The SA placer scores candidate placements by net wirelength. HPWL
+// (bounding-box half-perimeter) is the classic cheap estimate but
+// undershoots for multi-pin nets; the rectilinear MST is exact for what a
+// sequential two-pin router achieves without sharing, and the iterated
+// 1-Steiner heuristic (Kahng-Robins) over the 3D Hanan grid approximates
+// the rectilinear Steiner minimal tree that a sharing router can reach.
+// bench/estimators compares all three against the actually routed wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.h"
+
+namespace tqec::geom {
+
+/// Half-perimeter wirelength of the pin bounding box.
+std::int64_t hpwl(const std::vector<Vec3>& pins);
+
+/// Rectilinear (L1) minimum spanning tree length over the pins.
+/// O(k^2) Prim; exact.
+std::int64_t rectilinear_mst_length(const std::vector<Vec3>& pins);
+
+struct SteinerTree {
+  std::vector<Vec3> steiner_points;  // added branch points
+  std::int64_t length = 0;           // MST length over pins + points
+};
+
+/// Iterated 1-Steiner heuristic over the 3D Hanan grid: repeatedly add the
+/// candidate point reducing the MST length most, until no candidate helps
+/// or `max_points` were added. Deterministic. Intended for small pin sets
+/// (the Hanan grid has |X|*|Y|*|Z| candidates).
+SteinerTree rectilinear_steiner_tree(const std::vector<Vec3>& pins,
+                                     int max_points = 8);
+
+}  // namespace tqec::geom

@@ -1,0 +1,165 @@
+#include "geom/validate.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/union_find.h"
+
+namespace tqec::geom {
+
+namespace {
+
+/// Enumerate the cells of a segment.
+template <typename Fn>
+void for_each_cell(const Segment& s, Fn&& fn) {
+  Vec3 step{0, 0, 0};
+  const Vec3 d = s.b - s.a;
+  if (d.x != 0) step = {d.x > 0 ? 1 : -1, 0, 0};
+  else if (d.y != 0) step = {0, d.y > 0 ? 1 : -1, 0};
+  else if (d.z != 0) step = {0, 0, d.z > 0 ? 1 : -1};
+  Vec3 p = s.a;
+  for (;;) {
+    fn(p);
+    if (p == s.b) break;
+    p += step;
+  }
+}
+
+bool boxes_touch_or_overlap(const Box3& a, const Box3& b) {
+  return a.inflated(1).intersects(b);
+}
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  if (ok()) return "valid";
+  std::ostringstream os;
+  os << issues.size() << " issue(s):";
+  for (const auto& issue : issues)
+    os << "\n  [" << issue.rule << "] " << issue.detail;
+  return os.str();
+}
+
+ValidationReport validate(const GeomDescription& g) {
+  ValidationReport report;
+  auto fail = [&](const char* rule, const std::string& detail) {
+    report.issues.push_back({rule, detail});
+  };
+
+  // V1 + V2: per-defect checks.
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const Defect& d = g.defects()[i];
+    if (d.segments.empty()) {
+      fail("V2", "defect " + std::to_string(i) + " has no segments");
+      continue;
+    }
+    bool aligned = true;
+    for (const Segment& s : d.segments) {
+      if (!s.axis_aligned()) {
+        aligned = false;
+        std::ostringstream os;
+        os << "defect " << i << " segment " << s.a << "->" << s.b
+           << " not axis-aligned";
+        fail("V1", os.str());
+      }
+    }
+    if (!aligned) continue;
+    // Connectivity: segments whose boxes touch (Chebyshev gap 0) or overlap
+    // belong to the same connected structure.
+    UnionFind uf(d.segments.size());
+    for (std::size_t a = 0; a < d.segments.size(); ++a)
+      for (std::size_t b = a + 1; b < d.segments.size(); ++b)
+        if (boxes_touch_or_overlap(d.segments[a].box(), d.segments[b].box()))
+          uf.unite(a, b);
+    if (uf.component_count() != 1)
+      fail("V2", "defect " + std::to_string(i) + " is disconnected (" +
+                     std::to_string(uf.component_count()) + " pieces)");
+  }
+
+  // V3: same-type cell-sharing across distinct defects. Exception: two
+  // dual defects may share a cell that also hosts a primal defect — that
+  // cell is a primal module loop, which is spatially extended and offers
+  // one crossing slot per threading net (see route/router.h).
+  std::unordered_map<Vec3, int> primal_cells;
+  std::unordered_map<Vec3, int> dual_cells;
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const Defect& d = g.defects()[i];
+    if (d.type != DefectType::Primal) continue;
+    for (const Segment& s : d.segments) {
+      for_each_cell(s, [&](Vec3 p) {
+        const auto [it, inserted] = primal_cells.emplace(p, static_cast<int>(i));
+        if (!inserted && it->second != static_cast<int>(i)) {
+          std::ostringstream os;
+          os << "primal defects " << it->second << " and " << i
+             << " share cell " << p;
+          fail("V3", os.str());
+          it->second = static_cast<int>(i);  // report each pair once
+        }
+      });
+    }
+  }
+  // A dual-dual shared cell is legal on a primal module loop itself or in
+  // its port region (the face-adjacent cells): the loop is spatially
+  // extended and guides each threading net through its own sub-cell slot.
+  auto in_port_region = [&](Vec3 p) {
+    if (primal_cells.find(p) != primal_cells.end()) return true;
+    for (const Vec3 step : {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
+                            Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+      if (primal_cells.find(p + step) != primal_cells.end()) return true;
+    return false;
+  };
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const Defect& d = g.defects()[i];
+    if (d.type != DefectType::Dual) continue;
+    for (const Segment& s : d.segments) {
+      for_each_cell(s, [&](Vec3 p) {
+        const auto [it, inserted] = dual_cells.emplace(p, static_cast<int>(i));
+        if (!inserted && it->second != static_cast<int>(i) &&
+            !in_port_region(p)) {
+          std::ostringstream os;
+          os << "dual defects " << it->second << " and " << i
+             << " share cell " << p;
+          fail("V3", os.str());
+        }
+        it->second = static_cast<int>(i);
+      });
+    }
+  }
+
+  // V4: box overlap.
+  for (std::size_t a = 0; a < g.boxes().size(); ++a) {
+    for (std::size_t b = a + 1; b < g.boxes().size(); ++b) {
+      if (g.boxes()[a].extent().intersects(g.boxes()[b].extent())) {
+        std::ostringstream os;
+        os << "boxes " << a << " and " << b << " overlap";
+        fail("V4", os.str());
+      }
+    }
+  }
+
+  // V5: defect cells inside box interiors (the cell adjacent to the box
+  // face where the injected state exits is outside the extent, so plain
+  // containment is the right test).
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    for (const Segment& s : g.defects()[i].segments) {
+      for (std::size_t b = 0; b < g.boxes().size(); ++b) {
+        if (g.boxes()[b].extent().intersects(s.box())) {
+          std::ostringstream os;
+          os << "defect " << i << " enters box " << b;
+          fail("V5", os.str());
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+void validate_or_throw(const GeomDescription& g) {
+  const ValidationReport report = validate(g);
+  if (!report.ok())
+    throw TqecError("invalid geometric description: " + report.summary());
+}
+
+}  // namespace tqec::geom

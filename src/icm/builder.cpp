@@ -1,0 +1,93 @@
+#include "icm/builder.h"
+
+#include <array>
+
+namespace tqec::icm {
+
+using qcir::Gate;
+using qcir::GateKind;
+
+IcmCircuit from_clifford_t(const qcir::Circuit& circuit) {
+  TQEC_REQUIRE(circuit.is_clifford_t(),
+               "from_clifford_t: circuit not in Clifford+T basis");
+
+  IcmCircuit icm(circuit.name());
+
+  // Current ICM line carrying each logical qubit.
+  std::vector<int> current(static_cast<std::size_t>(circuit.num_qubits()));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    InitBasis basis = InitBasis::Zero;
+    if (!circuit.constant_inputs().empty()) {
+      // Primary inputs are |0>-initialized here as well: RevLib functions
+      // are classical, and the canonical-form volume model only depends on
+      // line counts, not on which computational-basis state is prepared.
+      basis = InitBasis::Zero;
+    }
+    current[static_cast<std::size_t>(q)] = icm.add_line(basis);
+  }
+
+  // Second-order measurement lines of the most recent T gate per logical
+  // qubit (for inter-T constraints); empty when no T has acted yet.
+  std::vector<std::array<int, 2>> last_t(
+      static_cast<std::size_t>(circuit.num_qubits()), {-1, -1});
+
+  for (const Gate& g : circuit.gates()) {
+    switch (g.kind) {
+      case GateKind::X:
+      case GateKind::Z:
+        break;  // Pauli frame update; no ICM structure
+      case GateKind::Cnot:
+        icm.add_cnot(current[static_cast<std::size_t>(g.controls[0])],
+                     current[static_cast<std::size_t>(g.targets[0])]);
+        break;
+      case GateKind::H: {
+        const auto q = static_cast<std::size_t>(g.targets[0]);
+        const int h = icm.add_line(InitBasis::Plus);
+        icm.add_cnot(current[q], h);
+        icm.set_meas_basis(current[q], MeasBasis::X);
+        current[q] = h;
+        break;
+      }
+      case GateKind::S:
+      case GateKind::Sdg: {
+        const auto q = static_cast<std::size_t>(g.targets[0]);
+        const int y = icm.add_line(InitBasis::YState);
+        icm.add_cnot(current[q], y);
+        icm.set_meas_basis(current[q], MeasBasis::X);
+        current[q] = y;
+        break;
+      }
+      case GateKind::T:
+      case GateKind::Tdg: {
+        const auto q = static_cast<std::size_t>(g.targets[0]);
+        const int old = current[q];
+        const int a = icm.add_line(InitBasis::AState, MeasBasis::X);
+        const int y1 = icm.add_line(InitBasis::YState, MeasBasis::X);
+        const int y2 = icm.add_line(InitBasis::YState);
+        icm.add_cnot(old, a);
+        icm.add_cnot(a, y1);
+        icm.add_cnot(y1, y2);
+        icm.set_meas_basis(old, MeasBasis::Z);
+        // Intra-T: first-order Z measurement before the second-order ones.
+        icm.add_meas_order(old, a);
+        icm.add_meas_order(old, y1);
+        // Inter-T: second-order sets of successive T gates stay ordered.
+        if (last_t[q][0] >= 0) {
+          for (int prev : last_t[q])
+            for (int cur : {a, y1}) icm.add_meas_order(prev, cur);
+        }
+        last_t[q] = {a, y1};
+        current[q] = y2;
+        break;
+      }
+      default:
+        throw TqecError("from_clifford_t: unsupported gate " + g.to_string());
+    }
+  }
+
+  for (int q = 0; q < circuit.num_qubits(); ++q)
+    icm.mark_output(current[static_cast<std::size_t>(q)]);
+  return icm;
+}
+
+}  // namespace tqec::icm

@@ -1,0 +1,30 @@
+// Clifford+T -> ICM transformation (paper Sec. 3.1, following Paler'15).
+//
+// Teleportation templates used per gate, where q is the line currently
+// carrying the logical qubit:
+//   T / Tdg : allocate a (|A>), y1 (|Y>), y2 (|Y>); CNOT(q,a), CNOT(a,y1),
+//             CNOT(y1,y2); measure q in Z (first-order), a and y1 in X
+//             (second-order); the logical qubit continues on y2.
+//             Intra-T constraints: q before a, q before y1. Inter-T: both
+//             second-order lines of the previous T on the same logical qubit
+//             precede both second-order lines of this one.
+//   S / Sdg : allocate y (|Y>); CNOT(q,y); measure q in X; continue on y.
+//   H       : allocate h (|+>); CNOT(q,h); measure q in X; continue on h.
+//   X / Z   : Pauli frame update; tracked classically and elided (standard
+//             in ICM compilation — Paulis never consume space-time volume).
+//   CNOT    : kept as-is on the current lines.
+//
+// The |Y> cost of a T gate is two lines, matching the paper's Table 1 where
+// #|Y> = 2 * #|A> on every benchmark (deterministic worst-case correction).
+#pragma once
+
+#include "icm/icm.h"
+#include "qcir/circuit.h"
+
+namespace tqec::icm {
+
+/// Transform a Clifford+T circuit to ICM form. Throws if the circuit
+/// contains non-Clifford+T kinds (decompose it first).
+IcmCircuit from_clifford_t(const qcir::Circuit& circuit);
+
+}  // namespace tqec::icm

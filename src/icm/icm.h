@@ -1,0 +1,133 @@
+// ICM representation of a fault-tolerant circuit.
+//
+// Any Clifford+T circuit can be rewritten as qubit Initializations, CNOTs
+// and Measurements (ICM form, Paler et al. 2015/2017): non-Clifford gates
+// are performed by teleportation from |A> / |Y> ancilla states, and the only
+// entangling operation is the CNOT. Each *line* of the ICM circuit is
+// initialized once (|0>, |+>, |Y> or |A>), participates in CNOTs, and is
+// measured once (Z or X basis) unless it carries a circuit output.
+//
+// Time-ordered measurement constraints (paper Sec. 2.2): the measurements
+// implementing a T gate are not invariant under topological deformation.
+// The first-order (Z-basis) measurement must precede that T gate's
+// second-order selective-teleportation measurements (intra-T), and the
+// second-order measurements of successive T gates on the same logical qubit
+// must stay ordered (inter-T). We record these as a precedence relation
+// between lines: measure(before) must happen at an earlier time coordinate
+// than measure(after).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tqec::icm {
+
+enum class InitBasis : std::uint8_t {
+  Zero,    // |0>, Z-basis initialization
+  Plus,    // |+>, X-basis initialization
+  YState,  // |Y> ancilla (from a Y distillation box)
+  AState,  // |A> ancilla (from an A distillation box)
+};
+
+enum class MeasBasis : std::uint8_t { Z, X };
+
+/// True for the ancilla initializations fed by distillation boxes.
+inline bool is_injection(InitBasis basis) {
+  return basis == InitBasis::YState || basis == InitBasis::AState;
+}
+
+struct IcmCnot {
+  int control = 0;
+  int target = 0;
+  friend bool operator==(const IcmCnot&, const IcmCnot&) = default;
+};
+
+/// measure(before_line) must precede measure(after_line) in time.
+struct MeasOrder {
+  int before_line = 0;
+  int after_line = 0;
+  friend bool operator==(const MeasOrder&, const MeasOrder&) = default;
+};
+
+/// Aggregate statistics matching the paper's Table 1 columns.
+struct IcmStats {
+  int qubits = 0;   // #lines after decomposition
+  int cnots = 0;    // #CNOT
+  int y_states = 0; // #|Y>
+  int a_states = 0; // #|A>
+};
+
+class IcmCircuit {
+ public:
+  IcmCircuit() = default;
+  explicit IcmCircuit(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_lines() const { return static_cast<int>(init_.size()); }
+
+  /// Create a new line; returns its index.
+  int add_line(InitBasis init, MeasBasis meas = MeasBasis::Z) {
+    init_.push_back(init);
+    meas_.push_back(meas);
+    is_output_.push_back(false);
+    return num_lines() - 1;
+  }
+
+  InitBasis init_basis(int line) const { return init_.at(checked(line)); }
+  MeasBasis meas_basis(int line) const { return meas_.at(checked(line)); }
+  void set_meas_basis(int line, MeasBasis basis) {
+    meas_.at(checked(line)) = basis;
+  }
+
+  /// Output lines carry the computation result; their measurement is
+  /// deferred to the consumer and imposes no ordering constraints here.
+  bool is_output(int line) const { return is_output_.at(checked(line)); }
+  void mark_output(int line) { is_output_.at(checked(line)) = true; }
+
+  const std::vector<IcmCnot>& cnots() const { return cnots_; }
+  void add_cnot(int control, int target) {
+    checked(control);
+    checked(target);
+    TQEC_REQUIRE(control != target, "CNOT control == target");
+    cnots_.push_back({control, target});
+  }
+
+  const std::vector<MeasOrder>& meas_order() const { return meas_order_; }
+  void add_meas_order(int before_line, int after_line) {
+    checked(before_line);
+    checked(after_line);
+    TQEC_REQUIRE(before_line != after_line, "self measurement order");
+    meas_order_.push_back({before_line, after_line});
+  }
+
+  IcmStats stats() const {
+    IcmStats s;
+    s.qubits = num_lines();
+    s.cnots = static_cast<int>(cnots_.size());
+    for (InitBasis b : init_) {
+      if (b == InitBasis::YState) ++s.y_states;
+      if (b == InitBasis::AState) ++s.a_states;
+    }
+    return s;
+  }
+
+ private:
+  std::size_t checked(int line) const {
+    TQEC_REQUIRE(line >= 0 && line < num_lines(), "line out of range");
+    return static_cast<std::size_t>(line);
+  }
+
+  std::string name_;
+  std::vector<InitBasis> init_;
+  std::vector<MeasBasis> meas_;
+  std::vector<bool> is_output_;
+  std::vector<IcmCnot> cnots_;
+  std::vector<MeasOrder> meas_order_;
+};
+
+}  // namespace tqec::icm

@@ -1,0 +1,56 @@
+#include "icm/ordering.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tqec::icm {
+
+OrderAnalysis analyze_order(const IcmCircuit& circuit) {
+  const auto n = static_cast<std::size_t>(circuit.num_lines());
+  OrderAnalysis out;
+  out.level.assign(n, 0);
+  out.constrained.assign(n, false);
+
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 0);
+  for (const MeasOrder& c : circuit.meas_order()) {
+    succ[static_cast<std::size_t>(c.before_line)].push_back(c.after_line);
+    ++indegree[static_cast<std::size_t>(c.after_line)];
+    out.constrained[static_cast<std::size_t>(c.before_line)] = true;
+    out.constrained[static_cast<std::size_t>(c.after_line)] = true;
+  }
+
+  std::queue<int> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push(static_cast<int>(v));
+
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop();
+    ++processed;
+    for (int w : succ[static_cast<std::size_t>(v)]) {
+      auto& lvl = out.level[static_cast<std::size_t>(w)];
+      lvl = std::max(lvl, out.level[static_cast<std::size_t>(v)] + 1);
+      if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push(w);
+    }
+  }
+  TQEC_REQUIRE(processed == n,
+               "measurement-order constraints contain a cycle");
+  out.max_level = n == 0 ? 0 : *std::max_element(out.level.begin(),
+                                                 out.level.end());
+  return out;
+}
+
+bool order_respected(const IcmCircuit& circuit, const std::vector<int>& time) {
+  TQEC_REQUIRE(time.size() == static_cast<std::size_t>(circuit.num_lines()),
+               "time vector size mismatch");
+  return std::all_of(
+      circuit.meas_order().begin(), circuit.meas_order().end(),
+      [&](const MeasOrder& c) {
+        return time[static_cast<std::size_t>(c.before_line)] <
+               time[static_cast<std::size_t>(c.after_line)];
+      });
+}
+
+}  // namespace tqec::icm

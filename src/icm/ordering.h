@@ -1,0 +1,33 @@
+// Measurement-order constraint DAG utilities.
+//
+// The intra-/inter-T-gate constraints of an ICM circuit form a precedence
+// relation over lines. Placement consumes this as (a) a validity check (the
+// relation must be acyclic, otherwise no schedule exists) and (b) per-line
+// topological levels used to group order-constrained modules into
+// time-dependent super-modules.
+#pragma once
+
+#include <vector>
+
+#include "icm/icm.h"
+
+namespace tqec::icm {
+
+struct OrderAnalysis {
+  /// Topological level per line: 0 for unconstrained lines and sources;
+  /// level(b) > level(a) for every constraint a -> b.
+  std::vector<int> level;
+  /// Max level over all lines (0 when no constraints).
+  int max_level = 0;
+  /// Lines that appear in at least one constraint.
+  std::vector<bool> constrained;
+};
+
+/// Analyze the measurement-order DAG. Throws TqecError if cyclic.
+OrderAnalysis analyze_order(const IcmCircuit& circuit);
+
+/// True if `time[line]` respects every measurement-order constraint with
+/// strict inequality.
+bool order_respected(const IcmCircuit& circuit, const std::vector<int>& time);
+
+}  // namespace tqec::icm

@@ -1,0 +1,125 @@
+#include "icm/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tqec::icm {
+
+namespace {
+
+const char* init_name(InitBasis b) {
+  switch (b) {
+    case InitBasis::Zero: return "zero";
+    case InitBasis::Plus: return "plus";
+    case InitBasis::YState: return "y";
+    case InitBasis::AState: return "a";
+  }
+  return "?";
+}
+
+InitBasis parse_init(const std::string& s, const std::string& ctx) {
+  if (s == "zero") return InitBasis::Zero;
+  if (s == "plus") return InitBasis::Plus;
+  if (s == "y") return InitBasis::YState;
+  if (s == "a") return InitBasis::AState;
+  throw TqecError(ctx + ": unknown init basis '" + s + "'");
+}
+
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& message) {
+  throw TqecError(source + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+void write_icm(const IcmCircuit& circuit, std::ostream& out) {
+  out << "icm 1 " << circuit.name() << "\n";
+  out << "lines " << circuit.num_lines() << "\n";
+  for (int l = 0; l < circuit.num_lines(); ++l) {
+    out << "line " << l << ' ' << init_name(circuit.init_basis(l)) << ' '
+        << (circuit.meas_basis(l) == MeasBasis::Z ? 'z' : 'x');
+    if (circuit.is_output(l)) out << " output";
+    out << "\n";
+  }
+  for (const IcmCnot& c : circuit.cnots())
+    out << "cnot " << c.control << ' ' << c.target << "\n";
+  for (const MeasOrder& o : circuit.meas_order())
+    out << "order " << o.before_line << ' ' << o.after_line << "\n";
+}
+
+std::string to_icm_text(const IcmCircuit& circuit) {
+  std::ostringstream os;
+  write_icm(circuit, os);
+  return os.str();
+}
+
+void write_icm_file(const IcmCircuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw TqecError("cannot open " + path + " for writing");
+  write_icm(circuit, out);
+}
+
+IcmCircuit read_icm(std::istream& in, const std::string& source) {
+  IcmCircuit circuit;
+  std::string raw;
+  int line_no = 0;
+  int declared_lines = -1;
+  bool header_seen = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view trimmed = trim(raw);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto tokens = split_ws(trimmed);
+    const std::string& keyword = tokens[0];
+    if (keyword == "icm") {
+      if (tokens.size() < 2 || tokens[1] != "1")
+        fail(source, line_no, "unsupported icm version");
+      circuit.set_name(tokens.size() > 2 ? tokens[2] : "");
+      header_seen = true;
+    } else if (keyword == "lines") {
+      if (tokens.size() != 2) fail(source, line_no, "lines expects a count");
+      declared_lines = std::stoi(tokens[1]);
+    } else if (keyword == "line") {
+      if (tokens.size() < 4) fail(source, line_no, "line needs id init meas");
+      const int id = std::stoi(tokens[1]);
+      if (id != circuit.num_lines())
+        fail(source, line_no, "line ids must be dense and in order");
+      const InitBasis init = parse_init(tokens[2], source);
+      const MeasBasis meas =
+          tokens[3] == "z" ? MeasBasis::Z
+          : tokens[3] == "x"
+              ? MeasBasis::X
+              : throw TqecError(source + ": bad meas basis " + tokens[3]);
+      circuit.add_line(init, meas);
+      if (tokens.size() > 4 && tokens[4] == "output")
+        circuit.mark_output(id);
+    } else if (keyword == "cnot") {
+      if (tokens.size() != 3) fail(source, line_no, "cnot needs two lines");
+      circuit.add_cnot(std::stoi(tokens[1]), std::stoi(tokens[2]));
+    } else if (keyword == "order") {
+      if (tokens.size() != 3) fail(source, line_no, "order needs two lines");
+      circuit.add_meas_order(std::stoi(tokens[1]), std::stoi(tokens[2]));
+    } else {
+      fail(source, line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!header_seen) throw TqecError(source + ": missing icm header");
+  if (declared_lines >= 0 && declared_lines != circuit.num_lines())
+    throw TqecError(source + ": declared line count mismatch");
+  return circuit;
+}
+
+IcmCircuit parse_icm_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_icm(in, "<string>");
+}
+
+IcmCircuit read_icm_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TqecError("cannot open " + path);
+  return read_icm(in, path);
+}
+
+}  // namespace tqec::icm

@@ -1,0 +1,30 @@
+// Text serialization of ICM circuits (".icm" format).
+//
+// A simple line-oriented format so ICM workloads can be cached, diffed and
+// exchanged between tools:
+//
+//   icm 1 <name>
+//   lines <n>
+//   line <id> <init> <meas> [output]     init: zero|plus|y|a, meas: z|x
+//   cnot <control> <target>              in time order
+//   order <before-line> <after-line>     measurement-order constraint
+//
+// Comments start with '#'. read/write round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "icm/icm.h"
+
+namespace tqec::icm {
+
+void write_icm(const IcmCircuit& circuit, std::ostream& out);
+std::string to_icm_text(const IcmCircuit& circuit);
+void write_icm_file(const IcmCircuit& circuit, const std::string& path);
+
+IcmCircuit read_icm(std::istream& in, const std::string& source = "<icm>");
+IcmCircuit parse_icm_text(const std::string& text);
+IcmCircuit read_icm_file(const std::string& path);
+
+}  // namespace tqec::icm

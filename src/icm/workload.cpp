@@ -1,0 +1,92 @@
+#include "icm/workload.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace tqec::icm {
+
+IcmCircuit make_workload(const WorkloadSpec& spec) {
+  TQEC_REQUIRE(spec.y_states == 2 * spec.a_states,
+               "workload requires #|Y> = 2 * #|A> (paper Table 1 shape)");
+  const int ancilla_lines = 3 * spec.a_states;
+  const int data_lines = spec.qubits - ancilla_lines;
+  TQEC_REQUIRE(data_lines >= 2, "too few data lines for the spec");
+  const int plain_cnots = spec.cnots - 3 * spec.a_states;
+  TQEC_REQUIRE(plain_cnots >= 0, "too few CNOTs for the T-cluster count");
+
+  Rng rng(spec.seed);
+  IcmCircuit icm(spec.name);
+
+  std::vector<int> current(static_cast<std::size_t>(data_lines));
+  for (int q = 0; q < data_lines; ++q)
+    current[static_cast<std::size_t>(q)] =
+        icm.add_line(rng.chance(0.5) ? InitBasis::Zero : InitBasis::Plus);
+
+  std::vector<std::array<int, 2>> last_t(
+      static_cast<std::size_t>(data_lines), {-1, -1});
+
+  // Build a shuffled event schedule: a_states T-clusters + plain CNOTs.
+  enum class Event : std::uint8_t { TCluster, PlainCnot };
+  std::vector<Event> schedule;
+  schedule.reserve(static_cast<std::size_t>(spec.a_states + plain_cnots));
+  schedule.insert(schedule.end(), static_cast<std::size_t>(spec.a_states),
+                  Event::TCluster);
+  schedule.insert(schedule.end(), static_cast<std::size_t>(plain_cnots),
+                  Event::PlainCnot);
+  for (std::size_t i = schedule.size(); i > 1; --i)
+    std::swap(schedule[i - 1], schedule[rng.below(i)]);
+
+  auto pick_data_line = [&]() { return rng.range(0, data_lines - 1); };
+  auto pick_partner = [&](int q) {
+    const int window = std::min(data_lines - 1, spec.locality_window);
+    for (;;) {
+      const int lo = std::max(0, q - window);
+      const int hi = std::min(data_lines - 1, q + window);
+      const int p = rng.range(lo, hi);
+      if (p != q) return p;
+    }
+  };
+
+  for (const Event event : schedule) {
+    if (event == Event::TCluster) {
+      const auto q = static_cast<std::size_t>(pick_data_line());
+      const int old = current[q];
+      const int a = icm.add_line(InitBasis::AState, MeasBasis::X);
+      const int y1 = icm.add_line(InitBasis::YState, MeasBasis::X);
+      const int y2 = icm.add_line(InitBasis::YState);
+      icm.add_cnot(old, a);
+      icm.add_cnot(a, y1);
+      icm.add_cnot(y1, y2);
+      icm.set_meas_basis(old, MeasBasis::Z);
+      icm.add_meas_order(old, a);
+      icm.add_meas_order(old, y1);
+      if (last_t[q][0] >= 0) {
+        for (int prev : last_t[q])
+          for (int cur : {a, y1}) icm.add_meas_order(prev, cur);
+      }
+      last_t[q] = {a, y1};
+      current[q] = y2;
+    } else {
+      const int c = pick_data_line();
+      const int t = pick_partner(c);
+      icm.add_cnot(current[static_cast<std::size_t>(c)],
+                   current[static_cast<std::size_t>(t)]);
+    }
+  }
+
+  for (int q = 0; q < data_lines; ++q)
+    icm.mark_output(current[static_cast<std::size_t>(q)]);
+
+  // Generator postconditions: exact Table-1 statistics.
+  const IcmStats stats = icm.stats();
+  TQEC_ASSERT(stats.qubits == spec.qubits, "qubit count drifted");
+  TQEC_ASSERT(stats.cnots == spec.cnots, "CNOT count drifted");
+  TQEC_ASSERT(stats.y_states == spec.y_states, "|Y> count drifted");
+  TQEC_ASSERT(stats.a_states == spec.a_states, "|A> count drifted");
+  return icm;
+}
+
+}  // namespace tqec::icm

@@ -1,0 +1,41 @@
+// Synthetic ICM workload generator reproducing the paper's Table 1.
+//
+// The paper evaluates on eight RevLib circuits, reporting their statistics
+// *after* gate decomposition: #Qubits (ICM lines), #CNOTs, #|Y>, #|A>.
+// The RevLib files themselves are not available offline, so this generator
+// synthesizes ICM circuits with exactly those statistics and the same
+// structural shape the Clifford+T -> ICM transformation produces:
+//   - #|A> T-gate clusters, each contributing one |A> line, two |Y> lines,
+//     three CNOTs chained off a logical data line, and the intra-/inter-T
+//     measurement-order constraints;
+//   - the remaining CNOTs placed between data lines with a locality window
+//     (arithmetic circuits interact mostly with nearby lines);
+//   - data lines = #Qubits - 3 * #|A>.
+// All eight Table-1 rows satisfy these shape equations (see DESIGN.md), so
+// downstream stages see problems of exactly the published size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "icm/icm.h"
+
+namespace tqec::icm {
+
+struct WorkloadSpec {
+  std::string name;
+  int qubits = 0;   // total ICM lines after decomposition
+  int cnots = 0;    // total CNOTs
+  int y_states = 0; // #|Y>; must equal 2 * a_states
+  int a_states = 0; // #|A> (= number of T gates)
+  /// Locality window for plain CNOT partner selection, in data lines.
+  int locality_window = 16;
+  std::uint64_t seed = 7;
+};
+
+/// Generate an ICM circuit with exactly the spec's statistics.
+/// Throws TqecError if the spec is infeasible (qubits < 3*a_states + 2,
+/// cnots < 3*a_states, or y_states != 2*a_states).
+IcmCircuit make_workload(const WorkloadSpec& spec);
+
+}  // namespace tqec::icm

@@ -1,0 +1,113 @@
+#include "pdgraph/pd_graph.h"
+
+#include <algorithm>
+
+#include "icm/ordering.h"
+
+namespace tqec::pdgraph {
+
+PdGraph build_pd_graph(const icm::IcmCircuit& circuit) {
+  PdGraph g;
+  g.name_ = circuit.name();
+  const int lines = circuit.num_lines();
+  g.rows_.assign(static_cast<std::size_t>(lines), {});
+
+  // Current (rightmost) module per row; -1 before first use.
+  std::vector<ModuleId> current(static_cast<std::size_t>(lines), -1);
+
+  auto new_module = [&](int row, ModuleOrigin origin) -> ModuleId {
+    PrimalModule m;
+    m.id = static_cast<ModuleId>(g.modules_.size());
+    m.row = row;
+    m.origin = origin;
+    g.modules_.push_back(std::move(m));
+    g.rows_[static_cast<std::size_t>(row)].push_back(g.modules_.back().id);
+    return g.modules_.back().id;
+  };
+
+  auto ensure_row = [&](int row) -> ModuleId {
+    auto& cur = current[static_cast<std::size_t>(row)];
+    if (cur >= 0) return cur;
+    const icm::InitBasis basis = circuit.init_basis(row);
+    if (icm::is_injection(basis)) {
+      // Box attachment point first, then the row-initial module that the
+      // dual nets traverse. The injection is the row's I/M, so the initial
+      // module carries it for I-shape eligibility.
+      new_module(row, ModuleOrigin::Injection);
+      if (basis == icm::InitBasis::YState) ++g.y_injections_;
+      else ++g.a_injections_;
+    }
+    const ModuleId initial = new_module(row, ModuleOrigin::RowInitial);
+    g.modules_[static_cast<std::size_t>(initial)].has_init = true;
+    g.modules_[static_cast<std::size_t>(initial)].init_basis = basis;
+    cur = initial;
+    return cur;
+  };
+
+  for (std::size_t k = 0; k < circuit.cnots().size(); ++k) {
+    const icm::IcmCnot cnot = circuit.cnots()[k];
+    DualNet net;
+    net.id = static_cast<NetId>(g.nets_.size());
+    net.cnot_index = static_cast<int>(k);
+
+    // Control side: current module, then a fresh innovative module.
+    const ModuleId ca = ensure_row(cnot.control);
+    g.modules_[static_cast<std::size_t>(ca)].nets.push_back(net.id);
+    const ModuleId cb = new_module(cnot.control, ModuleOrigin::Innovative);
+    g.modules_[static_cast<std::size_t>(cb)].nets.push_back(net.id);
+    current[static_cast<std::size_t>(cnot.control)] = cb;
+
+    // Target side: current module only.
+    const ModuleId t = ensure_row(cnot.target);
+    g.modules_[static_cast<std::size_t>(t)].nets.push_back(net.id);
+
+    net.control_a = ca;
+    net.control_b = cb;
+    net.target = t;
+    g.nets_.push_back(net);
+  }
+
+  // Measurement I/M on the row-final modules; rows never used by a CNOT
+  // still get their initial module so every line is represented.
+  for (int row = 0; row < lines; ++row) {
+    ensure_row(row);
+    const ModuleId last = current[static_cast<std::size_t>(row)];
+    auto& m = g.modules_[static_cast<std::size_t>(last)];
+    if (!circuit.is_output(row)) {
+      m.has_meas = true;
+      m.meas_basis = circuit.meas_basis(row);
+    }
+  }
+
+  // Time-ordered measurement constraints, lifted from lines to the modules
+  // carrying those measurements.
+  const icm::OrderAnalysis order = icm::analyze_order(circuit);
+  std::vector<ModuleId> final_module(static_cast<std::size_t>(lines));
+  for (int row = 0; row < lines; ++row)
+    final_module[static_cast<std::size_t>(row)] =
+        current[static_cast<std::size_t>(row)];
+  for (const icm::MeasOrder& c : circuit.meas_order()) {
+    const ModuleId before = final_module[static_cast<std::size_t>(c.before_line)];
+    const ModuleId after = final_module[static_cast<std::size_t>(c.after_line)];
+    g.meas_order_.emplace_back(before, after);
+  }
+  for (int row = 0; row < lines; ++row) {
+    if (!order.constrained[static_cast<std::size_t>(row)]) continue;
+    auto& m = g.modules_[static_cast<std::size_t>(
+        final_module[static_cast<std::size_t>(row)])];
+    m.meas_constrained = true;
+    m.meas_level = order.level[static_cast<std::size_t>(row)];
+  }
+
+  return g;
+}
+
+std::vector<std::pair<ModuleId, NetId>> braiding_signature(const PdGraph& g) {
+  std::vector<std::pair<ModuleId, NetId>> sig;
+  for (const PrimalModule& m : g.modules())
+    for (NetId n : m.nets) sig.emplace_back(m.id, n);
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace tqec::pdgraph

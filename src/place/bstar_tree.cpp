@@ -1,0 +1,167 @@
+#include "place/bstar_tree.h"
+
+namespace tqec::place {
+
+bool BStarTree::contains(int item) const {
+  return item >= 0 && item < static_cast<int>(slot_of_item_.size()) &&
+         slot_of_item_[static_cast<std::size_t>(item)] >= 0;
+}
+
+int BStarTree::slot_of(int item) const {
+  TQEC_REQUIRE(contains(item), "item not in this B*-tree");
+  return slot_of_item_[static_cast<std::size_t>(item)];
+}
+
+void BStarTree::insert(int item, Rng& rng) {
+  TQEC_REQUIRE(!contains(item), "item already in tree");
+  if (item >= static_cast<int>(slot_of_item_.size()))
+    slot_of_item_.resize(static_cast<std::size_t>(item) + 1, -1);
+
+  const int slot = static_cast<int>(slots_.size());
+  slots_.push_back({item, -1, -1, -1});
+  slot_of_item_[static_cast<std::size_t>(item)] = slot;
+  item_list_.push_back(item);
+  last_inserted_ = item;
+
+  if (root_ < 0) {
+    root_ = slot;
+    return;
+  }
+  // Walk random child pointers until a free slot is found; expected
+  // O(log n) on the evolving trees.
+  int cur = root_;
+  for (;;) {
+    Slot& s = slots_[static_cast<std::size_t>(cur)];
+    const bool go_left = rng.chance(0.5);
+    int& child = go_left ? s.left : s.right;
+    if (child < 0) {
+      child = slot;
+      slots_[static_cast<std::size_t>(slot)].parent = cur;
+      return;
+    }
+    cur = child;
+  }
+}
+
+void BStarTree::insert_chain(int item) {
+  TQEC_REQUIRE(!contains(item), "item already in tree");
+  if (item >= static_cast<int>(slot_of_item_.size()))
+    slot_of_item_.resize(static_cast<std::size_t>(item) + 1, -1);
+  const int slot = static_cast<int>(slots_.size());
+  slots_.push_back({item, -1, -1, -1});
+  slot_of_item_[static_cast<std::size_t>(item)] = slot;
+  item_list_.push_back(item);
+  if (root_ < 0) {
+    root_ = slot;
+  } else {
+    const int parent = slot_of(last_inserted_);
+    TQEC_ASSERT(slots_[static_cast<std::size_t>(parent)].left < 0,
+                "chain insertion point occupied");
+    slots_[static_cast<std::size_t>(parent)].left = slot;
+    slots_[static_cast<std::size_t>(slot)].parent = parent;
+  }
+  last_inserted_ = item;
+}
+
+void BStarTree::replace_child(int parent, int old_slot, int new_slot) {
+  if (parent < 0) {
+    TQEC_ASSERT(root_ == old_slot, "detached slot is not the root");
+    root_ = new_slot;
+  } else {
+    Slot& p = slots_[static_cast<std::size_t>(parent)];
+    if (p.left == old_slot)
+      p.left = new_slot;
+    else if (p.right == old_slot)
+      p.right = new_slot;
+    else
+      TQEC_ASSERT(false, "parent does not own child slot");
+  }
+  if (new_slot >= 0) slots_[static_cast<std::size_t>(new_slot)].parent = parent;
+}
+
+void BStarTree::erase_slot(int slot) {
+  const int last = static_cast<int>(slots_.size()) - 1;
+  if (slot != last) {
+    // Move the last slot into the vacated index and rewire references.
+    Slot moved = slots_[static_cast<std::size_t>(last)];
+    slots_[static_cast<std::size_t>(slot)] = moved;
+    slot_of_item_[static_cast<std::size_t>(moved.item)] = slot;
+    if (moved.parent >= 0) {
+      Slot& p = slots_[static_cast<std::size_t>(moved.parent)];
+      if (p.left == last) p.left = slot;
+      if (p.right == last) p.right = slot;
+    } else {
+      root_ = slot;
+    }
+    if (moved.left >= 0) slots_[static_cast<std::size_t>(moved.left)].parent = slot;
+    if (moved.right >= 0)
+      slots_[static_cast<std::size_t>(moved.right)].parent = slot;
+  }
+  slots_.pop_back();
+}
+
+void BStarTree::remove(int item, Rng& rng) {
+  int slot = slot_of(item);
+  // Bubble the item down by swapping with a random child until it has at
+  // most one child, then splice it out. Swapping items (not slots) keeps
+  // all structural pointers intact.
+  for (;;) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (s.left >= 0 && s.right >= 0) {
+      const int child = rng.chance(0.5) ? s.left : s.right;
+      std::swap(slots_[static_cast<std::size_t>(slot)].item,
+                slots_[static_cast<std::size_t>(child)].item);
+      slot_of_item_[static_cast<std::size_t>(
+          slots_[static_cast<std::size_t>(slot)].item)] = slot;
+      slot = child;
+      slot_of_item_[static_cast<std::size_t>(item)] = slot;
+    } else {
+      break;
+    }
+  }
+  const Slot s = slots_[static_cast<std::size_t>(slot)];
+  const int child = s.left >= 0 ? s.left : s.right;
+  replace_child(s.parent, slot, child);
+  slot_of_item_[static_cast<std::size_t>(item)] = -1;
+  item_list_.erase(std::find(item_list_.begin(), item_list_.end(), item));
+  if (last_inserted_ == item) last_inserted_ = -1;
+  erase_slot(slot);
+}
+
+void BStarTree::swap_items(int a, int b) {
+  const int sa = slot_of(a);
+  const int sb = slot_of(b);
+  std::swap(slots_[static_cast<std::size_t>(sa)].item,
+            slots_[static_cast<std::size_t>(sb)].item);
+  slot_of_item_[static_cast<std::size_t>(a)] = sb;
+  slot_of_item_[static_cast<std::size_t>(b)] = sa;
+}
+
+void BStarTree::check_invariants() const {
+  if (root_ < 0) {
+    TQEC_ASSERT(slots_.empty(), "rootless tree with slots");
+    return;
+  }
+  TQEC_ASSERT(slots_[static_cast<std::size_t>(root_)].parent == -1,
+              "root has a parent");
+  std::size_t visited = 0;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int slot = stack.back();
+    stack.pop_back();
+    ++visited;
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    TQEC_ASSERT(slot_of_item_[static_cast<std::size_t>(s.item)] == slot,
+                "item map out of sync");
+    for (int child : {s.left, s.right}) {
+      if (child < 0) continue;
+      TQEC_ASSERT(slots_[static_cast<std::size_t>(child)].parent == slot,
+                  "child/parent pointer mismatch");
+      stack.push_back(child);
+    }
+  }
+  TQEC_ASSERT(visited == slots_.size(), "unreachable slots in tree");
+  TQEC_ASSERT(item_list_.size() == slots_.size(), "item list out of sync");
+}
+
+}  // namespace tqec::place

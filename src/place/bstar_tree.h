@@ -1,0 +1,158 @@
+// B*-tree floorplan representation (Chang et al., DAC'00), the per-layer
+// building block of the 2.5D placement of Falkenstern et al. (paper [4])
+// used in the module-placement stage (Sec. 3.5).
+//
+// A B*-tree encodes a compacted (admissible) placement of rectangles on a
+// plane: the preorder root sits at the origin, a left child abuts its
+// parent's right edge (x = parent.x + parent.w), a right child shares its
+// parent's x, and every rectangle drops onto the packing contour. Packing
+// is O(n log n) with a map-based contour.
+//
+// The tree stores *items* (global placement-node ids); the simulated-
+// annealing engine owns several trees (one per 2.5D layer) and moves items
+// between them. All structural perturbations take an Rng for reproducible
+// randomness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace tqec::place {
+
+/// Rectangle footprint: w along x, d along z.
+struct Footprint {
+  int w = 1;
+  int d = 1;
+};
+
+/// Packed position of one item.
+struct PackedItem {
+  int item = -1;
+  int x = 0;
+  int z = 0;
+};
+
+struct PackResult {
+  std::vector<PackedItem> placed;
+  int width = 0;  // extent along x
+  int depth = 0;  // extent along z
+};
+
+class BStarTree {
+ public:
+  BStarTree() = default;
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  bool empty() const { return slots_.empty(); }
+  bool contains(int item) const;
+  const std::vector<int>& items() const { return item_list_; }
+
+  /// Insert an item at a uniformly random free child slot.
+  void insert(int item, Rng& rng);
+
+  /// Insert as the left child of the last inserted item (builds the
+  /// initial left-skewed chain = a row along x).
+  void insert_chain(int item);
+
+  /// Detach an item from the tree (children are re-spliced).
+  void remove(int item, Rng& rng);
+
+  /// Exchange the tree positions of two contained items.
+  void swap_items(int a, int b);
+
+  /// Pack the tree; `footprint(item)` supplies each item's rectangle.
+  template <typename FootprintFn>
+  PackResult pack(FootprintFn&& footprint) const;
+
+  /// Structural self-check (parent/child symmetry, single root, item map).
+  void check_invariants() const;
+
+ private:
+  struct Slot {
+    int item = -1;
+    int parent = -1;
+    int left = -1;   // placed at parent.x + parent.w
+    int right = -1;  // placed at parent.x
+  };
+
+  int slot_of(int item) const;
+  void replace_child(int parent, int old_slot, int new_slot);
+  void erase_slot(int slot);
+
+  std::vector<Slot> slots_;
+  std::vector<int> item_list_;       // dense item list (for random pick)
+  std::vector<int> slot_of_item_;    // item id -> slot index (-1 absent)
+  int root_ = -1;
+  int last_inserted_ = -1;
+};
+
+// ---- implementation of the packing template ----
+
+namespace detail {
+
+/// Packing contour: height step-function along x, keyed by step start.
+/// Queries and updates are O(log n + touched steps), so packing a whole
+/// tree is O(n log n).
+class Contour {
+ public:
+  Contour() { steps_[0] = 0; }
+
+  /// Max height over [x0, x1).
+  int max_in(int x0, int x1) const {
+    auto it = std::prev(steps_.upper_bound(x0));
+    int best = 0;
+    for (; it != steps_.end() && it->first < x1; ++it)
+      best = std::max(best, it->second);
+    return best;
+  }
+
+  /// Raise [x0, x1) to height h.
+  void set(int x0, int x1, int h) {
+    const int tail = std::prev(steps_.upper_bound(x1))->second;
+    steps_.erase(steps_.lower_bound(x0), steps_.lower_bound(x1));
+    steps_[x0] = h;
+    steps_.emplace(x1, tail);  // keep the old height beyond the span
+  }
+
+ private:
+  std::map<int, int> steps_;
+};
+
+}  // namespace detail
+
+template <typename FootprintFn>
+PackResult BStarTree::pack(FootprintFn&& footprint) const {
+  PackResult result;
+  if (root_ < 0) return result;
+
+  detail::Contour contour;
+  // Preorder DFS with explicit stack of (slot, x).
+  struct Frame {
+    int slot;
+    int x;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  result.placed.reserve(slots_.size());
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Slot& s = slots_[static_cast<std::size_t>(f.slot)];
+    const Footprint fp = footprint(s.item);
+    TQEC_ASSERT(fp.w > 0 && fp.d > 0, "non-positive footprint");
+    const int z = contour.max_in(f.x, f.x + fp.w);
+    contour.set(f.x, f.x + fp.w, z + fp.d);
+    result.placed.push_back({s.item, f.x, z});
+    result.width = std::max(result.width, f.x + fp.w);
+    result.depth = std::max(result.depth, z + fp.d);
+    if (s.right >= 0) stack.push_back({s.right, f.x});
+    if (s.left >= 0) stack.push_back({s.left, f.x + fp.w});
+  }
+  return result;
+}
+
+}  // namespace tqec::place

@@ -1,0 +1,325 @@
+#include "place/force_directed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tqec::place {
+
+namespace {
+
+struct NodeState {
+  double x = 0;
+  double z = 0;
+  int layer = 0;
+};
+
+/// Occupancy-grid legalizer for one layer: best-fit spiral search from the
+/// rounded relaxed position.
+class LayerLegalizer {
+ public:
+  LayerLegalizer(int width, int depth)
+      : width_(width), depth_(depth),
+        occupied_(static_cast<std::size_t>(width) * depth, 0) {}
+
+  /// Find the free origin nearest (x0, z0) for a w x d footprint and claim
+  /// it. Returns {x, z}; expands the search ring until success (the grid is
+  /// sized to fit all nodes, so success is guaranteed).
+  std::pair<int, int> claim(int x0, int z0, int w, int d) {
+    x0 = std::clamp(x0, 0, std::max(0, width_ - w));
+    z0 = std::clamp(z0, 0, std::max(0, depth_ - d));
+    for (int radius = 0; radius < width_ + depth_; ++radius) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        for (int dz : {-radius + std::abs(dx), radius - std::abs(dx)}) {
+          const int x = x0 + dx;
+          const int z = z0 + dz;
+          if (x < 0 || z < 0 || x + w > width_ || z + d > depth_) continue;
+          if (fits(x, z, w, d)) {
+            mark(x, z, w, d);
+            return {x, z};
+          }
+          if (radius == 0) break;  // dz candidates coincide
+        }
+      }
+    }
+    throw TqecError("force-directed legalizer ran out of room");
+  }
+
+ private:
+  bool fits(int x, int z, int w, int d) const {
+    for (int i = 0; i < w; ++i)
+      for (int j = 0; j < d; ++j)
+        if (occupied_[index(x + i, z + j)]) return false;
+    return true;
+  }
+  void mark(int x, int z, int w, int d) {
+    for (int i = 0; i < w; ++i)
+      for (int j = 0; j < d; ++j) occupied_[index(x + i, z + j)] = 1;
+  }
+  std::size_t index(int x, int z) const {
+    return static_cast<std::size_t>(z) * width_ + x;
+  }
+
+  int width_;
+  int depth_;
+  std::vector<std::uint8_t> occupied_;
+};
+
+}  // namespace
+
+Placement place_force_directed(const NodeSet& nodes,
+                               const ForceDirectedOptions& opt) {
+  const int node_count = nodes.node_count();
+  TQEC_REQUIRE(node_count > 0, "nothing to place");
+  Rng rng(opt.seed);
+
+  int layer_count = opt.layers;
+  std::int64_t total_area = 0;
+  for (const PlacementNode& n : nodes.nodes)
+    total_area += std::int64_t{n.dims.x} * n.dims.z;
+  if (layer_count <= 0) {
+    layer_count = static_cast<int>(std::llround(std::cbrt(
+        static_cast<double>(total_area))));
+    layer_count = std::clamp(layer_count, 1, std::max(1, node_count));
+    layer_count = std::min(layer_count, 48);
+  }
+
+  // Initial state: round-robin layers (big nodes first), jittered grid
+  // positions inside a square of the layer's expected side.
+  const double side = std::ceil(std::sqrt(
+      static_cast<double>(total_area) / layer_count)) * 1.6 + 4.0;
+  std::vector<int> order(static_cast<std::size_t>(node_count));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto area = [&](int n) {
+      const Vec3 d = nodes.nodes[static_cast<std::size_t>(n)].dims;
+      return std::int64_t{d.x} * d.z;
+    };
+    return std::tuple(-area(a), a) < std::tuple(-area(b), b);
+  });
+  std::vector<NodeState> state(static_cast<std::size_t>(node_count));
+  {
+    int next_layer = 0;
+    for (int node : order) {
+      auto& s = state[static_cast<std::size_t>(node)];
+      s.layer = next_layer;
+      s.x = rng.uniform() * side;
+      s.z = rng.uniform() * side;
+      next_layer = (next_layer + 1) % layer_count;
+    }
+  }
+
+  // Net incidence on nodes (weight = number of pins the node hosts).
+  std::vector<std::vector<std::pair<int, int>>> nets_of_node(
+      static_cast<std::size_t>(node_count));  // (net, weight)
+  for (std::size_t net = 0; net < nodes.net_pins.size(); ++net) {
+    for (pdgraph::ModuleId m : nodes.net_pins[net]) {
+      auto& list = nets_of_node[static_cast<std::size_t>(
+          nodes.node_of_module[static_cast<std::size_t>(m)])];
+      if (!list.empty() && list.back().first == static_cast<int>(net))
+        ++list.back().second;
+      else
+        list.emplace_back(static_cast<int>(net), 1);
+    }
+  }
+
+  // Relaxation sweeps: attraction toward net centroids + pairwise overlap
+  // repulsion within each layer.
+  std::vector<double> net_cx(nodes.net_pins.size());
+  std::vector<double> net_cz(nodes.net_pins.size());
+  std::vector<double> net_weight(nodes.net_pins.size());
+  for (int sweep = 0; sweep < opt.iterations; ++sweep) {
+    // Net centroids from current node centers.
+    std::fill(net_cx.begin(), net_cx.end(), 0.0);
+    std::fill(net_cz.begin(), net_cz.end(), 0.0);
+    std::fill(net_weight.begin(), net_weight.end(), 0.0);
+    for (int node = 0; node < node_count; ++node) {
+      const auto& s = state[static_cast<std::size_t>(node)];
+      for (const auto& [net, weight] :
+           nets_of_node[static_cast<std::size_t>(node)]) {
+        net_cx[static_cast<std::size_t>(net)] += weight * s.x;
+        net_cz[static_cast<std::size_t>(net)] += weight * s.z;
+        net_weight[static_cast<std::size_t>(net)] += weight;
+      }
+    }
+    // Attraction.
+    for (int node = 0; node < node_count; ++node) {
+      auto& s = state[static_cast<std::size_t>(node)];
+      double fx = 0;
+      double fz = 0;
+      double total = 0;
+      for (const auto& [net, weight] :
+           nets_of_node[static_cast<std::size_t>(node)]) {
+        const double nw = net_weight[static_cast<std::size_t>(net)];
+        if (nw <= 0) continue;
+        fx += weight * (net_cx[static_cast<std::size_t>(net)] / nw - s.x);
+        fz += weight * (net_cz[static_cast<std::size_t>(net)] / nw - s.z);
+        total += weight;
+      }
+      if (total > 0) {
+        s.x += opt.attraction * fx / total;
+        s.z += opt.attraction * fz / total;
+      }
+    }
+    // Repulsion: push overlapping footprints apart (O(n^2) per layer pair
+    // scan; node counts here are the post-bridging supermodule counts).
+    for (int a = 0; a < node_count; ++a) {
+      for (int b = a + 1; b < node_count; ++b) {
+        auto& sa = state[static_cast<std::size_t>(a)];
+        auto& sb = state[static_cast<std::size_t>(b)];
+        if (sa.layer != sb.layer) continue;
+        const Vec3 da = nodes.nodes[static_cast<std::size_t>(a)].dims;
+        const Vec3 db = nodes.nodes[static_cast<std::size_t>(b)].dims;
+        const double ox = std::min(sa.x + da.x, sb.x + db.x) -
+                          std::max(sa.x, sb.x);
+        const double oz = std::min(sa.z + da.z, sb.z + db.z) -
+                          std::max(sa.z, sb.z);
+        if (ox <= 0 || oz <= 0) continue;
+        // Push along the axis with the smaller overlap.
+        const double push = opt.repulsion * 0.5;
+        if (ox < oz) {
+          const double dir = sa.x < sb.x ? -1.0 : 1.0;
+          sa.x += dir * push;
+          sb.x -= dir * push;
+        } else {
+          const double dir = sa.z < sb.z ? -1.0 : 1.0;
+          sa.z += dir * push;
+          sb.z -= dir * push;
+        }
+      }
+    }
+  }
+
+  // Legalization per layer, biggest nodes first (they are hardest to fit).
+  const int grid_side = static_cast<int>(side * 2.5) + 40;
+  std::vector<LayerLegalizer> legal(
+      static_cast<std::size_t>(layer_count),
+      LayerLegalizer(grid_side, grid_side));
+  std::vector<int> final_x(static_cast<std::size_t>(node_count));
+  std::vector<int> final_z(static_cast<std::size_t>(node_count));
+  double min_x = 0;
+  double min_z = 0;
+  for (const NodeState& s : state) {
+    min_x = std::min(min_x, s.x);
+    min_z = std::min(min_z, s.z);
+  }
+  for (int node : order) {
+    const auto& s = state[static_cast<std::size_t>(node)];
+    const Vec3 d = nodes.nodes[static_cast<std::size_t>(node)].dims;
+    const auto [x, z] = legal[static_cast<std::size_t>(s.layer)].claim(
+        static_cast<int>(std::lround(s.x - min_x)),
+        static_cast<int>(std::lround(s.z - min_z)), d.x, d.z);
+    final_x[static_cast<std::size_t>(node)] = x;
+    final_z[static_cast<std::size_t>(node)] = z;
+  }
+
+  // 1-D compaction sweeps (the "pull" half of force-directed compaction):
+  // slide every node to the smallest x it can reach without overlapping a
+  // z-interval neighbour, then the same along z; repeat once more since
+  // the first pass opens new room.
+  auto compact_axis = [&](bool along_x) {
+    for (int l = 0; l < layer_count; ++l) {
+      std::vector<int> members;
+      for (int node = 0; node < node_count; ++node)
+        if (state[static_cast<std::size_t>(node)].layer == l)
+          members.push_back(node);
+      std::sort(members.begin(), members.end(), [&](int a, int b) {
+        const int pa = along_x ? final_x[static_cast<std::size_t>(a)]
+                               : final_z[static_cast<std::size_t>(a)];
+        const int pb = along_x ? final_x[static_cast<std::size_t>(b)]
+                               : final_z[static_cast<std::size_t>(b)];
+        return std::tuple(pa, a) < std::tuple(pb, b);
+      });
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const int node = members[i];
+        const Vec3 d = nodes.nodes[static_cast<std::size_t>(node)].dims;
+        const int my_w = along_x ? d.x : d.z;
+        const int my_lo_other = along_x
+                                    ? final_z[static_cast<std::size_t>(node)]
+                                    : final_x[static_cast<std::size_t>(node)];
+        const int my_hi_other =
+            my_lo_other + (along_x ? d.z : d.x);
+        int slide_to = 0;
+        for (std::size_t j = 0; j < i; ++j) {
+          const int other = members[j];
+          const Vec3 od = nodes.nodes[static_cast<std::size_t>(other)].dims;
+          const int o_lo_other =
+              along_x ? final_z[static_cast<std::size_t>(other)]
+                      : final_x[static_cast<std::size_t>(other)];
+          const int o_hi_other = o_lo_other + (along_x ? od.z : od.x);
+          if (o_hi_other <= my_lo_other || my_hi_other <= o_lo_other)
+            continue;  // disjoint in the cross axis
+          const int o_pos = along_x ? final_x[static_cast<std::size_t>(other)]
+                                    : final_z[static_cast<std::size_t>(other)];
+          slide_to = std::max(slide_to, o_pos + (along_x ? od.x : od.z));
+        }
+        (void)my_w;
+        if (along_x)
+          final_x[static_cast<std::size_t>(node)] = slide_to;
+        else
+          final_z[static_cast<std::size_t>(node)] = slide_to;
+      }
+    }
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    compact_axis(true);
+    compact_axis(false);
+  }
+
+  // Layer heights and bases.
+  std::vector<int> layer_height(static_cast<std::size_t>(layer_count), 0);
+  for (int node = 0; node < node_count; ++node) {
+    auto& h = layer_height[static_cast<std::size_t>(
+        state[static_cast<std::size_t>(node)].layer)];
+    h = std::max(h, nodes.nodes[static_cast<std::size_t>(node)].dims.y);
+  }
+  std::vector<int> layer_base(static_cast<std::size_t>(layer_count), 0);
+  int base = 0;
+  for (int l = 0; l < layer_count; ++l) {
+    layer_base[static_cast<std::size_t>(l)] = base;
+    if (layer_height[static_cast<std::size_t>(l)] > 0)
+      base += layer_height[static_cast<std::size_t>(l)] + opt.layer_y_gap;
+  }
+
+  // Assemble the Placement (no rotations in this engine).
+  Placement placement;
+  placement.node_origin.assign(nodes.nodes.size(), Vec3{});
+  placement.node_rotated.assign(nodes.nodes.size(), false);
+  for (int node = 0; node < node_count; ++node) {
+    const auto& s = state[static_cast<std::size_t>(node)];
+    placement.node_origin[static_cast<std::size_t>(node)] = {
+        final_x[static_cast<std::size_t>(node)],
+        layer_base[static_cast<std::size_t>(s.layer)],
+        final_z[static_cast<std::size_t>(node)]};
+  }
+  placement.module_cell.assign(nodes.node_of_module.size(), Vec3{});
+  for (std::size_t m = 0; m < nodes.node_of_module.size(); ++m)
+    placement.module_cell[m] =
+        placement.node_origin[static_cast<std::size_t>(
+            nodes.node_of_module[m])] +
+        nodes.module_offset[m];
+  for (const PlacementNode& n : nodes.nodes)
+    for (const NodeBox& box : n.boxes)
+      placement.boxes.push_back(
+          {box.kind,
+           placement.node_origin[static_cast<std::size_t>(n.id)] + box.offset,
+           box.line});
+
+  Box3 core;
+  for (const Vec3& cell : placement.module_cell) core = core.expanded(cell);
+  for (const geom::DistillBox& b : placement.boxes)
+    core = core.merged(b.extent());
+  placement.core = core;
+  placement.volume = core.volume();
+  placement.layers = layer_count;
+  placement.iterations_run = opt.iterations;
+  TQEC_LOG_INFO("force-directed placement: nodes=" << node_count
+                                                   << " layers=" << layer_count
+                                                   << " volume="
+                                                   << placement.volume);
+  return placement;
+}
+
+}  // namespace tqec::place

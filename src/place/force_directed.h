@@ -1,0 +1,44 @@
+// Force-directed module placement, after Paetznick & Fowler
+// (arXiv:1304.2807), the pre-SA compaction baseline the paper's related
+// work describes: "smoothly pushes or pulls defect segments by the greedy
+// method without destroying the braiding relationship".
+//
+// Adapted to the module-placement formulation: nodes carry continuous
+// in-layer positions; every relaxation sweep pulls each node toward the
+// centroid of its incident dual nets (attraction) and pushes overlapping
+// footprints apart (repulsion); a best-fit occupancy-grid legalizer then
+// snaps the relaxed positions to a legal packing. The SA B*-tree engine
+// (placer.h) is the paper's choice precisely because force-directed
+// relaxation gets stuck in local minima — bench/placer_comparison
+// quantifies that gap.
+#pragma once
+
+#include <cstdint>
+
+#include "place/nodes.h"
+#include "place/placer.h"
+
+namespace tqec::place {
+
+struct ForceDirectedOptions {
+  std::uint64_t seed = 1;
+  /// Relaxation sweeps before legalization.
+  int iterations = 120;
+  /// Fraction of the node-to-centroid distance applied per sweep.
+  double attraction = 0.25;
+  /// Overlap push strength (cells per sweep per overlapping pair).
+  double repulsion = 1.0;
+  /// 2.5D layers; 0 = automatic (same rule as the SA placer).
+  int layers = 0;
+  /// Free routing plane above every layer (same meaning as PlaceOptions).
+  int layer_y_gap = 0;
+};
+
+/// Place a node set with force-directed relaxation + legalization.
+/// Deterministic for a fixed seed; the result satisfies the same
+/// invariants as place_modules (distinct module cells, boxes inside node
+/// footprints, measurement order by construction of the super-modules).
+Placement place_force_directed(const NodeSet& nodes,
+                               const ForceDirectedOptions& options);
+
+}  // namespace tqec::place

@@ -1,0 +1,249 @@
+#include "place/nodes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/union_find.h"
+
+namespace tqec::place {
+
+using pdgraph::ModuleId;
+using pdgraph::NetId;
+using pdgraph::PdGraph;
+
+namespace {
+
+/// Routing halo: every node's footprint is grown by one cell in +x and +z.
+/// Disjoint primal structures then always face a free channel on at least
+/// one side, which keeps every module pin reachable by the dual-net router
+/// no matter how tightly the B*-tree packs (the bounding-box volume only
+/// pays for halo cells that routes actually use).
+constexpr int kHalo = 2;
+
+/// Append the time-dependent super-modules: one per connected component of
+/// the measurement-order constraint graph, modules along x in level order.
+void add_time_dependent_nodes(const PdGraph& graph, NodeSet& set) {
+  const auto n = static_cast<std::size_t>(graph.module_count());
+  UnionFind uf(n);
+  for (const auto& [before, after] : graph.meas_order())
+    uf.unite(static_cast<std::size_t>(before), static_cast<std::size_t>(after));
+
+  std::unordered_map<std::size_t, std::vector<ModuleId>> components;
+  for (const pdgraph::PrimalModule& m : graph.modules())
+    if (m.meas_constrained)
+      components[uf.find(static_cast<std::size_t>(m.id))].push_back(m.id);
+
+  // Deterministic order: by smallest member id.
+  std::vector<std::vector<ModuleId>> ordered;
+  ordered.reserve(components.size());
+  for (auto& [rep, members] : components) ordered.push_back(std::move(members));
+  std::sort(ordered.begin(), ordered.end());
+
+  for (auto& members : ordered) {
+    std::sort(members.begin(), members.end(), [&](ModuleId a, ModuleId b) {
+      const auto& ma = graph.module(a);
+      const auto& mb = graph.module(b);
+      return std::tuple(ma.meas_level, a) < std::tuple(mb.meas_level, b);
+    });
+    PlacementNode node;
+    node.id = static_cast<int>(set.nodes.size());
+    node.kind = NodeKind::TimeDependent;
+    node.dims = {static_cast<int>(members.size()) + kHalo, 1, 1 + kHalo};
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      node.modules.push_back(members[i]);
+      node.module_offsets.push_back({static_cast<int>(i), 0, 0});
+      set.node_of_module[static_cast<std::size_t>(members[i])] = node.id;
+      set.module_offset[static_cast<std::size_t>(members[i])] = {
+          static_cast<int>(i), 0, 0};
+      // Interior modules of the x-ordered row are walled in x, so their
+      // only in-layer escape is the +z halo cell; declaring it the port
+      // gives it per-threading-net capacity (route/router.h).
+      set.access_offsets[static_cast<std::size_t>(members[i])] = {{0, 0, 1}};
+    }
+    set.nodes.push_back(std::move(node));
+  }
+}
+
+/// Append the distillation-injection super-modules: one column per ancilla
+/// kind, boxes stacked along z with the injection module beside each box.
+void add_distillation_nodes(const PdGraph& graph, NodeSet& set) {
+  for (const geom::BoxKind kind : {geom::BoxKind::ABox, geom::BoxKind::YBox}) {
+    const icm::InitBasis want = kind == geom::BoxKind::ABox
+                                    ? icm::InitBasis::AState
+                                    : icm::InitBasis::YState;
+    std::vector<ModuleId> injections;
+    for (const pdgraph::PrimalModule& m : graph.modules()) {
+      if (m.origin != pdgraph::ModuleOrigin::Injection) continue;
+      // The injection module heads its row; the row's initial module (its
+      // immediate successor) carries the basis annotation.
+      const auto& row = graph.rows()[static_cast<std::size_t>(m.row)];
+      const auto it = std::find(row.begin(), row.end(), m.id);
+      TQEC_ASSERT(it != row.end() && it + 1 != row.end(),
+                  "injection module without row-initial successor");
+      if (graph.module(*(it + 1)).init_basis == want)
+        injections.push_back(m.id);
+    }
+    if (injections.empty()) continue;
+
+    // Split the boxes into several column nodes of ~sqrt(n) boxes each so
+    // no single node dominates one placement dimension and the SA can
+    // scatter the columns near their consumers.
+    const Vec3 box_dims = geom::box_dims(kind);
+    const int per_column = std::max(
+        1, static_cast<int>(std::lround(std::ceil(
+               std::sqrt(static_cast<double>(injections.size()))))));
+    for (std::size_t start = 0; start < injections.size();
+         start += static_cast<std::size_t>(per_column)) {
+      const std::size_t count =
+          std::min(static_cast<std::size_t>(per_column),
+                   injections.size() - start);
+      PlacementNode node;
+      node.id = static_cast<int>(set.nodes.size());
+      node.kind = NodeKind::Distillation;
+      node.dims = {box_dims.x + 1 + kHalo, box_dims.y,
+                   box_dims.z * static_cast<int>(count) + kHalo};
+      for (std::size_t i = 0; i < count; ++i) {
+        const int z = box_dims.z * static_cast<int>(i);
+        const ModuleId m = injections[start + i];
+        node.boxes.push_back({kind, {0, 0, z}, graph.module(m).row});
+        node.modules.push_back(m);
+        const Vec3 offset{box_dims.x, 0, z};
+        node.module_offsets.push_back(offset);
+        set.node_of_module[static_cast<std::size_t>(m)] = node.id;
+        set.module_offset[static_cast<std::size_t>(m)] = offset;
+      }
+      set.nodes.push_back(std::move(node));
+    }
+  }
+}
+
+/// Compute the routed-net pin lists over merged components.
+void add_net_pins(const PdGraph& graph, compress::DualBridging& dual,
+                  NodeSet& set) {
+  std::unordered_map<NetId, std::size_t> component_index;
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    const NetId rep = dual.component_of(net.id);
+    auto [it, inserted] =
+        component_index.emplace(rep, set.net_pins.size());
+    if (inserted) set.net_pins.emplace_back();
+    auto& pins = set.net_pins[it->second];
+    for (ModuleId m : net.path())
+      if (std::find(pins.begin(), pins.end(), m) == pins.end())
+        pins.push_back(m);
+  }
+}
+
+void init_set(const PdGraph& graph, NodeSet& set) {
+  const auto n = static_cast<std::size_t>(graph.module_count());
+  set.node_of_module.assign(n, -1);
+  set.module_offset.assign(n, Vec3{});
+  set.flip_of_module.assign(n, 0);
+  set.access_offsets.assign(n, {});
+}
+
+}  // namespace
+
+NodeSet build_nodes(const PdGraph& graph, const compress::IshapeResult& ishape,
+                    const compress::PrimalBridging& bridging,
+                    compress::DualBridging& dual, bool plan_flips) {
+  (void)ishape;  // point membership already folded into `bridging`
+  NodeSet set;
+  init_set(graph, set);
+
+  // Primal-bridging super-modules: one node per chain. Points along z,
+  // I-shape partners of a point along x.
+  for (std::size_t c = 0; c < bridging.chains.size(); ++c) {
+    const compress::Chain& chain = bridging.chains[c];
+    PlacementNode node;
+    node.id = static_cast<int>(set.nodes.size());
+    node.kind = NodeKind::PrimalChain;
+    node.chain = static_cast<int>(c);
+    int max_width = 1;
+    for (std::size_t zi = 0; zi < chain.points.size(); ++zi) {
+      const auto& members =
+          bridging.point_members[static_cast<std::size_t>(chain.points[zi])];
+      max_width = std::max(max_width, static_cast<int>(members.size()));
+      for (std::size_t xi = 0; xi < members.size(); ++xi) {
+        const ModuleId m = members[xi];
+        const Vec3 offset{static_cast<int>(xi), 0, static_cast<int>(zi)};
+        node.modules.push_back(m);
+        node.module_offsets.push_back(offset);
+        set.node_of_module[static_cast<std::size_t>(m)] = node.id;
+        set.module_offset[static_cast<std::size_t>(m)] = offset;
+        // The flip value is physical (each z-bridge mirrors its module,
+        // eq. 5) regardless of whether the planning step consumes it.
+        set.flip_of_module[static_cast<std::size_t>(m)] =
+            bridging.flip_of_point[static_cast<std::size_t>(
+                chain.points[zi])];
+        // Dual-segment access sides (f-value planning, Fig. 15). Wide
+        // points exit outward per edge module (interior modules are walled
+        // in x and carry no constraint). Single-module points physically
+        // exit on the side the flipping operation put them (alternating by
+        // eq. 5): with planning the route uses that correct port; without
+        // planning the converter assumes the nominal +x side, so mirrored
+        // modules additionally drag the route around from their physical
+        // -x exit — the Fig. 15(b) tangle.
+        const bool mirrored =
+            bridging.flip_of_point[static_cast<std::size_t>(
+                chain.points[zi])] != 0;
+        auto& access = set.access_offsets[static_cast<std::size_t>(m)];
+        if (members.size() > 1) {
+          if (xi == 0)
+            access = {{-1, 0, 0}};
+          else if (xi + 1 == members.size())
+            access = {{1, 0, 0}};
+        } else if (plan_flips) {
+          access = {mirrored ? Vec3{-1, 0, 0} : Vec3{1, 0, 0}};
+        } else {
+          if (mirrored)
+            access = {{-1, 0, 0}, {1, 0, 0}};  // physical exit + wrap
+          else
+            access = {{1, 0, 0}};
+        }
+      }
+    }
+    node.dims = {max_width + kHalo, 1,
+                 static_cast<int>(chain.points.size()) + kHalo};
+    set.nodes.push_back(std::move(node));
+  }
+
+  add_time_dependent_nodes(graph, set);
+  add_distillation_nodes(graph, set);
+  add_net_pins(graph, dual, set);
+
+  for (const pdgraph::PrimalModule& m : graph.modules())
+    TQEC_ASSERT(set.node_of_module[static_cast<std::size_t>(m.id)] >= 0,
+                "module not assigned to any placement node");
+  return set;
+}
+
+NodeSet build_nodes_dual_only(const PdGraph& graph,
+                              compress::DualBridging& dual) {
+  NodeSet set;
+  init_set(graph, set);
+
+  // Every bridgeable module is its own 1x1x1 node — the [Hsu DAC'21]
+  // baseline has no primal-bridging super-modules, which is exactly why its
+  // 2.5D B*-tree carries #Modules-many nodes (paper Table 1).
+  for (const pdgraph::PrimalModule& m : graph.modules()) {
+    if (m.origin == pdgraph::ModuleOrigin::Injection || m.meas_constrained)
+      continue;
+    PlacementNode node;
+    node.id = static_cast<int>(set.nodes.size());
+    node.kind = NodeKind::PrimalChain;
+    node.dims = {1 + kHalo, 1, 1 + kHalo};
+    node.modules.push_back(m.id);
+    node.module_offsets.push_back({0, 0, 0});
+    set.node_of_module[static_cast<std::size_t>(m.id)] = node.id;
+    set.module_offset[static_cast<std::size_t>(m.id)] = {0, 0, 0};
+    set.nodes.push_back(std::move(node));
+  }
+
+  add_time_dependent_nodes(graph, set);
+  add_distillation_nodes(graph, set);
+  add_net_pins(graph, dual, set);
+  return set;
+}
+
+}  // namespace tqec::place

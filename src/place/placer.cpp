@@ -1,0 +1,411 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geom/steiner.h"
+
+namespace tqec::place {
+
+namespace {
+
+class Annealer {
+ public:
+  Annealer(const NodeSet& nodes, const PlaceOptions& opt)
+      : nodes_(nodes), opt_(opt), rng_(opt.seed) {}
+
+  Placement run();
+
+ private:
+  struct LayerCache {
+    PackResult pack;
+    int height = 0;
+  };
+
+  Footprint footprint(int node) const {
+    const PlacementNode& n = nodes_.nodes[static_cast<std::size_t>(node)];
+    if (rotated_[static_cast<std::size_t>(node)]) return {n.dims.z, n.dims.x};
+    return {n.dims.x, n.dims.z};
+  }
+
+  bool can_rotate(int node) const {
+    return nodes_.nodes[static_cast<std::size_t>(node)].kind ==
+           NodeKind::PrimalChain;
+  }
+
+  /// Re-pack one layer and refresh the in-plane origins of its items.
+  void repack(int layer) {
+    LayerCache& c = cache_[static_cast<std::size_t>(layer)];
+    c.pack = layers_[static_cast<std::size_t>(layer)].pack(
+        [&](int item) { return footprint(item); });
+    c.height = 0;
+    for (int item : layers_[static_cast<std::size_t>(layer)].items())
+      c.height = std::max(
+          c.height, nodes_.nodes[static_cast<std::size_t>(item)].dims.y);
+    if (c.height > 0) c.height += opt_.layer_y_gap;
+    for (const PackedItem& p : c.pack.placed) {
+      plane_x_[static_cast<std::size_t>(p.item)] = p.x;
+      plane_z_[static_cast<std::size_t>(p.item)] = p.z;
+    }
+  }
+
+  Vec3 module_cell(pdgraph::ModuleId m) const {
+    const int node = nodes_.node_of_module[static_cast<std::size_t>(m)];
+    Vec3 off = nodes_.module_offset[static_cast<std::size_t>(m)];
+    if (rotated_[static_cast<std::size_t>(node)]) off = {off.z, off.y, off.x};
+    return Vec3{plane_x_[static_cast<std::size_t>(node)],
+                layer_base_[static_cast<std::size_t>(
+                    layer_of_node_[static_cast<std::size_t>(node)])],
+                plane_z_[static_cast<std::size_t>(node)]} +
+           off;
+  }
+
+  double net_wirelength(std::size_t net) const {
+    const auto& pins = nodes_.net_pins[net];
+    if (pins.size() < 2) return 0;
+    if (opt_.wire_model == WireModel::Mst && pins.size() <= 8) {
+      std::vector<Vec3> cells;
+      cells.reserve(pins.size());
+      for (pdgraph::ModuleId m : pins) cells.push_back(module_cell(m));
+      return static_cast<double>(geom::rectilinear_mst_length(cells));
+    }
+    Box3 bbox;
+    for (pdgraph::ModuleId m : pins) bbox = bbox.expanded(module_cell(m));
+    const Vec3 d = bbox.dims();
+    return (d.x - 1) + (d.y - 1) + (d.z - 1);
+  }
+
+  void full_wire_recompute() {
+    total_wire_ = 0;
+    for (std::size_t n = 0; n < nodes_.net_pins.size(); ++n) {
+      wl_of_net_[n] = net_wirelength(n);
+      total_wire_ += wl_of_net_[n];
+    }
+  }
+
+  /// Refresh layer bases, then the wirelength of nets touched by the dirty
+  /// layers (full recompute when a layer height change shifted the bases —
+  /// rare). Returns the new cost.
+  double evaluate_globals(std::initializer_list<int> dirty_layers,
+                          std::int64_t* volume_out = nullptr,
+                          double* wire_out = nullptr) {
+    int width = 0;
+    int depth = 0;
+    int base = 0;
+    bool bases_changed = false;
+    for (std::size_t l = 0; l < cache_.size(); ++l) {
+      width = std::max(width, cache_[l].pack.width);
+      depth = std::max(depth, cache_[l].pack.depth);
+      if (layer_base_[l] != base) bases_changed = true;
+      layer_base_[l] = base;
+      base += cache_[l].height;
+    }
+    const std::int64_t volume =
+        std::int64_t{width} * depth * std::max(base, 1);
+
+    if (bases_changed || dirty_layers.size() == 0) {
+      full_wire_recompute();
+    } else {
+      ++stamp_;
+      for (int layer : dirty_layers) {
+        for (int item : layers_[static_cast<std::size_t>(layer)].items()) {
+          for (int net : nets_of_node_[static_cast<std::size_t>(item)]) {
+            if (net_stamp_[static_cast<std::size_t>(net)] == stamp_) continue;
+            net_stamp_[static_cast<std::size_t>(net)] = stamp_;
+            total_wire_ -= wl_of_net_[static_cast<std::size_t>(net)];
+            wl_of_net_[static_cast<std::size_t>(net)] =
+                net_wirelength(static_cast<std::size_t>(net));
+            total_wire_ += wl_of_net_[static_cast<std::size_t>(net)];
+          }
+        }
+      }
+    }
+
+    double order_penalty = 0;
+    for (const auto& [before, after] : nodes_.cross_order) {
+      const int xa = module_cell(before).x;
+      const int xb = module_cell(after).x;
+      if (xa >= xb) order_penalty += 10.0 * (xa - xb + 1);
+    }
+
+    if (volume_out != nullptr) *volume_out = volume;
+    if (wire_out != nullptr) *wire_out = total_wire_;
+    return opt_.alpha_volume * static_cast<double>(volume) +
+           opt_.beta_wire * total_wire_ + order_penalty;
+  }
+
+  void build_initial(int layer_count);
+
+  const NodeSet& nodes_;
+  PlaceOptions opt_;
+  Rng rng_;
+
+  std::vector<BStarTree> layers_;
+  std::vector<LayerCache> cache_;
+  std::vector<int> layer_of_node_;
+  std::vector<bool> rotated_;
+  std::vector<int> plane_x_;
+  std::vector<int> plane_z_;
+  std::vector<int> layer_base_;
+  std::vector<std::vector<int>> nets_of_node_;
+  std::vector<double> wl_of_net_;
+  std::vector<int> net_stamp_;
+  int stamp_ = 0;
+  double total_wire_ = 0;
+};
+
+void Annealer::build_initial(int layer_count) {
+  layers_.assign(static_cast<std::size_t>(layer_count), BStarTree{});
+  cache_.assign(static_cast<std::size_t>(layer_count), LayerCache{});
+  layer_base_.assign(static_cast<std::size_t>(layer_count), 0);
+  layer_of_node_.assign(nodes_.nodes.size(), 0);
+  rotated_.assign(nodes_.nodes.size(), false);
+  plane_x_.assign(nodes_.nodes.size(), 0);
+  plane_z_.assign(nodes_.nodes.size(), 0);
+
+  // Big nodes first, round-robin across layers; each layer starts as a row
+  // (left-skewed chain), which the SA then reshapes.
+  std::vector<int> order(nodes_.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto area = [&](int n) {
+      const Vec3 d = nodes_.nodes[static_cast<std::size_t>(n)].dims;
+      return std::int64_t{d.x} * d.z;
+    };
+    return std::tuple(-area(a), a) < std::tuple(-area(b), b);
+  });
+  int next_layer = 0;
+  for (int node : order) {
+    layers_[static_cast<std::size_t>(next_layer)].insert_chain(node);
+    layer_of_node_[static_cast<std::size_t>(node)] = next_layer;
+    next_layer = (next_layer + 1) % layer_count;
+  }
+  for (int l = 0; l < layer_count; ++l) repack(l);
+
+  // Node -> incident nets (for incremental wirelength updates).
+  nets_of_node_.assign(nodes_.nodes.size(), {});
+  wl_of_net_.assign(nodes_.net_pins.size(), 0.0);
+  net_stamp_.assign(nodes_.net_pins.size(), 0);
+  for (std::size_t net = 0; net < nodes_.net_pins.size(); ++net) {
+    for (pdgraph::ModuleId m : nodes_.net_pins[net]) {
+      auto& list = nets_of_node_[static_cast<std::size_t>(
+          nodes_.node_of_module[static_cast<std::size_t>(m)])];
+      if (list.empty() || list.back() != static_cast<int>(net))
+        list.push_back(static_cast<int>(net));
+    }
+  }
+}
+
+Placement Annealer::run() {
+  const int node_count = nodes_.node_count();
+  TQEC_REQUIRE(node_count > 0, "nothing to place");
+
+  int layer_count = opt_.layers;
+  if (layer_count <= 0) {
+    std::int64_t area = 0;
+    for (const PlacementNode& n : nodes_.nodes)
+      area += std::int64_t{n.dims.x} * n.dims.z;
+    layer_count = static_cast<int>(std::llround(std::cbrt(
+        static_cast<double>(area))));
+    layer_count = std::clamp(layer_count, 1, std::max(1, node_count));
+    layer_count = std::min(layer_count, 48);
+  }
+  build_initial(layer_count);
+
+  std::int64_t volume = 0;
+  double wire = 0;
+  double cost = evaluate_globals({}, &volume, &wire);
+  const std::int64_t initial_volume = volume;
+
+  // Best-seen state (structures are cheap to copy relative to SA time).
+  auto snapshot = [&]() {
+    return std::tuple(layers_, layer_of_node_, rotated_);
+  };
+  auto best_state = snapshot();
+  double best_cost = cost;
+
+  // Equal annealing budget regardless of node count: the super-module
+  // reduction then shows up as more exploration per node — the paper's
+  // argument for why primal bridging makes the SA converge better on
+  // large designs (Sec. 4).
+  int iterations = opt_.iterations;
+  if (iterations <= 0) iterations = std::clamp(node_count * 400, 2000, 60000);
+  iterations = std::max(1, static_cast<int>(iterations * opt_.effort));
+  const int batch =
+      opt_.batch > 0 ? opt_.batch : std::max(64, node_count / 2);
+
+  double temperature = std::max(1.0, opt_.t0_fraction * cost);
+  int accepted = 0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    enum class Move { Rotate, Swap, Relocate };
+    const double roll = rng_.uniform();
+    const Move move = roll < 0.3    ? Move::Rotate
+                      : roll < 0.65 ? Move::Swap
+                                    : Move::Relocate;
+
+    const int a = static_cast<int>(rng_.below(
+        static_cast<std::uint64_t>(node_count)));
+    int b = a;
+    if (node_count > 1) {
+      while (b == a)
+        b = static_cast<int>(rng_.below(
+            static_cast<std::uint64_t>(node_count)));
+    }
+
+    const int la = layer_of_node_[static_cast<std::size_t>(a)];
+    const int lb = layer_of_node_[static_cast<std::size_t>(b)];
+    int target_layer = la;
+    BStarTree saved_a;
+    BStarTree saved_b;
+    bool saved_rot = rotated_[static_cast<std::size_t>(a)];
+    bool applied = false;
+
+    switch (move) {
+      case Move::Rotate:
+        if (!can_rotate(a)) break;
+        rotated_[static_cast<std::size_t>(a)] = !saved_rot;
+        repack(la);
+        applied = true;
+        break;
+      case Move::Swap:
+        if (node_count < 2) break;
+        saved_a = layers_[static_cast<std::size_t>(la)];
+        saved_b = layers_[static_cast<std::size_t>(lb)];
+        if (la == lb) {
+          layers_[static_cast<std::size_t>(la)].swap_items(a, b);
+          repack(la);
+        } else {
+          layers_[static_cast<std::size_t>(la)].remove(a, rng_);
+          layers_[static_cast<std::size_t>(lb)].remove(b, rng_);
+          layers_[static_cast<std::size_t>(la)].insert(b, rng_);
+          layers_[static_cast<std::size_t>(lb)].insert(a, rng_);
+          layer_of_node_[static_cast<std::size_t>(a)] = lb;
+          layer_of_node_[static_cast<std::size_t>(b)] = la;
+          repack(la);
+          repack(lb);
+        }
+        applied = true;
+        break;
+      case Move::Relocate: {
+        target_layer = static_cast<int>(rng_.below(layers_.size()));
+        if (target_layer == la &&
+            layers_[static_cast<std::size_t>(la)].size() == 1)
+          break;  // no-op relocation of a lone node
+        saved_a = layers_[static_cast<std::size_t>(la)];
+        saved_b = layers_[static_cast<std::size_t>(target_layer)];
+        layers_[static_cast<std::size_t>(la)].remove(a, rng_);
+        layers_[static_cast<std::size_t>(target_layer)].insert(a, rng_);
+        layer_of_node_[static_cast<std::size_t>(a)] = target_layer;
+        repack(la);
+        if (target_layer != la) repack(target_layer);
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) continue;
+
+    std::int64_t cand_volume = 0;
+    double cand_wire = 0;
+    const double cand_cost =
+        la == target_layer && move != Move::Swap
+            ? evaluate_globals({la}, &cand_volume, &cand_wire)
+            : evaluate_globals({la, lb, target_layer}, &cand_volume,
+                               &cand_wire);
+    const double delta = cand_cost - cost;
+    const bool accept =
+        delta <= 0 || rng_.uniform() < std::exp(-delta / temperature);
+    if (accept) {
+      cost = cand_cost;
+      volume = cand_volume;
+      wire = cand_wire;
+      ++accepted;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_state = snapshot();
+      }
+    } else {
+      switch (move) {
+        case Move::Rotate:
+          rotated_[static_cast<std::size_t>(a)] = saved_rot;
+          repack(la);
+          break;
+        case Move::Swap:
+          layers_[static_cast<std::size_t>(la)] = std::move(saved_a);
+          layers_[static_cast<std::size_t>(lb)] = std::move(saved_b);
+          layer_of_node_[static_cast<std::size_t>(a)] = la;
+          layer_of_node_[static_cast<std::size_t>(b)] = lb;
+          repack(la);
+          if (lb != la) repack(lb);
+          break;
+        case Move::Relocate:
+          layers_[static_cast<std::size_t>(la)] = std::move(saved_a);
+          layers_[static_cast<std::size_t>(target_layer)] = std::move(saved_b);
+          layer_of_node_[static_cast<std::size_t>(a)] = la;
+          repack(la);
+          if (target_layer != la) repack(target_layer);
+          break;
+      }
+      evaluate_globals({la, lb, target_layer});  // restore caches
+    }
+
+    if ((iter + 1) % batch == 0) temperature *= opt_.cooling;
+  }
+
+  // Materialize the best state found.
+  std::tie(layers_, layer_of_node_, rotated_) = std::move(best_state);
+  for (std::size_t l = 0; l < layers_.size(); ++l) repack(static_cast<int>(l));
+  double final_wire = 0;
+  std::int64_t final_volume = 0;
+  evaluate_globals({}, &final_volume, &final_wire);
+
+  Placement placement;
+  placement.node_origin.assign(nodes_.nodes.size(), Vec3{});
+  for (std::size_t n = 0; n < nodes_.nodes.size(); ++n)
+    placement.node_origin[n] = {
+        plane_x_[n],
+        layer_base_[static_cast<std::size_t>(layer_of_node_[n])],
+        plane_z_[n]};
+  placement.node_rotated.assign(rotated_.begin(), rotated_.end());
+  placement.module_cell.assign(nodes_.node_of_module.size(), Vec3{});
+  for (std::size_t m = 0; m < nodes_.node_of_module.size(); ++m)
+    placement.module_cell[m] = module_cell(static_cast<pdgraph::ModuleId>(m));
+  for (const PlacementNode& n : nodes_.nodes) {
+    for (const NodeBox& box : n.boxes) {
+      TQEC_ASSERT(!rotated_[static_cast<std::size_t>(n.id)],
+                  "distillation nodes must not rotate");
+      placement.boxes.push_back(
+          {box.kind, placement.node_origin[static_cast<std::size_t>(n.id)] +
+                         box.offset,
+           box.line});
+    }
+  }
+  Box3 core;
+  for (const Vec3& cell : placement.module_cell) core = core.expanded(cell);
+  for (const geom::DistillBox& b : placement.boxes)
+    core = core.merged(b.extent());
+  placement.core = core;
+  placement.volume = core.volume();
+  placement.wirelength = final_wire;
+  placement.layers = static_cast<int>(layers_.size());
+  placement.initial_volume = initial_volume;
+  placement.iterations_run = iterations;
+  placement.moves_accepted = accepted;
+  TQEC_LOG_INFO("placement: nodes=" << nodes_.node_count()
+                                    << " layers=" << placement.layers
+                                    << " volume=" << placement.volume
+                                    << " wl=" << placement.wirelength
+                                    << " accepted=" << accepted << "/"
+                                    << iterations);
+  return placement;
+}
+
+}  // namespace
+
+Placement place_modules(const NodeSet& nodes, const PlaceOptions& options) {
+  Annealer annealer(nodes, options);
+  return annealer.run();
+}
+
+}  // namespace tqec::place

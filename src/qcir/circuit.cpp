@@ -1,0 +1,184 @@
+#include "qcir/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace tqec::qcir {
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::X: return "X";
+    case GateKind::Cnot: return "CNOT";
+    case GateKind::Toffoli: return "TOFFOLI";
+    case GateKind::Mct: return "MCT";
+    case GateKind::Fredkin: return "FREDKIN";
+    case GateKind::Swap: return "SWAP";
+    case GateKind::H: return "H";
+    case GateKind::S: return "S";
+    case GateKind::Sdg: return "Sdg";
+    case GateKind::T: return "T";
+    case GateKind::Tdg: return "Tdg";
+    case GateKind::Z: return "Z";
+  }
+  return "?";
+}
+
+bool is_clifford_t(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Cnot:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::Z:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << gate_kind_name(kind) << '(';
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    if (i != 0) os << ',';
+    os << controls[i];
+  }
+  os << ';';
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (i != 0) os << ',';
+    os << targets[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+void Circuit::check_gate(const Gate& gate) const {
+  std::unordered_set<int> seen;
+  for (int q : gate.qubits()) {
+    TQEC_REQUIRE(q >= 0 && q < num_qubits_,
+                 "gate qubit out of range: " + gate.to_string());
+    TQEC_REQUIRE(seen.insert(q).second,
+                 "gate qubits must be distinct: " + gate.to_string());
+  }
+  const std::size_t nc = gate.controls.size();
+  const std::size_t nt = gate.targets.size();
+  switch (gate.kind) {
+    case GateKind::X:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::Z:
+      TQEC_REQUIRE(nc == 0 && nt == 1,
+                   "single-qubit gate arity: " + gate.to_string());
+      break;
+    case GateKind::Cnot:
+      TQEC_REQUIRE(nc == 1 && nt == 1, "CNOT arity: " + gate.to_string());
+      break;
+    case GateKind::Toffoli:
+      TQEC_REQUIRE(nc == 2 && nt == 1, "Toffoli arity: " + gate.to_string());
+      break;
+    case GateKind::Mct:
+      TQEC_REQUIRE(nc >= 3 && nt == 1, "MCT arity: " + gate.to_string());
+      break;
+    case GateKind::Swap:
+      TQEC_REQUIRE(nc == 0 && nt == 2, "SWAP arity: " + gate.to_string());
+      break;
+    case GateKind::Fredkin:
+      TQEC_REQUIRE(nc >= 1 && nt == 2, "Fredkin arity: " + gate.to_string());
+      break;
+  }
+}
+
+void Circuit::add(Gate gate) {
+  check_gate(gate);
+  gates_.push_back(std::move(gate));
+}
+
+void Circuit::set_qubit_names(std::vector<std::string> names) {
+  TQEC_REQUIRE(static_cast<int>(names.size()) == num_qubits_,
+               "qubit name count mismatch");
+  qubit_names_ = std::move(names);
+}
+
+void Circuit::set_constant_inputs(std::vector<std::optional<bool>> constants) {
+  TQEC_REQUIRE(static_cast<int>(constants.size()) == num_qubits_,
+               "constant-input count mismatch");
+  constant_inputs_ = std::move(constants);
+}
+
+void Circuit::set_garbage_outputs(std::vector<bool> garbage) {
+  TQEC_REQUIRE(static_cast<int>(garbage.size()) == num_qubits_,
+               "garbage-output count mismatch");
+  garbage_outputs_ = std::move(garbage);
+}
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  s.num_qubits = num_qubits_;
+  s.total_gates = static_cast<std::int64_t>(gates_.size());
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::X: ++s.x; break;
+      case GateKind::Cnot: ++s.cnot; break;
+      case GateKind::Toffoli: ++s.toffoli; break;
+      case GateKind::Mct: ++s.mct; break;
+      case GateKind::Fredkin: ++s.fredkin; break;
+      case GateKind::Swap: ++s.swap_; break;
+      case GateKind::H: ++s.h; break;
+      case GateKind::S:
+      case GateKind::Sdg: ++s.s; break;
+      case GateKind::T:
+      case GateKind::Tdg: ++s.t; break;
+      case GateKind::Z: ++s.z; break;
+    }
+  }
+  return s;
+}
+
+bool Circuit::is_clifford_t() const {
+  return std::all_of(gates_.begin(), gates_.end(),
+                     [](const Gate& g) { return qcir::is_clifford_t(g.kind); });
+}
+
+std::vector<bool> Circuit::simulate_classical(std::vector<bool> state) const {
+  TQEC_REQUIRE(static_cast<int>(state.size()) == num_qubits_,
+               "input size mismatch");
+  for (const Gate& g : gates_) {
+    const bool controls_on =
+        std::all_of(g.controls.begin(), g.controls.end(),
+                    [&](int c) { return state[static_cast<std::size_t>(c)]; });
+    switch (g.kind) {
+      case GateKind::X:
+      case GateKind::Cnot:
+      case GateKind::Toffoli:
+      case GateKind::Mct:
+        if (controls_on) {
+          auto t = static_cast<std::size_t>(g.targets[0]);
+          state[t] = !state[t];
+        }
+        break;
+      case GateKind::Swap:
+      case GateKind::Fredkin:
+        if (controls_on) {
+          auto a = static_cast<std::size_t>(g.targets[0]);
+          auto b = static_cast<std::size_t>(g.targets[1]);
+          const bool tmp = state[a];
+          state[a] = state[b];
+          state[b] = tmp;
+        }
+        break;
+      default:
+        throw TqecError("simulate_classical: non-reversible gate " +
+                        g.to_string());
+    }
+  }
+  return state;
+}
+
+}  // namespace tqec::qcir

@@ -1,0 +1,96 @@
+// Circuit container: an ordered gate list over a fixed qubit count, with
+// optional qubit names (RevLib variable names) and constant-input /
+// garbage-output annotations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qcir/gate.h"
+
+namespace tqec::qcir {
+
+/// Per-kind gate census plus derived Clifford+T statistics.
+struct CircuitStats {
+  int num_qubits = 0;
+  std::int64_t total_gates = 0;
+  std::int64_t x = 0;
+  std::int64_t cnot = 0;
+  std::int64_t toffoli = 0;
+  std::int64_t mct = 0;
+  std::int64_t fredkin = 0;
+  std::int64_t swap_ = 0;
+  std::int64_t h = 0;
+  std::int64_t s = 0;  // S + Sdg
+  std::int64_t t = 0;  // T + Tdg
+  std::int64_t z = 0;
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, std::string name = {})
+      : name_(std::move(name)), num_qubits_(num_qubits) {
+    TQEC_REQUIRE(num_qubits >= 0, "negative qubit count");
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_qubits() const { return num_qubits_; }
+
+  /// Grow the register; existing gates are unaffected. Returns the index of
+  /// the first newly added qubit.
+  int add_qubits(int count) {
+    TQEC_REQUIRE(count >= 0, "negative qubit count");
+    const int first = num_qubits_;
+    num_qubits_ += count;
+    return first;
+  }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+
+  /// Append a gate; validates qubit indices and control/target disjointness.
+  void add(Gate gate);
+
+  /// Qubit names (empty when unnamed; parser fills these from .variables).
+  const std::vector<std::string>& qubit_names() const { return qubit_names_; }
+  void set_qubit_names(std::vector<std::string> names);
+
+  /// Constant-input values per qubit (nullopt = primary input).
+  const std::vector<std::optional<bool>>& constant_inputs() const {
+    return constant_inputs_;
+  }
+  void set_constant_inputs(std::vector<std::optional<bool>> constants);
+
+  /// Garbage flags per qubit (true = output is don't-care).
+  const std::vector<bool>& garbage_outputs() const { return garbage_outputs_; }
+  void set_garbage_outputs(std::vector<bool> garbage);
+
+  CircuitStats stats() const;
+
+  /// True if every gate kind is in the Clifford+T basis.
+  bool is_clifford_t() const;
+
+  /// Classical simulation on computational-basis states: applies the
+  /// reversible kinds (X/CNOT/Toffoli/MCT/Fredkin/Swap) to a bit vector.
+  /// Precondition: the circuit contains only reversible kinds and
+  /// input.size() == num_qubits(). Used by decomposition equivalence tests.
+  std::vector<bool> simulate_classical(std::vector<bool> input) const;
+
+ private:
+  void check_gate(const Gate& gate) const;
+
+  std::string name_;
+  int num_qubits_ = 0;
+  std::vector<Gate> gates_;
+  std::vector<std::string> qubit_names_;
+  std::vector<std::optional<bool>> constant_inputs_;
+  std::vector<bool> garbage_outputs_;
+};
+
+}  // namespace tqec::qcir

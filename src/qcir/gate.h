@@ -1,0 +1,89 @@
+// Gate model for reversible / Clifford+T circuits.
+//
+// The input side of the flow deals with reversible circuits in the RevLib
+// sense (multiple-control Toffoli and Fredkin gates) and with their
+// Clifford+T decompositions. Gates are value types: a kind plus control and
+// target qubit indices.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tqec::qcir {
+
+enum class GateKind : std::uint8_t {
+  X,        // NOT (t1 in RevLib)
+  Cnot,     // controlled NOT (t2)
+  Toffoli,  // doubly-controlled NOT (t3)
+  Mct,      // multiple-control Toffoli (t4+)
+  Fredkin,  // controlled swap (f3+)
+  Swap,     // uncontrolled swap (f2)
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  Z,
+};
+
+/// Human-readable mnemonic ("CNOT", "T", ...).
+const char* gate_kind_name(GateKind kind);
+
+/// True for kinds in the Clifford+T basis {X, CNOT, H, S, Sdg, T, Tdg, Z}.
+bool is_clifford_t(GateKind kind);
+
+/// True for the non-Clifford kinds (T, Tdg).
+inline bool is_t_like(GateKind kind) {
+  return kind == GateKind::T || kind == GateKind::Tdg;
+}
+
+struct Gate {
+  GateKind kind = GateKind::X;
+  std::vector<int> controls;  // control qubit indices (empty if none)
+  std::vector<int> targets;   // target qubit indices (1, or 2 for swap kinds)
+
+  Gate() = default;
+  Gate(GateKind kind_, std::vector<int> controls_, std::vector<int> targets_)
+      : kind(kind_), controls(std::move(controls_)),
+        targets(std::move(targets_)) {}
+
+  static Gate x(int target) { return {GateKind::X, {}, {target}}; }
+  static Gate cnot(int control, int target) {
+    return {GateKind::Cnot, {control}, {target}};
+  }
+  static Gate toffoli(int c0, int c1, int target) {
+    return {GateKind::Toffoli, {c0, c1}, {target}};
+  }
+  static Gate mct(std::vector<int> controls, int target) {
+    TQEC_REQUIRE(controls.size() >= 3, "MCT requires >= 3 controls");
+    return {GateKind::Mct, std::move(controls), {target}};
+  }
+  static Gate fredkin(std::vector<int> controls, int a, int b) {
+    return {GateKind::Fredkin, std::move(controls), {a, b}};
+  }
+  static Gate swap(int a, int b) { return {GateKind::Swap, {}, {a, b}}; }
+  static Gate h(int target) { return {GateKind::H, {}, {target}}; }
+  static Gate s(int target) { return {GateKind::S, {}, {target}}; }
+  static Gate sdg(int target) { return {GateKind::Sdg, {}, {target}}; }
+  static Gate t(int target) { return {GateKind::T, {}, {target}}; }
+  static Gate tdg(int target) { return {GateKind::Tdg, {}, {target}}; }
+  static Gate z(int target) { return {GateKind::Z, {}, {target}}; }
+
+  /// All qubits the gate touches (controls then targets).
+  std::vector<int> qubits() const {
+    std::vector<int> out = controls;
+    out.insert(out.end(), targets.begin(), targets.end());
+    return out;
+  }
+
+  friend bool operator==(const Gate&, const Gate&) = default;
+
+  /// Compact textual form, e.g. "CNOT(1;3)" with controls before ';'.
+  std::string to_string() const;
+};
+
+}  // namespace tqec::qcir

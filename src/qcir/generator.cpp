@@ -1,0 +1,48 @@
+#include "qcir/generator.h"
+
+#include <algorithm>
+
+namespace tqec::qcir {
+
+Circuit make_random_reversible(const RandomReversibleSpec& spec) {
+  TQEC_REQUIRE(spec.num_qubits >= 3, "need at least 3 qubits");
+  TQEC_REQUIRE(spec.num_gates >= 0, "negative gate count");
+  TQEC_REQUIRE(spec.locality_window >= 1, "locality window must be >= 1");
+
+  Rng rng(spec.seed);
+  Circuit circuit(spec.num_qubits, "random");
+
+  // Pick a gate's qubits inside a window anchored at a random line, so the
+  // interaction graph has the banded structure typical of arithmetic
+  // circuits rather than being a uniform random graph.
+  auto pick_distinct = [&](int count) {
+    const int window =
+        std::min(spec.num_qubits, std::max(count, spec.locality_window));
+    const int base = rng.range(0, spec.num_qubits - window);
+    std::vector<int> qubits;
+    while (static_cast<int>(qubits.size()) < count) {
+      const int q = base + rng.range(0, window - 1);
+      if (std::find(qubits.begin(), qubits.end(), q) == qubits.end())
+        qubits.push_back(q);
+    }
+    return qubits;
+  };
+
+  for (int g = 0; g < spec.num_gates; ++g) {
+    const double roll = rng.uniform();
+    if (roll < spec.toffoli_fraction) {
+      const auto q = pick_distinct(3);
+      circuit.add(Gate::toffoli(q[0], q[1], q[2]));
+    } else if (roll < spec.toffoli_fraction +
+                          (1.0 - spec.toffoli_fraction) * 0.8) {
+      const auto q = pick_distinct(2);
+      circuit.add(Gate::cnot(q[0], q[1]));
+    } else {
+      const auto q = pick_distinct(1);
+      circuit.add(Gate::x(q[0]));
+    }
+  }
+  return circuit;
+}
+
+}  // namespace tqec::qcir

@@ -1,0 +1,32 @@
+// Synthetic reversible-circuit generation.
+//
+// RevLib benchmark files are not redistributable with this repository, so
+// the benchmark suite is driven by (a) small hand-written .real circuits in
+// examples/data and (b) randomly generated reversible circuits with a
+// locality knob that mimics the arithmetic/kernel structure of the RevLib
+// suite (gates mostly touch nearby lines). See icm/workload.h for the
+// generator that reproduces the paper's post-decomposition statistics
+// directly at the ICM level.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "qcir/circuit.h"
+
+namespace tqec::qcir {
+
+struct RandomReversibleSpec {
+  int num_qubits = 8;
+  int num_gates = 32;
+  /// Fraction of gates that are Toffoli (the rest split CNOT/NOT).
+  double toffoli_fraction = 0.5;
+  /// Mean distance between a gate's qubits; small = local structure.
+  int locality_window = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random reversible circuit of NOT/CNOT/Toffoli gates.
+Circuit make_random_reversible(const RandomReversibleSpec& spec);
+
+}  // namespace tqec::qcir

@@ -1,0 +1,97 @@
+#include "qcir/library.h"
+
+namespace tqec::qcir {
+
+namespace {
+
+/// Cuccaro MAJ block on (c, b, a): after it, a holds MAJ(c, b, a) and the
+/// other two lines hold partial sums.
+void maj(Circuit& circuit, int c, int b, int a) {
+  circuit.add(Gate::cnot(a, b));
+  circuit.add(Gate::cnot(a, c));
+  circuit.add(Gate::toffoli(c, b, a));
+}
+
+/// Cuccaro UMA block (2-CNOT variant), the inverse companion of MAJ that
+/// leaves the sum on b and restores a and c.
+void uma(Circuit& circuit, int c, int b, int a) {
+  circuit.add(Gate::toffoli(c, b, a));
+  circuit.add(Gate::cnot(a, c));
+  circuit.add(Gate::cnot(c, b));
+}
+
+}  // namespace
+
+int adder_cin_qubit() { return 0; }
+int adder_b_qubit(int i) { return 1 + 2 * i; }
+int adder_a_qubit(int i) { return 2 + 2 * i; }
+int adder_carry_qubit(int bits) { return 2 * bits + 1; }
+
+Circuit make_ripple_adder(int bits) {
+  TQEC_REQUIRE(bits >= 1, "adder needs at least one bit");
+  Circuit circuit(2 * bits + 2,
+                  "cuccaro-adder-" + std::to_string(bits));
+  const int cin = adder_cin_qubit();
+  const int z = adder_carry_qubit(bits);
+
+  // Forward MAJ ladder.
+  maj(circuit, cin, adder_b_qubit(0), adder_a_qubit(0));
+  for (int i = 1; i < bits; ++i)
+    maj(circuit, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i));
+  // Carry out.
+  circuit.add(Gate::cnot(adder_a_qubit(bits - 1), z));
+  // Backward UMA ladder.
+  for (int i = bits - 1; i >= 1; --i)
+    uma(circuit, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i));
+  uma(circuit, cin, adder_b_qubit(0), adder_a_qubit(0));
+  return circuit;
+}
+
+Circuit make_increment(int bits) {
+  TQEC_REQUIRE(bits >= 1, "increment needs at least one bit");
+  Circuit circuit(bits, "increment-" + std::to_string(bits));
+  // Most-significant flip first: q_k flips when q_0..q_{k-1} are all 1.
+  for (int k = bits - 1; k >= 1; --k) {
+    std::vector<int> controls;
+    for (int i = 0; i < k; ++i) controls.push_back(i);
+    switch (controls.size()) {
+      case 1: circuit.add(Gate::cnot(controls[0], k)); break;
+      case 2: circuit.add(Gate::toffoli(controls[0], controls[1], k)); break;
+      default: circuit.add(Gate::mct(controls, k)); break;
+    }
+  }
+  circuit.add(Gate::x(0));
+  return circuit;
+}
+
+Circuit make_grover_diffusion(int qubits) {
+  TQEC_REQUIRE(qubits >= 2, "diffusion needs at least two qubits");
+  Circuit circuit(qubits, "grover-diffusion-" + std::to_string(qubits));
+  for (int q = 0; q < qubits; ++q) circuit.add(Gate::h(q));
+  for (int q = 0; q < qubits; ++q) circuit.add(Gate::x(q));
+  // Multi-controlled Z on the last qubit, H-conjugated MCT.
+  const int target = qubits - 1;
+  circuit.add(Gate::h(target));
+  std::vector<int> controls;
+  for (int q = 0; q < target; ++q) controls.push_back(q);
+  switch (controls.size()) {
+    case 1: circuit.add(Gate::cnot(controls[0], target)); break;
+    case 2: circuit.add(Gate::toffoli(controls[0], controls[1], target)); break;
+    default: circuit.add(Gate::mct(controls, target)); break;
+  }
+  circuit.add(Gate::h(target));
+  for (int q = 0; q < qubits; ++q) circuit.add(Gate::x(q));
+  for (int q = 0; q < qubits; ++q) circuit.add(Gate::h(q));
+  return circuit;
+}
+
+Circuit make_majority_vote() {
+  // target ^= ab + bc + ca  ==  (a AND b) XOR (b AND c) XOR (c AND a).
+  Circuit circuit(4, "majority-vote");
+  circuit.add(Gate::toffoli(0, 1, 3));
+  circuit.add(Gate::toffoli(1, 2, 3));
+  circuit.add(Gate::toffoli(2, 0, 3));
+  return circuit;
+}
+
+}  // namespace tqec::qcir

@@ -1,0 +1,36 @@
+// A library of parameterized reversible/quantum circuit families, used as
+// realistic example workloads beyond the RevLib benchmarks. All reversible
+// constructions are verified against their arithmetic specification in the
+// test suite (classically on every input for small widths).
+#pragma once
+
+#include "qcir/circuit.h"
+
+namespace tqec::qcir {
+
+/// Cuccaro ripple-carry adder (quant-ph/0410184): computes
+/// b <- (a + b + cin) mod 2^n with the carry-out on a dedicated line.
+/// Register layout: qubit 0 = cin, then interleaved (b_i, a_i) pairs, and
+/// the last qubit is the carry-out z. Uses 2n + 2 qubits, no ancillas.
+Circuit make_ripple_adder(int bits);
+
+/// Qubit index helpers for the adder layout.
+int adder_cin_qubit();
+int adder_b_qubit(int i);
+int adder_a_qubit(int i);
+int adder_carry_qubit(int bits);
+
+/// Controlled increment: adds 1 to the n-bit register (q0 = LSB) modulo
+/// 2^n, via a cascade of multiple-control Toffolis.
+Circuit make_increment(int bits);
+
+/// Grover diffusion operator on n qubits: H^n X^n (multi-controlled Z)
+/// X^n H^n. The inner MCZ is realized as H-conjugated MCT on the last
+/// qubit; for n == 2 it degenerates to CZ via H+CNOT.
+Circuit make_grover_diffusion(int qubits);
+
+/// Boolean majority-of-three into a target ancilla (a common RevLib
+/// motif): target ^= MAJ(a, b, c).
+Circuit make_majority_vote();
+
+}  // namespace tqec::qcir

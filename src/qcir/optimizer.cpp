@@ -1,0 +1,126 @@
+#include "qcir/optimizer.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace tqec::qcir {
+
+namespace {
+
+bool self_inverse(GateKind kind) {
+  switch (kind) {
+    case GateKind::X:
+    case GateKind::Cnot:
+    case GateKind::Toffoli:
+    case GateKind::Mct:
+    case GateKind::Fredkin:
+    case GateKind::Swap:
+    case GateKind::H:
+    case GateKind::Z:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  return a.controls == b.controls && a.targets == b.targets;
+}
+
+bool disjoint(const Gate& a, const Gate& b) {
+  for (int q : a.qubits())
+    for (int r : b.qubits())
+      if (q == r) return false;
+  return true;
+}
+
+/// If a and b (a before b, possibly with disjoint gates between) combine,
+/// return the replacement (nullopt_gate = annihilate to identity).
+struct Combine {
+  bool cancels = false;                // both gates vanish
+  std::optional<Gate> fused;           // both gates replaced by one
+};
+
+Combine try_combine(const Gate& a, const Gate& b) {
+  Combine result;
+  if (!same_operands(a, b)) return result;
+  // O1: self-inverse pair.
+  if (a.kind == b.kind && self_inverse(a.kind)) {
+    result.cancels = true;
+    return result;
+  }
+  // O2: inverse phase pairs.
+  const auto inverse_pair = [&](GateKind x, GateKind y) {
+    return (a.kind == x && b.kind == y) || (a.kind == y && b.kind == x);
+  };
+  if (inverse_pair(GateKind::T, GateKind::Tdg) ||
+      inverse_pair(GateKind::S, GateKind::Sdg)) {
+    result.cancels = true;
+    return result;
+  }
+  // O3: phase fusions.
+  if (a.kind == b.kind) {
+    switch (a.kind) {
+      case GateKind::T: result.fused = Gate::s(a.targets[0]); break;
+      case GateKind::Tdg: result.fused = Gate::sdg(a.targets[0]); break;
+      case GateKind::S:
+      case GateKind::Sdg: result.fused = Gate::z(a.targets[0]); break;
+      default: break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  local.gates_before = static_cast<std::int64_t>(circuit.size());
+
+  std::vector<Gate> gates(circuit.gates());
+  std::vector<bool> dead(gates.size(), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (dead[i]) continue;
+      // Scan forward for a partner; stop at the first live gate sharing a
+      // qubit (commutation barrier).
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (dead[j]) continue;
+        const Combine combine = try_combine(gates[i], gates[j]);
+        if (combine.cancels) {
+          dead[i] = dead[j] = true;
+          ++local.cancelled_pairs;
+          changed = true;
+          break;
+        }
+        if (combine.fused) {
+          gates[i] = *combine.fused;
+          dead[j] = true;
+          ++local.fused_pairs;
+          changed = true;
+          break;
+        }
+        if (!disjoint(gates[i], gates[j])) break;
+      }
+    }
+  }
+
+  Circuit out(circuit.num_qubits(), circuit.name());
+  if (!circuit.qubit_names().empty())
+    out.set_qubit_names(circuit.qubit_names());
+  if (!circuit.constant_inputs().empty())
+    out.set_constant_inputs(circuit.constant_inputs());
+  if (!circuit.garbage_outputs().empty())
+    out.set_garbage_outputs(circuit.garbage_outputs());
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (!dead[i]) out.add(gates[i]);
+
+  local.gates_after = static_cast<std::int64_t>(out.size());
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tqec::qcir

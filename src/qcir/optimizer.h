@@ -1,0 +1,31 @@
+// Reversible-circuit peephole optimization for the preprocess stage.
+//
+// RevLib netlists and naive syntheses contain trivially removable gate
+// pairs; eliminating them before decomposition shrinks every downstream
+// quantity (T count, ICM lines, PD-graph modules). Rules applied to
+// fixpoint, with commutation awareness (a gate pair can cancel across
+// gates that act on disjoint qubit sets):
+//   O1  G . G = I          for self-inverse kinds (X, CNOT, Toffoli, MCT,
+//                          Fredkin, Swap, H, Z)
+//   O2  T.Tdg = Tdg.T = I,  S.Sdg = Sdg.S = I
+//   O3  T.T -> S, Tdg.Tdg -> Sdg, S.S -> Z (gate-count reducing fusions)
+// The pass never reorders gates that share a qubit, so functional
+// equivalence is syntactic; the tests double-check with the state-vector
+// simulator.
+#pragma once
+
+#include "qcir/circuit.h"
+
+namespace tqec::qcir {
+
+struct OptimizeStats {
+  int cancelled_pairs = 0;
+  int fused_pairs = 0;
+  std::int64_t gates_before = 0;
+  std::int64_t gates_after = 0;
+};
+
+/// Run the peephole pass to fixpoint; returns the optimized circuit.
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+}  // namespace tqec::qcir

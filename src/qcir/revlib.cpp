@@ -1,0 +1,260 @@
+#include "qcir/revlib.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace tqec::qcir {
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& source, int line,
+                             const std::string& message) {
+  throw TqecError(source + ":" + std::to_string(line) + ": " + message);
+}
+
+struct ParserState {
+  std::string source;
+  int numvars = -1;
+  std::vector<std::string> variables;
+  std::unordered_map<std::string, int> var_index;
+  std::vector<std::optional<bool>> constants;
+  std::vector<bool> garbage;
+  bool in_gates = false;
+  bool done = false;
+  Circuit circuit;
+};
+
+void handle_directive(ParserState& st, const std::vector<std::string>& tokens,
+                      int line_no) {
+  const std::string key = to_lower(tokens[0]);
+  if (key == ".version" || key == ".inputs" || key == ".outputs" ||
+      key == ".inputbus" || key == ".outputbus" || key == ".state" ||
+      key == ".module") {
+    return;  // informational; not needed for synthesis
+  }
+  if (key == ".numvars") {
+    if (tokens.size() != 2)
+      parse_fail(st.source, line_no, ".numvars expects one argument");
+    st.numvars = std::stoi(tokens[1]);
+    if (st.numvars <= 0)
+      parse_fail(st.source, line_no, ".numvars must be positive");
+    return;
+  }
+  if (key == ".variables") {
+    if (st.numvars < 0)
+      parse_fail(st.source, line_no, ".variables before .numvars");
+    if (static_cast<int>(tokens.size()) - 1 != st.numvars)
+      parse_fail(st.source, line_no, ".variables count != .numvars");
+    st.variables.assign(tokens.begin() + 1, tokens.end());
+    for (int i = 0; i < st.numvars; ++i) {
+      if (!st.var_index.emplace(st.variables[static_cast<std::size_t>(i)], i)
+               .second)
+        parse_fail(st.source, line_no, "duplicate variable name");
+    }
+    return;
+  }
+  if (key == ".constants") {
+    if (tokens.size() != 2)
+      parse_fail(st.source, line_no, ".constants expects one token");
+    st.constants.clear();
+    for (char c : tokens[1]) {
+      if (c == '-')
+        st.constants.emplace_back(std::nullopt);
+      else if (c == '0')
+        st.constants.emplace_back(false);
+      else if (c == '1')
+        st.constants.emplace_back(true);
+      else
+        parse_fail(st.source, line_no, ".constants: bad character");
+    }
+    return;
+  }
+  if (key == ".garbage") {
+    if (tokens.size() != 2)
+      parse_fail(st.source, line_no, ".garbage expects one token");
+    st.garbage.clear();
+    for (char c : tokens[1]) {
+      if (c == '-')
+        st.garbage.push_back(false);
+      else if (c == '1')
+        st.garbage.push_back(true);
+      else
+        parse_fail(st.source, line_no, ".garbage: bad character");
+    }
+    return;
+  }
+  if (key == ".begin") {
+    if (st.numvars < 0) parse_fail(st.source, line_no, ".begin before .numvars");
+    st.circuit = Circuit(st.numvars);
+    if (!st.variables.empty()) st.circuit.set_qubit_names(st.variables);
+    if (!st.constants.empty()) {
+      if (static_cast<int>(st.constants.size()) != st.numvars)
+        parse_fail(st.source, line_no, ".constants length != .numvars");
+      st.circuit.set_constant_inputs(st.constants);
+    }
+    if (!st.garbage.empty()) {
+      if (static_cast<int>(st.garbage.size()) != st.numvars)
+        parse_fail(st.source, line_no, ".garbage length != .numvars");
+      st.circuit.set_garbage_outputs(st.garbage);
+    }
+    st.in_gates = true;
+    return;
+  }
+  if (key == ".end") {
+    st.done = true;
+    return;
+  }
+  parse_fail(st.source, line_no, "unknown directive " + tokens[0]);
+}
+
+int resolve_qubit(ParserState& st, const std::string& token, int line_no) {
+  const auto it = st.var_index.find(token);
+  if (it != st.var_index.end()) return it->second;
+  // Some RevLib files reference qubits positionally (x0, x1, ...).
+  if (st.variables.empty() && token.size() >= 2 &&
+      (token[0] == 'x' || token[0] == 'q')) {
+    const std::string digits = token.substr(1);
+    if (!digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos) {
+      const int q = std::stoi(digits);
+      if (q >= 0 && q < st.numvars) return q;
+    }
+  }
+  parse_fail(st.source, line_no, "unknown qubit name " + token);
+}
+
+void handle_gate(ParserState& st, const std::vector<std::string>& tokens,
+                 int line_no) {
+  const std::string mnemonic = to_lower(tokens[0]);
+  if (mnemonic.empty())
+    parse_fail(st.source, line_no, "empty gate mnemonic");
+
+  std::vector<int> qubits;
+  qubits.reserve(tokens.size() - 1);
+  for (std::size_t i = 1; i < tokens.size(); ++i)
+    qubits.push_back(resolve_qubit(st, tokens[i], line_no));
+
+  const char family = mnemonic[0];
+  const std::string arity_str = mnemonic.substr(1);
+  if (arity_str.empty() ||
+      arity_str.find_first_not_of("0123456789") != std::string::npos)
+    parse_fail(st.source, line_no, "unsupported gate " + tokens[0]);
+  const int arity = std::stoi(arity_str);
+  if (arity != static_cast<int>(qubits.size()))
+    parse_fail(st.source, line_no,
+               "gate arity mismatch: " + tokens[0] + " with " +
+                   std::to_string(qubits.size()) + " operands");
+
+  if (family == 't') {
+    const int target = qubits.back();
+    std::vector<int> controls(qubits.begin(), qubits.end() - 1);
+    switch (controls.size()) {
+      case 0: st.circuit.add(Gate::x(target)); break;
+      case 1: st.circuit.add(Gate::cnot(controls[0], target)); break;
+      case 2: st.circuit.add(Gate::toffoli(controls[0], controls[1], target));
+        break;
+      default: st.circuit.add(Gate::mct(std::move(controls), target)); break;
+    }
+    return;
+  }
+  if (family == 'f') {
+    if (qubits.size() < 2)
+      parse_fail(st.source, line_no, "fredkin needs >= 2 operands");
+    const int b = qubits.back();
+    const int a = qubits[qubits.size() - 2];
+    std::vector<int> controls(qubits.begin(), qubits.end() - 2);
+    if (controls.empty())
+      st.circuit.add(Gate::swap(a, b));
+    else
+      st.circuit.add(Gate::fredkin(std::move(controls), a, b));
+    return;
+  }
+  parse_fail(st.source, line_no, "unsupported gate family " + tokens[0]);
+}
+
+}  // namespace
+
+Circuit parse_real(std::istream& in, const std::string& source_name) {
+  ParserState st;
+  st.source = source_name;
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    if (tokens[0][0] == '.') {
+      handle_directive(st, tokens, line_no);
+      if (st.done) break;
+    } else {
+      if (!st.in_gates)
+        parse_fail(st.source, line_no, "gate before .begin");
+      handle_gate(st, tokens, line_no);
+    }
+  }
+  if (!st.in_gates)
+    throw TqecError(source_name + ": no .begin section found");
+  return std::move(st.circuit);
+}
+
+Circuit parse_real_string(const std::string& text,
+                          const std::string& source_name) {
+  std::istringstream in(text);
+  return parse_real(in, source_name);
+}
+
+Circuit parse_real_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TqecError("cannot open " + path);
+  return parse_real(in, path);
+}
+
+std::string write_real(const Circuit& circuit) {
+  std::ostringstream os;
+  os << ".version 1.0\n";
+  os << ".numvars " << circuit.num_qubits() << "\n";
+  os << ".variables";
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    if (!circuit.qubit_names().empty())
+      os << ' ' << circuit.qubit_names()[static_cast<std::size_t>(q)];
+    else
+      os << " x" << q;
+  }
+  os << "\n.begin\n";
+  auto name_of = [&](int q) {
+    if (!circuit.qubit_names().empty())
+      return circuit.qubit_names()[static_cast<std::size_t>(q)];
+    return "x" + std::to_string(q);
+  };
+  for (const Gate& g : circuit.gates()) {
+    char family = 0;
+    switch (g.kind) {
+      case GateKind::X:
+      case GateKind::Cnot:
+      case GateKind::Toffoli:
+      case GateKind::Mct:
+        family = 't';
+        break;
+      case GateKind::Swap:
+      case GateKind::Fredkin:
+        family = 'f';
+        break;
+      default:
+        throw TqecError("write_real: non-reversible gate " + g.to_string());
+    }
+    const std::size_t arity = g.controls.size() + g.targets.size();
+    os << family << arity;
+    for (int q : g.controls) os << ' ' << name_of(q);
+    for (int q : g.targets) os << ' ' << name_of(q);
+    os << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace tqec::qcir

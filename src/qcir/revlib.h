@@ -1,0 +1,34 @@
+// RevLib .real format parser and writer.
+//
+// The paper's benchmarks come from RevLib [Wille et al., ISMVL'08], whose
+// circuits are distributed in the .real format: a header (.version,
+// .numvars, .variables, .inputs, .outputs, .constants, .garbage) followed by
+// a gate list between .begin and .end. Gate lines are
+//   t<k> q1 ... qk     multiple-control Toffoli (k-1 controls, last is target)
+//   f<k> q1 ... qk     multiple-control Fredkin (k-2 controls, last two swap)
+// This parser accepts the common subset used by the benchmark suite and
+// rejects malformed input with a line-numbered TqecError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qcir/circuit.h"
+
+namespace tqec::qcir {
+
+/// Parse a .real document from a stream. `source_name` is used in errors.
+Circuit parse_real(std::istream& in, const std::string& source_name = "<real>");
+
+/// Parse a .real document from a string.
+Circuit parse_real_string(const std::string& text,
+                          const std::string& source_name = "<string>");
+
+/// Parse a .real file from disk.
+Circuit parse_real_file(const std::string& path);
+
+/// Serialize a reversible circuit (X/CNOT/Toffoli/MCT/Fredkin/Swap kinds
+/// only) back to the .real format.
+std::string write_real(const Circuit& circuit);
+
+}  // namespace tqec::qcir

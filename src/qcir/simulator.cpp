@@ -1,0 +1,153 @@
+#include "qcir/simulator.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tqec::qcir {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  TQEC_REQUIRE(num_qubits >= 0 && num_qubits <= 24, "state too large");
+  amps_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+void StateVector::set_basis_state(const std::vector<bool>& bits) {
+  TQEC_REQUIRE(static_cast<int>(bits.size()) == num_qubits_,
+               "basis state size mismatch");
+  std::fill(amps_.begin(), amps_.end(), Amplitude{0.0, 0.0});
+  std::size_t index = 0;
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (bits[static_cast<std::size_t>(q)]) index |= std::size_t{1} << q;
+  }
+  amps_[index] = Amplitude{1.0, 0.0};
+}
+
+bool StateVector::controls_satisfied(std::size_t index,
+                                     const std::vector<int>& controls) const {
+  for (int c : controls) {
+    if ((index & (std::size_t{1} << c)) == 0) return false;
+  }
+  return true;
+}
+
+void StateVector::apply_single(int target, Amplitude u00, Amplitude u01,
+                               Amplitude u10, Amplitude u11,
+                               const std::vector<int>& controls) {
+  const std::size_t bit = std::size_t{1} << target;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) != 0) continue;  // visit each pair once via the |0> index
+    if (!controls_satisfied(i | bit, controls)) continue;
+    const Amplitude a0 = amps_[i];
+    const Amplitude a1 = amps_[i | bit];
+    amps_[i] = u00 * a0 + u01 * a1;
+    amps_[i | bit] = u10 * a0 + u11 * a1;
+  }
+}
+
+void StateVector::apply_swap(int a, int b, const std::vector<int>& controls) {
+  const std::size_t bit_a = std::size_t{1} << a;
+  const std::size_t bit_b = std::size_t{1} << b;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    // Swap amplitudes between ...a=1,b=0... and ...a=0,b=1...; visit once.
+    if ((i & bit_a) == 0 || (i & bit_b) != 0) continue;
+    if (!controls_satisfied(i, controls)) continue;
+    std::swap(amps_[i], amps_[(i & ~bit_a) | bit_b]);
+  }
+}
+
+void StateVector::apply(const Gate& g) {
+  for (int q : g.qubits())
+    TQEC_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+  const Amplitude one{1.0, 0.0};
+  const Amplitude zero{0.0, 0.0};
+  const Amplitude i_unit{0.0, 1.0};
+  switch (g.kind) {
+    case GateKind::X:
+    case GateKind::Cnot:
+    case GateKind::Toffoli:
+    case GateKind::Mct:
+      apply_single(g.targets[0], zero, one, one, zero, g.controls);
+      break;
+    case GateKind::H:
+      apply_single(g.targets[0], Amplitude{kInvSqrt2, 0}, Amplitude{kInvSqrt2, 0},
+                   Amplitude{kInvSqrt2, 0}, Amplitude{-kInvSqrt2, 0},
+                   g.controls);
+      break;
+    case GateKind::S:
+      apply_single(g.targets[0], one, zero, zero, i_unit, g.controls);
+      break;
+    case GateKind::Sdg:
+      apply_single(g.targets[0], one, zero, zero, -i_unit, g.controls);
+      break;
+    case GateKind::T:
+      apply_single(g.targets[0], one, zero, zero,
+                   std::polar(1.0, std::numbers::pi / 4.0), g.controls);
+      break;
+    case GateKind::Tdg:
+      apply_single(g.targets[0], one, zero, zero,
+                   std::polar(1.0, -std::numbers::pi / 4.0), g.controls);
+      break;
+    case GateKind::Z:
+      apply_single(g.targets[0], one, zero, zero, -one, g.controls);
+      break;
+    case GateKind::Swap:
+    case GateKind::Fredkin:
+      apply_swap(g.targets[0], g.targets[1], g.controls);
+      break;
+  }
+}
+
+void StateVector::apply(const Circuit& circuit) {
+  TQEC_REQUIRE(circuit.num_qubits() == num_qubits_, "qubit count mismatch");
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+double StateVector::fidelity(const StateVector& a, const StateVector& b) {
+  TQEC_REQUIRE(a.num_qubits_ == b.num_qubits_, "qubit count mismatch");
+  Amplitude inner{0.0, 0.0};
+  for (std::size_t i = 0; i < a.amps_.size(); ++i)
+    inner += std::conj(a.amps_[i]) * b.amps_[i];
+  return std::norm(inner);
+}
+
+bool circuits_equivalent(const Circuit& a, const Circuit& b,
+                         double tolerance) {
+  TQEC_REQUIRE(a.num_qubits() == b.num_qubits(), "qubit count mismatch");
+  const int n = a.num_qubits();
+  TQEC_REQUIRE(n <= 12, "equivalence check limited to small circuits");
+
+  // Compare columns of the two unitaries up to one shared global phase.
+  Amplitude phase{0.0, 0.0};
+  bool have_phase = false;
+  for (std::size_t basis = 0; basis < (std::size_t{1} << n); ++basis) {
+    std::vector<bool> bits(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) bits[static_cast<std::size_t>(q)] =
+        (basis & (std::size_t{1} << q)) != 0;
+    StateVector sa(n), sb(n);
+    sa.set_basis_state(bits);
+    sb.set_basis_state(bits);
+    sa.apply(a);
+    sb.apply(b);
+    for (std::size_t i = 0; i < sa.amplitudes().size(); ++i) {
+      const Amplitude va = sa.amplitudes()[i];
+      const Amplitude vb = sb.amplitudes()[i];
+      if (std::abs(va) < tolerance && std::abs(vb) < tolerance) continue;
+      if (std::abs(va) < tolerance || std::abs(vb) < tolerance) return false;
+      const Amplitude ratio = vb / va;
+      if (!have_phase) {
+        phase = ratio;
+        have_phase = true;
+        if (std::abs(std::abs(phase) - 1.0) > tolerance) return false;
+      } else if (std::abs(ratio - phase) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tqec::qcir

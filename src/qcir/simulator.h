@@ -1,0 +1,50 @@
+// Dense state-vector simulator for small circuits (<= ~16 qubits).
+//
+// Used by the test suite to verify that gate decompositions (MCT -> Toffoli,
+// Toffoli -> Clifford+T) are exactly unitarily equivalent, rather than
+// trusting the algebra. Not part of the compression flow itself.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "qcir/circuit.h"
+
+namespace tqec::qcir {
+
+using Amplitude = std::complex<double>;
+
+class StateVector {
+ public:
+  /// |0...0> on n qubits. Qubit 0 is the least-significant index bit.
+  explicit StateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Amplitude>& amplitudes() const { return amps_; }
+
+  /// Prepare the computational-basis state |bits>.
+  void set_basis_state(const std::vector<bool>& bits);
+
+  void apply(const Gate& gate);
+  void apply(const Circuit& circuit);
+
+  /// Global-phase-insensitive fidelity |<a|b>|^2 with another state.
+  static double fidelity(const StateVector& a, const StateVector& b);
+
+ private:
+  void apply_single(int target, Amplitude u00, Amplitude u01, Amplitude u10,
+                    Amplitude u11, const std::vector<int>& controls);
+  void apply_swap(int a, int b, const std::vector<int>& controls);
+  bool controls_satisfied(std::size_t index,
+                          const std::vector<int>& controls) const;
+
+  int num_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+/// True when the two circuits implement the same unitary up to global phase,
+/// tested on the full computational basis (exact for these dimensions).
+bool circuits_equivalent(const Circuit& a, const Circuit& b,
+                         double tolerance = 1e-9);
+
+}  // namespace tqec::qcir

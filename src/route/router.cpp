@@ -1,0 +1,522 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tqec::route {
+
+namespace {
+
+constexpr std::array<Vec3, 6> kNeighbours{Vec3{1, 0, 0},  Vec3{-1, 0, 0},
+                                          Vec3{0, 1, 0},  Vec3{0, -1, 0},
+                                          Vec3{0, 0, 1},  Vec3{0, 0, -1}};
+
+class RoutingFabric {
+ public:
+  RoutingFabric(const place::NodeSet& nodes,
+                const place::Placement& placement, int margin)
+      : box_(placement.core.inflated(margin)) {
+    dims_ = box_.dims();
+    const std::size_t n = cell_count();
+    blocked_.assign(n, 0);
+    module_at_.assign(n, -1);
+    usage_.assign(n, 0);
+    capacity_.assign(n, 1);
+    history_.assign(n, 0.0f);
+    g_.assign(n, 0.0f);
+    g_version_.assign(n, 0);
+    parent_.assign(n, -1);
+    on_tree_.assign(n, 0);
+    tree_version_.assign(n, 0);
+
+    for (const geom::DistillBox& b : placement.boxes) {
+      const Box3 e = b.extent();
+      for (int x = e.lo.x; x <= e.hi.x; ++x)
+        for (int y = e.lo.y; y <= e.hi.y; ++y)
+          for (int z = e.lo.z; z <= e.hi.z; ++z)
+            blocked_[index({x, y, z})] = 1;
+    }
+    for (std::size_t m = 0; m < placement.module_cell.size(); ++m)
+      module_at_[index(placement.module_cell[m])] = static_cast<int>(m);
+
+    // Pin capacity: a module loop accommodates one crossing per component
+    // pinned to it (the loop is spatially extended in the paper's geometry;
+    // our cell model charges it one unit per threading net).
+    for (const auto& pins : nodes.net_pins)
+      for (pdgraph::ModuleId m : pins)
+        ++capacity_[index(
+            placement.module_cell[static_cast<std::size_t>(m)])];
+    for (std::size_t i = 0; i < n; ++i)
+      if (module_at_[i] >= 0) --capacity_[i];  // base 1 was counted on top
+  }
+
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(dims_.x) * dims_.y * dims_.z;
+  }
+  const Box3& box() const { return box_; }
+  bool inside(Vec3 p) const { return box_.contains(p); }
+
+  std::size_t index(Vec3 p) const {
+    TQEC_ASSERT(inside(p), "cell outside routing fabric");
+    const Vec3 rel = p - box_.lo;
+    return (static_cast<std::size_t>(rel.y) * dims_.z + rel.z) * dims_.x +
+           rel.x;
+  }
+  Vec3 cell_at(std::size_t i) const {
+    const int x = static_cast<int>(i % static_cast<std::size_t>(dims_.x));
+    const std::size_t rest = i / static_cast<std::size_t>(dims_.x);
+    const int z = static_cast<int>(rest % static_cast<std::size_t>(dims_.z));
+    const int y = static_cast<int>(rest / static_cast<std::size_t>(dims_.z));
+    return box_.lo + Vec3{x, y, z};
+  }
+
+  bool blocked(std::size_t i) const { return blocked_[i] != 0; }
+  void hard_block(std::size_t i) { blocked_[i] = 1; }
+  /// Lift a hard block placed by the repair pass (never a box cell).
+  void unblock(std::size_t i) { blocked_[i] = 0; }
+  int module_at(std::size_t i) const { return module_at_[i]; }
+  int usage(std::size_t i) const { return usage_[i]; }
+  int capacity(std::size_t i) const { return capacity_[i]; }
+  void add_usage(std::size_t i, int d) {
+    usage_[i] = static_cast<std::uint16_t>(usage_[i] + d);
+  }
+  void add_capacity(std::size_t i, int d) {
+    capacity_[i] = static_cast<std::uint16_t>(capacity_[i] + d);
+  }
+  float& history(std::size_t i) { return history_[i]; }
+
+  // Versioned per-search scratch.
+  void begin_search() { ++search_epoch_; }
+  bool seen(std::size_t i) const { return g_version_[i] == search_epoch_; }
+  float g(std::size_t i) const { return g_[i]; }
+  void set_g(std::size_t i, float v, int parent_dir) {
+    g_[i] = v;
+    g_version_[i] = search_epoch_;
+    parent_[i] = static_cast<std::int8_t>(parent_dir);
+  }
+  int parent_dir(std::size_t i) const { return parent_[i]; }
+
+  void begin_tree() { ++tree_epoch_; }
+  bool on_tree(std::size_t i) const { return tree_version_[i] == tree_epoch_; }
+  void mark_tree(std::size_t i) { tree_version_[i] = tree_epoch_; }
+
+ private:
+  Box3 box_;
+  Vec3 dims_;
+  std::vector<std::uint8_t> blocked_;
+  std::vector<int> module_at_;
+  std::vector<std::uint16_t> usage_;
+  std::vector<std::uint16_t> capacity_;
+  std::vector<float> history_;
+  std::vector<float> g_;
+  std::vector<int> g_version_;
+  std::vector<std::int8_t> parent_;
+  std::vector<int> on_tree_;
+  std::vector<int> tree_version_;
+  int search_epoch_ = 0;
+  int tree_epoch_ = 0;
+};
+
+struct QueueEntry {
+  float f;
+  float g;
+  std::size_t cell;
+  bool operator>(const QueueEntry& o) const { return f > o.f; }
+};
+
+class Router {
+ public:
+  Router(const place::NodeSet& nodes, const place::Placement& placement,
+         const RouteOptions& opt)
+      : nodes_(nodes), placement_(placement), opt_(opt),
+        fabric_(nodes, placement, opt.margin), rng_(opt.seed) {}
+
+  RoutingResult run();
+
+ private:
+  /// Admissible heuristic: Manhattan distance to the tree bounding box.
+  static float heuristic(Vec3 p, const Box3& tree_box) {
+    auto axis = [](int v, int lo, int hi) {
+      if (v < lo) return lo - v;
+      if (v > hi) return v - hi;
+      return 0;
+    };
+    return static_cast<float>(axis(p.x, tree_box.lo.x, tree_box.hi.x) +
+                              axis(p.y, tree_box.lo.y, tree_box.hi.y) +
+                              axis(p.z, tree_box.lo.z, tree_box.hi.z));
+  }
+
+  bool route_component(int component, RoutedNet& out, double present_factor);
+  bool connect(int component, Vec3 source, Box3& tree_box,
+               std::vector<std::size_t>& tree_cells, double present_factor,
+               int region_margin);
+
+  /// The f-value planning (Fig. 15) assigns each chain module its access
+  /// cells: the free cells through which its dual segments exit. Rotated
+  /// nodes rotate the side; a cell claimed by a neighbouring structure
+  /// drops that constraint rather than failing.
+  std::vector<Vec3> access_cells_of(pdgraph::ModuleId m) const {
+    std::vector<Vec3> cells;
+    for (Vec3 off : nodes_.access_offsets[static_cast<std::size_t>(m)]) {
+      const int node = nodes_.node_of_module[static_cast<std::size_t>(m)];
+      if (!placement_.node_rotated.empty() &&
+          placement_.node_rotated[static_cast<std::size_t>(node)])
+        off = {off.z, off.y, off.x};
+      const Vec3 cell =
+          placement_.module_cell[static_cast<std::size_t>(m)] + off;
+      if (!fabric_.inside(cell)) continue;
+      const std::size_t i = fabric_.index(cell);
+      if (fabric_.blocked(i) || fabric_.module_at(i) >= 0) continue;
+      cells.push_back(cell);
+    }
+    return cells;
+  }
+
+  const place::NodeSet& nodes_;
+  const place::Placement& placement_;
+  RouteOptions opt_;
+  RoutingFabric fabric_;
+  Rng rng_;
+  std::vector<std::uint8_t> own_pin_;  // per-cell flag for current component
+  std::vector<std::size_t> own_pin_cells_;
+};
+
+bool Router::connect(int component, Vec3 source, Box3& tree_box,
+                     std::vector<std::size_t>& tree_cells,
+                     double present_factor, int region_margin) {
+  const std::size_t source_idx = fabric_.index(source);
+  if (fabric_.on_tree(source_idx)) return true;
+
+  const Box3 region =
+      tree_box.expanded(source).inflated(region_margin);
+
+  fabric_.begin_search();
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>> open;
+  fabric_.set_g(source_idx, 0.0f, -1);
+  open.push({heuristic(source, tree_box), 0.0f, source_idx});
+
+  std::size_t goal = static_cast<std::size_t>(-1);
+  while (!open.empty()) {
+    const QueueEntry top = open.top();
+    open.pop();
+    if (top.g > fabric_.g(top.cell)) continue;  // stale entry
+    if (fabric_.on_tree(top.cell)) {
+      goal = top.cell;
+      break;
+    }
+    const Vec3 p = fabric_.cell_at(top.cell);
+    for (int dir = 0; dir < 6; ++dir) {
+      const Vec3 q = p + kNeighbours[static_cast<std::size_t>(dir)];
+      if (!fabric_.inside(q) || !region.contains(q)) continue;
+      const std::size_t qi = fabric_.index(q);
+      if (fabric_.blocked(qi)) continue;
+      const int mod = fabric_.module_at(qi);
+      if (mod >= 0 && own_pin_[qi] == 0)
+        continue;  // unrelated primal module: spurious braid
+      double cost = 1.0 + fabric_.history(qi);
+      const int over = fabric_.usage(qi) - (fabric_.capacity(qi) - 1);
+      if (over > 0) cost += present_factor * over;
+      const float ng = top.g + static_cast<float>(cost);
+      if (!fabric_.seen(qi) || ng < fabric_.g(qi)) {
+        fabric_.set_g(qi, ng, dir);
+        open.push({ng + heuristic(q, tree_box), ng, qi});
+      }
+    }
+  }
+  if (goal == static_cast<std::size_t>(-1)) return false;
+
+  // Backtrack from goal to source, adding the path to the tree.
+  std::size_t cur = goal;
+  for (;;) {
+    if (!fabric_.on_tree(cur)) {
+      fabric_.mark_tree(cur);
+      tree_cells.push_back(cur);
+      tree_box = tree_box.expanded(fabric_.cell_at(cur));
+    }
+    const int dir = fabric_.parent_dir(cur);
+    if (cur == source_idx || dir < 0) break;
+    // parent = cell we came FROM: step back against the stored direction.
+    const Vec3 p = fabric_.cell_at(cur) -
+                   kNeighbours[static_cast<std::size_t>(dir)];
+    cur = fabric_.index(p);
+  }
+  (void)component;
+  return true;
+}
+
+bool Router::route_component(int component, RoutedNet& out,
+                             double present_factor) {
+  const auto& pins = nodes_.net_pins[static_cast<std::size_t>(component)];
+  out.component = component;
+  out.cells.clear();
+  if (pins.empty()) return true;
+
+  // Mark own pins (unblocks this component's module cells).
+  own_pin_cells_.clear();
+  for (pdgraph::ModuleId m : pins) {
+    const std::size_t i =
+        fabric_.index(placement_.module_cell[static_cast<std::size_t>(m)]);
+    own_pin_[i] = 1;
+    own_pin_cells_.push_back(i);
+  }
+
+  // Access-cell constraints only bind components that span several
+  // placement nodes: the f-value planning (Fig. 15) governs the dual
+  // segments *leaving* a primal-bridging super-module, while a net wholly
+  // inside one chain threads its module loops directly (Fig. 1(e)).
+  bool spans_nodes = false;
+  for (pdgraph::ModuleId m : pins)
+    if (nodes_.node_of_module[static_cast<std::size_t>(m)] !=
+        nodes_.node_of_module[static_cast<std::size_t>(pins.front())])
+      spans_nodes = true;
+
+  // Seed the tree at the first pin, then connect remaining pins nearest-
+  // to-seed first; each pin's access cells join the tree right after it.
+  struct PinEntry {
+    Vec3 cell;
+    std::vector<Vec3> access;
+  };
+  std::vector<PinEntry> entries;
+  entries.reserve(pins.size());
+  for (pdgraph::ModuleId m : pins)
+    entries.push_back(
+        {placement_.module_cell[static_cast<std::size_t>(m)],
+         spans_nodes ? access_cells_of(m) : std::vector<Vec3>{}});
+  std::sort(entries.begin() + 1, entries.end(),
+            [&](const PinEntry& a, const PinEntry& b) {
+              return manhattan(a.cell, entries[0].cell) <
+                     manhattan(b.cell, entries[0].cell);
+            });
+
+  fabric_.begin_tree();
+  std::vector<std::size_t> tree_cells;
+  const std::size_t seed_idx = fabric_.index(entries[0].cell);
+  fabric_.mark_tree(seed_idx);
+  tree_cells.push_back(seed_idx);
+  Box3 tree_box{entries[0].cell, entries[0].cell};
+
+  auto connect_with_retries = [&](Vec3 target) {
+    int margin = opt_.region_margin;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (connect(component, target, tree_box, tree_cells, present_factor,
+                  margin))
+        return true;
+      margin *= 4;
+    }
+    // Last resort: unrestricted search over the whole fabric.
+    return connect(component, target, tree_box, tree_cells, present_factor,
+                   1 << 24);
+  };
+
+  // Ports connect before their pin: the pin then attaches to the tree
+  // through its (capacity-boosted) port instead of squeezing past a
+  // neighbouring structure on the unboosted side.
+  bool ok = true;
+  for (const Vec3& cell : entries[0].access)
+    ok = ok && connect_with_retries(cell);
+  for (std::size_t i = 1; ok && i < entries.size(); ++i) {
+    for (const Vec3& cell : entries[i].access)
+      ok = ok && connect_with_retries(cell);
+    ok = ok && connect_with_retries(entries[i].cell);
+  }
+
+  for (std::size_t i : own_pin_cells_) own_pin_[i] = 0;
+  out.cells.reserve(tree_cells.size());
+  for (std::size_t i : tree_cells) out.cells.push_back(fabric_.cell_at(i));
+  return ok;
+}
+
+RoutingResult Router::run() {
+  RoutingResult result;
+  const int components = static_cast<int>(nodes_.net_pins.size());
+  result.nets.assign(static_cast<std::size_t>(components), RoutedNet{});
+  own_pin_.assign(fabric_.cell_count(), 0);
+
+  // Port-region capacity: a module loop pinned by several components must
+  // admit one crossing per component not just on its own cell but through
+  // its port region — the free face-adjacent cells (the same convention
+  // the geometry validator's V3 exemption uses). Without this, k nets
+  // forced through a module with fewer than k free neighbours would be a
+  // structural overuse no negotiation can fix.
+  {
+    std::vector<int> pin_count(nodes_.node_of_module.size(), 0);
+    for (const auto& pins : nodes_.net_pins)
+      for (pdgraph::ModuleId m : pins)
+        ++pin_count[static_cast<std::size_t>(m)];
+    for (std::size_t m = 0; m < pin_count.size(); ++m) {
+      if (pin_count[m] < 2) continue;
+      const Vec3 cell = placement_.module_cell[m];
+      for (const Vec3& step : kNeighbours) {
+        const Vec3 q = cell + step;
+        if (!fabric_.inside(q)) continue;
+        const std::size_t qi = fabric_.index(q);
+        if (fabric_.blocked(qi) || fabric_.module_at(qi) >= 0) continue;
+        fabric_.add_capacity(qi, pin_count[m] - 1);
+      }
+    }
+  }
+
+  // Net order: most pins first (hardest nets claim resources early).
+  std::vector<int> order(static_cast<std::size_t>(components));
+  for (int i = 0; i < components; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::tuple(-static_cast<int>(
+                          nodes_.net_pins[static_cast<std::size_t>(a)].size()),
+                      a) <
+           std::tuple(-static_cast<int>(
+                          nodes_.net_pins[static_cast<std::size_t>(b)].size()),
+                      b);
+  });
+
+  double present_factor = opt_.present_base;
+  int stall = 0;
+  int prev_overused = -1;
+  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    for (int c : order) {
+      RoutedNet& net = result.nets[static_cast<std::size_t>(c)];
+      // Rip up the previous route.
+      for (const Vec3& cell : net.cells) fabric_.add_usage(fabric_.index(cell), -1);
+      const bool ok = route_component(c, net, present_factor);
+      TQEC_REQUIRE(ok, "router failed to connect a net component");
+      for (const Vec3& cell : net.cells) fabric_.add_usage(fabric_.index(cell), +1);
+    }
+
+    // Congestion accounting.
+    int overused = 0;
+    for (std::size_t i = 0; i < fabric_.cell_count(); ++i) {
+      const int over = fabric_.usage(i) - fabric_.capacity(i);
+      if (over > 0) {
+        ++overused;
+        fabric_.history(i) += static_cast<float>(opt_.history_increment);
+      }
+    }
+    result.overused_cells = overused;
+    if (overused == 0) {
+      result.legal = true;
+      break;
+    }
+    present_factor *= opt_.present_growth;
+    // Negotiation stalled on persistently contested cells: stop and
+    // resolve them explicitly below.
+    stall = overused >= prev_overused && prev_overused >= 0 ? stall + 1 : 0;
+    prev_overused = overused;
+    if (stall >= 5) break;
+    TQEC_LOG_DEBUG("pathfinder iter " << iter + 1 << ": " << overused
+                                      << " overused cells");
+  }
+
+  // Hard-block repair: when negotiation leaves a handful of contested
+  // cells, award each to the net with the most pins (hardest to detour)
+  // and reroute the losers with the cell removed from the fabric. The free
+  // margin always offers a detour unless the cell was a pin-access cut,
+  // in which case the result stays honestly illegal.
+  for (int scan = 0; !result.legal && scan < 20; ++scan) {
+    // Collect every currently overused cell in one fabric pass.
+    std::vector<std::size_t> contested;
+    for (std::size_t i = 0; i < fabric_.cell_count(); ++i)
+      if (fabric_.usage(i) > fabric_.capacity(i)) contested.push_back(i);
+    if (contested.empty()) {
+      result.legal = true;
+      break;
+    }
+    bool progressed = false;
+    for (std::size_t idx : contested) {
+      if (fabric_.usage(idx) <= fabric_.capacity(idx))
+        continue;  // resolved by an earlier reroute in this scan
+      const Vec3 cell = fabric_.cell_at(idx);
+      std::vector<int> users;
+      for (const RoutedNet& net : result.nets)
+        if (std::find(net.cells.begin(), net.cells.end(), cell) !=
+            net.cells.end())
+          users.push_back(net.component);
+      if (users.size() < 2) continue;
+      std::sort(users.begin(), users.end(), [&](int a, int b) {
+        return nodes_.net_pins[static_cast<std::size_t>(a)].size() >
+               nodes_.net_pins[static_cast<std::size_t>(b)].size();
+      });
+      // Award the cell to one user and reroute the rest with the cell
+      // removed from the fabric. If a loser genuinely needs the cell (it
+      // is the only access to one of its pins), restore everything and try
+      // the next candidate winner; only when no award works does the cell
+      // stay contested.
+      std::vector<RoutedNet> saved;
+      saved.reserve(users.size());
+      for (int u : users)
+        saved.push_back(result.nets[static_cast<std::size_t>(u)]);
+      bool awarded = false;
+      for (std::size_t winner = 0; winner < users.size() && !awarded;
+           ++winner) {
+        fabric_.hard_block(idx);
+        bool all_ok = true;
+        std::vector<std::size_t> rerouted;
+        for (std::size_t u = 0; u < users.size(); ++u) {
+          if (u == winner) continue;
+          RoutedNet& net = result.nets[static_cast<std::size_t>(users[u])];
+          for (const Vec3& c : net.cells)
+            fabric_.add_usage(fabric_.index(c), -1);
+          const bool ok = route_component(users[u], net, present_factor);
+          for (const Vec3& c : net.cells)
+            fabric_.add_usage(fabric_.index(c), +1);
+          rerouted.push_back(u);
+          if (!ok) {
+            all_ok = false;
+            break;
+          }
+        }
+        if (all_ok) {
+          awarded = true;
+          progressed = true;
+        } else {
+          // Roll back: restore every touched net's previous complete route
+          // and lift the block before trying the next winner.
+          for (std::size_t u : rerouted) {
+            RoutedNet& net = result.nets[static_cast<std::size_t>(users[u])];
+            for (const Vec3& c : net.cells)
+              fabric_.add_usage(fabric_.index(c), -1);
+            net = saved[u];
+            for (const Vec3& c : net.cells)
+              fabric_.add_usage(fabric_.index(c), +1);
+          }
+          fabric_.unblock(idx);
+        }
+      }
+      TQEC_LOG_DEBUG("hard-block repair at " << cell << " among "
+                                             << users.size() << " nets"
+                                             << (awarded ? "" : " FAILED"));
+    }
+    if (!progressed) break;  // genuine cut: stays honestly illegal
+  }
+
+  result.bounding = placement_.core;
+  result.total_wire = 0;
+  for (const RoutedNet& net : result.nets) {
+    result.total_wire += static_cast<std::int64_t>(net.cells.size());
+    for (const Vec3& cell : net.cells)
+      result.bounding = result.bounding.expanded(cell);
+  }
+  result.volume = result.bounding.volume();
+  TQEC_LOG_INFO("routing: " << components << " components, legal="
+                            << result.legal << " iters=" << result.iterations
+                            << " wire=" << result.total_wire
+                            << " volume=" << result.volume);
+  return result;
+}
+
+}  // namespace
+
+RoutingResult route_nets(const place::NodeSet& nodes,
+                         const place::Placement& placement,
+                         const RouteOptions& options) {
+  Router router(nodes, placement, options);
+  return router.run();
+}
+
+}  // namespace tqec::route

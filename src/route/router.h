@@ -1,0 +1,66 @@
+// Dual-defect net routing (paper Sec. 3.6): A*-search within restricted
+// regions plus PathFinder-style negotiated congestion rip-up-and-reroute
+// (McMurchie & Ebeling, FPGA'95).
+//
+// The routing fabric is the lattice-cell grid spanning the placement core
+// plus a margin. Obstacles:
+//   - distillation-box extents (no defect may enter a box, validator V5);
+//   - every primal module cell that is NOT a pin of the net being routed —
+//     a dual defect sharing a cell with a primal module is exactly what
+//     "threading that module's loop" means in the plumbing-cell model, so
+//     passing through an unrelated module would add a spurious braid.
+// Capacity: one dual net per cell (disjoint dual defects must occupy
+// distinct cells, validator V3). Congestion is negotiated: overused cells
+// get growing present- and history-cost until every net is legally routed.
+//
+// Each merged net component is routed as a Steiner tree: pins are connected
+// one at a time by A* toward the partially built tree (admissible heuristic:
+// Manhattan distance to the tree's bounding box).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/nodes.h"
+#include "place/placer.h"
+
+namespace tqec::route {
+
+struct RouteOptions {
+  std::uint64_t seed = 1;
+  /// Free cells added around the placement core on every side.
+  int margin = 4;
+  /// Maximum PathFinder iterations before giving up.
+  int max_iterations = 40;
+  /// History cost added to each overused cell per iteration.
+  double history_increment = 1.0;
+  /// Present-congestion multiplier; grows by `present_growth` per iteration.
+  double present_base = 2.0;
+  double present_growth = 1.6;
+  /// Initial half-width of the restricted search region around a
+  /// connection's bounding box; grows when a connection fails.
+  int region_margin = 6;
+};
+
+struct RoutedNet {
+  int component = -1;  // index into NodeSet::net_pins
+  std::vector<Vec3> cells;  // all cells of the routed tree (pins included)
+};
+
+struct RoutingResult {
+  std::vector<RoutedNet> nets;
+  bool legal = false;
+  int iterations = 0;
+  int overused_cells = 0;
+  std::int64_t total_wire = 0;  // summed route cells
+  /// Bounding box over placement core and all routed cells.
+  Box3 bounding;
+  std::int64_t volume = 0;
+};
+
+/// Route all merged dual-net components of a placed design.
+RoutingResult route_nets(const place::NodeSet& nodes,
+                         const place::Placement& placement,
+                         const RouteOptions& options);
+
+}  // namespace tqec::route

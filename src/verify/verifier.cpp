@@ -1,0 +1,160 @@
+#include "verify/verifier.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geom/validate.h"
+
+namespace tqec::verify {
+
+namespace {
+
+void check_braid_threading(const VerifyInputs& in, VerifyReport& report) {
+  // Component -> routed cells.
+  std::unordered_map<pdgraph::NetId, std::size_t> component_index;
+  for (const pdgraph::DualNet& net : in.graph->nets())
+    component_index.emplace(in.dual->component_of(net.id),
+                            component_index.size());
+
+  std::vector<std::unordered_set<Vec3>> component_cells(
+      in.routing->nets.size());
+  for (const route::RoutedNet& net : in.routing->nets) {
+    auto& cells = component_cells[static_cast<std::size_t>(net.component)];
+    cells.insert(net.cells.begin(), net.cells.end());
+  }
+
+  // Module cell -> module id (for the unrelated-threading check).
+  std::unordered_map<Vec3, pdgraph::ModuleId> module_at;
+  for (std::size_t m = 0; m < in.placement->module_cell.size(); ++m)
+    module_at.emplace(in.placement->module_cell[m],
+                      static_cast<pdgraph::ModuleId>(m));
+
+  // Pin sets per component (what the braid record allows).
+  std::vector<std::unordered_set<pdgraph::ModuleId>> allowed(
+      in.nodes->net_pins.size());
+  for (std::size_t c = 0; c < in.nodes->net_pins.size(); ++c)
+    allowed[c].insert(in.nodes->net_pins[c].begin(),
+                      in.nodes->net_pins[c].end());
+
+  for (const pdgraph::DualNet& net : in.graph->nets()) {
+    const std::size_t c = component_index.at(in.dual->component_of(net.id));
+    const auto& cells = component_cells[c];
+    for (pdgraph::ModuleId m : net.path()) {
+      ++report.braids_checked;
+      const Vec3 pin = in.placement->module_cell[static_cast<std::size_t>(m)];
+      if (!cells.count(pin)) {
+        std::ostringstream os;
+        os << "net " << net.id << " no longer threads module " << m;
+        report.issues.push_back({"B1", os.str()});
+      }
+    }
+  }
+  for (std::size_t c = 0; c < component_cells.size(); ++c) {
+    for (const Vec3& cell : component_cells[c]) {
+      const auto it = module_at.find(cell);
+      if (it == module_at.end()) continue;
+      if (!allowed[c].count(it->second)) {
+        std::ostringstream os;
+        os << "component " << c << " threads unrelated module "
+           << it->second << " at " << cell;
+        report.issues.push_back({"B1", os.str()});
+      }
+    }
+  }
+}
+
+void check_structure_claims(const VerifyInputs& in, VerifyReport& report) {
+  // Each primal cell belongs to exactly one module (already implied by the
+  // module-cell map being injective).
+  std::unordered_set<Vec3> seen;
+  for (std::size_t m = 0; m < in.placement->module_cell.size(); ++m) {
+    if (!seen.insert(in.placement->module_cell[m]).second) {
+      std::ostringstream os;
+      os << "two modules placed at " << in.placement->module_cell[m];
+      report.issues.push_back({"B2", os.str()});
+    }
+  }
+  // Boxes must not cover module cells.
+  for (const geom::DistillBox& box : in.placement->boxes) {
+    for (const Vec3& cell : in.placement->module_cell) {
+      if (box.extent().contains(cell)) {
+        std::ostringstream os;
+        os << "distillation box covers module cell " << cell;
+        report.issues.push_back({"B2", os.str()});
+      }
+    }
+  }
+}
+
+void check_measurement_order(const VerifyInputs& in, VerifyReport& report) {
+  for (const auto& [before, after] : in.graph->meas_order()) {
+    ++report.constraints_checked;
+    const int xa =
+        in.placement->module_cell[static_cast<std::size_t>(before)].x;
+    const int xb =
+        in.placement->module_cell[static_cast<std::size_t>(after)].x;
+    if (xa >= xb) {
+      std::ostringstream os;
+      os << "measurement order violated: module " << before << " at x="
+         << xa << " must precede module " << after << " at x=" << xb;
+      report.issues.push_back({"B3", os.str()});
+    }
+  }
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::ostringstream os;
+  os << braids_checked << " braid records, " << constraints_checked
+     << " order constraints checked: ";
+  if (ok()) {
+    os << "all preserved";
+  } else {
+    os << issues.size() << " issue(s)";
+    for (const auto& issue : issues)
+      os << "\n  [" << issue.check << "] " << issue.detail;
+  }
+  return os.str();
+}
+
+VerifyReport verify_design(const VerifyInputs& inputs,
+                           const geom::GeomDescription& geometry) {
+  TQEC_REQUIRE(inputs.graph != nullptr && inputs.nodes != nullptr &&
+                   inputs.placement != nullptr && inputs.routing != nullptr &&
+                   inputs.dual != nullptr,
+               "verify_design: incomplete inputs");
+  VerifyReport report;
+  check_braid_threading(inputs, report);
+  check_structure_claims(inputs, report);
+  check_measurement_order(inputs, report);
+
+  // B4: structural validity of the emitted geometry.
+  const geom::ValidationReport g = geom::validate(geometry);
+  for (const geom::ValidationIssue& issue : g.issues)
+    report.issues.push_back({"B4", "[" + issue.rule + "] " + issue.detail});
+
+  // B5: volume accounting.
+  if (geometry.volume() != inputs.routing->volume) {
+    std::ostringstream os;
+    os << "geometry bounding volume " << geometry.volume()
+       << " != reported routing volume " << inputs.routing->volume;
+    report.issues.push_back({"B5", os.str()});
+  }
+  return report;
+}
+
+VerifyReport verify_result(const core::CompileResult& result) {
+  TQEC_REQUIRE(result.internals != nullptr,
+               "verify_result: compile with keep_internals = true");
+  VerifyInputs inputs;
+  inputs.graph = &result.internals->graph;
+  inputs.nodes = &result.internals->nodes;
+  inputs.placement = &result.placement;
+  inputs.routing = &result.routing;
+  inputs.dual = &result.internals->dual;
+  return verify_design(inputs, result.geometry);
+}
+
+}  // namespace tqec::verify

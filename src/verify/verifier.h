@@ -1,0 +1,67 @@
+// End-to-end verification of a compressed TQEC design.
+//
+// Compression is only useful if it provably did not change the computation.
+// The paper argues this stage by stage (topological deformation preserves
+// loop relationships, bridges merge structures through one continuous
+// common segment, flipping does not change pass-through records); this
+// module checks the final artifact directly against the PD graph, which is
+// the authoritative braiding record:
+//
+//   B1 braid threading   — every original dual net's routed component
+//                          passes through the cells of exactly the primal
+//                          modules recorded in the PD graph (no module
+//                          missed, no unrelated module threaded);
+//   B2 structure merging — primal cells are claimed by exactly one
+//                          placement node and dual cells by one component
+//                          outside the loop-port regions;
+//   B3 measurement order — every time-ordered measurement constraint holds
+//                          on the final geometry (the x coordinate of the
+//                          module carrying the earlier measurement is
+//                          strictly smaller);
+//   B4 geometry validity — the emitted geometric description passes the
+//                          structural validator (geom/validate.h);
+//   B5 volume accounting — the reported volume equals the bounding box of
+//                          the emitted geometry.
+//
+// verify_design() runs all checks and returns a report; tests and the CLI
+// gate on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+
+namespace tqec::verify {
+
+struct VerifyIssue {
+  std::string check;  // "B1".."B5"
+  std::string detail;
+};
+
+struct VerifyReport {
+  std::vector<VerifyIssue> issues;
+  int braids_checked = 0;
+  int constraints_checked = 0;
+  bool ok() const { return issues.empty(); }
+  std::string summary() const;
+};
+
+/// Inputs needed beyond the CompileResult: the PD graph and net-component
+/// structures the pipeline used (reconstructable from the ICM circuit).
+struct VerifyInputs {
+  const pdgraph::PdGraph* graph = nullptr;
+  const place::NodeSet* nodes = nullptr;
+  const place::Placement* placement = nullptr;
+  const route::RoutingResult* routing = nullptr;
+  compress::DualBridging* dual = nullptr;
+};
+
+VerifyReport verify_design(const VerifyInputs& inputs,
+                           const geom::GeomDescription& geometry);
+
+/// Convenience: verify a compile result produced with
+/// CompileOptions::keep_internals (and emit_geometry) enabled.
+VerifyReport verify_result(const core::CompileResult& result);
+
+}  // namespace tqec::verify

@@ -1,0 +1,110 @@
+// Tests for the Lin et al. (TCAD'17) 1-D / 2-D layout-synthesis baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/lin2017.h"
+#include "core/paper_tables.h"
+#include "geom/canonical.h"
+#include "icm/workload.h"
+
+namespace tqec::baseline {
+namespace {
+
+icm::IcmCircuit two_disjoint_cnots() {
+  icm::IcmCircuit icm("disjoint");
+  for (int i = 0; i < 4; ++i) icm.add_line(icm::InitBasis::Zero);
+  icm.add_cnot(0, 1);
+  icm.add_cnot(2, 3);
+  return icm;
+}
+
+icm::IcmCircuit two_overlapping_cnots() {
+  icm::IcmCircuit icm("overlap");
+  for (int i = 0; i < 4; ++i) icm.add_line(icm::InitBasis::Zero);
+  icm.add_cnot(0, 2);
+  icm.add_cnot(1, 3);
+  return icm;
+}
+
+TEST(Lin1dTest, DisjointGatesShareAStep) {
+  EXPECT_EQ(lin_1d(two_disjoint_cnots()).time_steps, 1);
+}
+
+TEST(Lin1dTest, OverlappingGatesSerialize) {
+  EXPECT_EQ(lin_1d(two_overlapping_cnots()).time_steps, 2);
+}
+
+TEST(Lin1dTest, DependentGatesKeepOrder) {
+  icm::IcmCircuit icm("dep");
+  for (int i = 0; i < 3; ++i) icm.add_line(icm::InitBasis::Zero);
+  icm.add_cnot(0, 1);
+  icm.add_cnot(1, 2);  // shares line 1: must follow
+  const LinResult r = lin_1d(icm);
+  EXPECT_EQ(r.time_steps, 2);
+}
+
+TEST(Lin1dTest, VolumeFormula) {
+  const icm::IcmCircuit icm = two_disjoint_cnots();
+  const LinResult r = lin_1d(icm);
+  // 3 * steps * Q * 2, no distillation boxes here.
+  EXPECT_EQ(r.volume, 3 * 1 * 4 * 2);
+}
+
+TEST(Lin2dTest, GridDimensionsCoverAllLines) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 50;
+  spec.cnots = 80;
+  spec.y_states = 16;
+  spec.a_states = 8;
+  const icm::IcmCircuit icm = icm::make_workload(spec);
+  const LinResult r = lin_2d(icm);
+  EXPECT_GE(r.grid_x * r.grid_y, 50);
+  EXPECT_LE(r.grid_x * r.grid_y, 50 + r.grid_x);
+}
+
+TEST(Lin2dTest, NeverMoreStepsThan1d) {
+  // 2-D conflicts are a subset-ish of 1-D interval conflicts on realistic
+  // workloads; at minimum the schedule stays within the serial bound and
+  // typically parallelizes strictly better.
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 100;
+  spec.y_states = 20;
+  spec.a_states = 10;
+  const icm::IcmCircuit icm = icm::make_workload(spec);
+  const LinResult one_d = lin_1d(icm);
+  const LinResult two_d = lin_2d(icm);
+  EXPECT_LE(two_d.time_steps, one_d.time_steps);
+  EXPECT_LE(one_d.time_steps, static_cast<int>(icm.cnots().size()));
+}
+
+class LinOrderingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinOrderingTest, Table2OrderingHolds) {
+  // canonical > 1-D >= 2-D on every paper benchmark workload.
+  const core::PaperBenchmark& bench = core::paper_benchmarks()[GetParam()];
+  const icm::IcmCircuit icm =
+      icm::make_workload(core::workload_spec(bench));
+  const std::int64_t canonical = geom::canonical_volume(icm.stats());
+  const LinResult one_d = lin_1d(icm);
+  const LinResult two_d = lin_2d(icm);
+  EXPECT_LT(one_d.volume, canonical) << bench.name;
+  EXPECT_LE(two_d.volume, one_d.volume) << bench.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, LinOrderingTest,
+                         ::testing::Range<std::size_t>(0, 4));
+
+TEST(LinScheduleTest, StepsRespectLineDependenciesOnWorkload) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 40;
+  spec.cnots = 70;
+  spec.y_states = 12;
+  spec.a_states = 6;
+  const icm::IcmCircuit icm = icm::make_workload(spec);
+  const LinResult r = lin_1d(icm);
+  EXPECT_GE(r.time_steps, 1);
+  EXPECT_LE(r.time_steps, static_cast<int>(icm.cnots().size()));
+}
+
+}  // namespace
+}  // namespace tqec::baseline

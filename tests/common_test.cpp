@@ -1,0 +1,210 @@
+// Unit tests for the common substrate: geometry primitives, deterministic
+// RNG, union-find, and string helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/union_find.h"
+#include "common/vec3.h"
+
+namespace tqec {
+namespace {
+
+TEST(Vec3Test, ArithmeticAndNorms) {
+  const Vec3 a{1, -2, 3};
+  const Vec3 b{4, 5, -6};
+  EXPECT_EQ(a + b, Vec3(5, 3, -3));
+  EXPECT_EQ(b - a, Vec3(3, 7, -9));
+  EXPECT_EQ(2 * a, Vec3(2, -4, 6));
+  EXPECT_EQ(a.l1(), 6);
+  EXPECT_EQ(a.linf(), 3);
+  EXPECT_EQ(manhattan(a, b), 19);
+  EXPECT_EQ(chebyshev(a, b), 9);
+}
+
+TEST(Vec3Test, AxisIndexing) {
+  Vec3 v{7, 8, 9};
+  EXPECT_EQ(v[Axis::X], 7);
+  EXPECT_EQ(v[Axis::Y], 8);
+  EXPECT_EQ(v[Axis::Z], 9);
+  v[Axis::Y] = 42;
+  EXPECT_EQ(v.y, 42);
+  EXPECT_EQ(unit(Axis::X), Vec3(1, 0, 0));
+  EXPECT_EQ(unit(Axis::Y), Vec3(0, 1, 0));
+  EXPECT_EQ(unit(Axis::Z), Vec3(0, 0, 1));
+}
+
+TEST(Vec3Test, HashDistinguishesNeighbours) {
+  std::unordered_set<Vec3> cells;
+  for (int x = -3; x <= 3; ++x)
+    for (int y = -3; y <= 3; ++y)
+      for (int z = -3; z <= 3; ++z) cells.insert(Vec3{x, y, z});
+  EXPECT_EQ(cells.size(), 7u * 7u * 7u);
+}
+
+TEST(Box3Test, EmptyAndDims) {
+  const Box3 empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.volume(), 0);
+  EXPECT_EQ(empty.dims(), Vec3(0, 0, 0));
+
+  const Box3 unit_box{{0, 0, 0}, {0, 0, 0}};
+  EXPECT_FALSE(unit_box.empty());
+  EXPECT_EQ(unit_box.volume(), 1);
+
+  const Box3 b{{1, 2, 3}, {3, 5, 3}};
+  EXPECT_EQ(b.dims(), Vec3(3, 4, 1));
+  EXPECT_EQ(b.volume(), 12);
+}
+
+TEST(Box3Test, SpanningIsOrderInsensitive) {
+  const Box3 a = Box3::spanning({5, 0, -2}, {1, 3, 4});
+  EXPECT_EQ(a.lo, Vec3(1, 0, -2));
+  EXPECT_EQ(a.hi, Vec3(5, 3, 4));
+}
+
+TEST(Box3Test, ContainsAndIntersects) {
+  const Box3 b{{0, 0, 0}, {4, 4, 4}};
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({4, 4, 4}));
+  EXPECT_FALSE(b.contains({5, 0, 0}));
+  EXPECT_TRUE(b.intersects(Box3{{4, 4, 4}, {9, 9, 9}}));
+  EXPECT_FALSE(b.intersects(Box3{{5, 0, 0}, {6, 4, 4}}));
+  EXPECT_FALSE(b.intersects(Box3{}));
+}
+
+TEST(Box3Test, MergeExpandInflate) {
+  Box3 b;
+  b = b.expanded({1, 1, 1});
+  b = b.expanded({-1, 3, 1});
+  EXPECT_EQ(b.lo, Vec3(-1, 1, 1));
+  EXPECT_EQ(b.hi, Vec3(1, 3, 1));
+  const Box3 merged = b.merged(Box3{{5, 5, 5}, {6, 6, 6}});
+  EXPECT_EQ(merged.hi, Vec3(6, 6, 6));
+  const Box3 inflated = b.inflated(2);
+  EXPECT_EQ(inflated.lo, Vec3(-3, -1, -1));
+}
+
+TEST(Box3Test, Separation) {
+  const Box3 a{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_EQ(a.separation(Box3{{3, 0, 0}, {4, 1, 1}}), 1);
+  EXPECT_EQ(a.separation(Box3{{2, 0, 0}, {3, 1, 1}}), 0);   // touching
+  EXPECT_EQ(a.separation(Box3{{1, 1, 1}, {2, 2, 2}}), 0);   // overlapping
+  EXPECT_EQ(a.separation(Box3{{0, 5, 0}, {1, 6, 1}}), 3);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, SeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, BelowIsInRangeAndCoversValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(1, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_EQ(uf.set_size(4), 1u);
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(4);
+  uf.unite(0, 3);
+  uf.reset(2);
+  EXPECT_EQ(uf.size(), 2u);
+  EXPECT_EQ(uf.component_count(), 2u);
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(StringUtilTest, TrimAndSplit) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+  const auto ws = split_ws("  a  bb\tccc \n");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[0], "a");
+  EXPECT_EQ(ws[2], "ccc");
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, MiscHelpers) {
+  EXPECT_TRUE(starts_with(".numvars 4", ".numvars"));
+  EXPECT_FALSE(starts_with("num", "numvars"));
+  EXPECT_EQ(to_lower("TqEc"), "tqec");
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(111335928), "111,335,928");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace tqec

@@ -1,0 +1,343 @@
+// Tests for the compression core: I-shaped simplification, the flipping
+// operation / greedy primal bridging, and iterative dual bridging — all
+// anchored on the paper's worked 3-CNOT example (Figs. 10-14) plus
+// property-style sweeps on generated workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "core/paper_tables.h"
+#include "icm/workload.h"
+#include "pdgraph/pd_graph.h"
+
+namespace tqec::compress {
+namespace {
+
+using pdgraph::ModuleId;
+using pdgraph::NetId;
+using pdgraph::PdGraph;
+
+PdGraph three_cnot_graph() {
+  return pdgraph::build_pd_graph(core::three_cnot_example());
+}
+
+TEST(IshapeTest, ThreeCnotExampleProducesThreeMerges) {
+  const PdGraph g = three_cnot_graph();
+  const IshapeResult r = simplify_ishape(g);
+
+  // Paper Fig. 10/14: merges p0p1 (via d0), p3p4 (via d1), p2p5 (via d2).
+  ASSERT_EQ(r.merge_count(), 3);
+  std::set<std::pair<ModuleId, ModuleId>> merged;
+  for (const IshapeMerge& m : r.merges())
+    merged.insert({std::min(m.im_module, m.partner),
+                   std::max(m.im_module, m.partner)});
+  EXPECT_TRUE(merged.count({0, 1}));
+  EXPECT_TRUE(merged.count({3, 4}));
+  EXPECT_TRUE(merged.count({2, 5}));
+
+  // Zones after the splits (Fig. 14(b)): p1 keeps d2; p2 keeps {d0, d1};
+  // everything else is empty.
+  EXPECT_TRUE(r.zone_nets()[0].empty());
+  EXPECT_EQ(r.zone_nets()[1], (std::vector<NetId>{2}));
+  EXPECT_EQ(r.zone_nets()[2], (std::vector<NetId>{0, 1}));
+  EXPECT_TRUE(r.zone_nets()[3].empty());
+  EXPECT_TRUE(r.zone_nets()[4].empty());
+  EXPECT_TRUE(r.zone_nets()[5].empty());
+
+  // Three x-groups of two modules each.
+  const auto groups = r.group_members();
+  EXPECT_EQ(groups.size(), 3u);
+  for (const auto& members : groups) EXPECT_EQ(members.size(), 2u);
+}
+
+TEST(IshapeTest, ModuleWithoutImDoesNotMerge) {
+  icm::IcmCircuit icm("noim");
+  icm.add_line(icm::InitBasis::Zero);
+  icm.add_line(icm::InitBasis::Zero);
+  icm.add_line(icm::InitBasis::Zero);
+  // Two CNOTs from line 0: the second CNOT's control-side current module is
+  // the innovative module of the first, which has no I/M; line 0's final
+  // module is the second innovative module (measurement-side merge).
+  icm.add_cnot(0, 1);
+  icm.add_cnot(0, 2);
+  const PdGraph g = pdgraph::build_pd_graph(icm);
+  const IshapeResult r = simplify_ishape(g);
+  // Net 0: init-side merge at row start. Net 1: meas-side merge at row end.
+  EXPECT_EQ(r.merge_count(), 2);
+}
+
+TEST(IshapeTest, ConstrainedMeasurementBlocksMeasSideMerge) {
+  icm::IcmCircuit icm("con");
+  icm.add_line(icm::InitBasis::Zero);
+  icm.add_line(icm::InitBasis::Zero);
+  icm.add_cnot(0, 1);
+  icm.add_cnot(0, 1);  // control current = innovative of first CNOT (no I/M)
+  icm.add_meas_order(1, 0);
+  const PdGraph g = pdgraph::build_pd_graph(icm);
+  const IshapeResult r = simplify_ishape(g);
+  // Net 0 merges on the init side. Net 1's innovative module is row-final
+  // but its measurement is order-constrained, so no meas-side merge.
+  EXPECT_EQ(r.merge_count(), 1);
+}
+
+TEST(IshapeTest, PreservesBraidingRecords) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 20;
+  spec.a_states = 10;
+  const PdGraph g = pdgraph::build_pd_graph(icm::make_workload(spec));
+  const auto before = braiding_signature(g);
+  const IshapeResult r = simplify_ishape(g);
+  // The PD-graph records are never mutated; zones only ever lose the merged
+  // net, and each merge removes exactly one net from exactly two zones.
+  EXPECT_EQ(braiding_signature(g), before);
+  std::size_t zone_total = 0;
+  for (const auto& zone : r.zone_nets()) zone_total += zone.size();
+  EXPECT_EQ(zone_total, before.size() - 2u * static_cast<std::size_t>(
+                                                r.merge_count()));
+}
+
+TEST(FlippingTest, ThreeCnotExampleFormsOneChain) {
+  const PdGraph g = three_cnot_graph();
+  const IshapeResult ishape = simplify_ishape(g);
+  const PrimalBridging pb = bridge_primal(g, ishape);
+
+  // Fig. 13(b): all three points bridge into a single chain, so the whole
+  // example becomes one primal-bridging super-module.
+  EXPECT_EQ(pb.point_count(), 3);
+  ASSERT_EQ(pb.chain_count(), 1);
+  EXPECT_EQ(pb.chains[0].points.size(), 3u);
+  EXPECT_EQ(pb.bridge_count(), 2);
+
+  // Flip values alternate along the chain (eq. 5).
+  const auto& pts = pb.chains[0].points;
+  EXPECT_EQ(pb.flip_of_point[static_cast<std::size_t>(pts[0])], 0);
+  EXPECT_EQ(pb.flip_of_point[static_cast<std::size_t>(pts[1])], 1);
+  EXPECT_EQ(pb.flip_of_point[static_cast<std::size_t>(pts[2])], 0);
+}
+
+TEST(FlippingTest, ConsecutiveChainPointsShareANet) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 70;
+  spec.cnots = 100;
+  spec.y_states = 24;
+  spec.a_states = 12;
+  spec.seed = 9;
+  const PdGraph g = pdgraph::build_pd_graph(icm::make_workload(spec));
+  const IshapeResult ishape = simplify_ishape(g);
+  const PrimalBridging pb = bridge_primal(g, ishape);
+
+  // Net set per point.
+  std::vector<std::set<NetId>> nets_of_point(
+      static_cast<std::size_t>(pb.point_count()));
+  for (const pdgraph::PrimalModule& m : g.modules()) {
+    const int p = pb.point_of_module[static_cast<std::size_t>(m.id)];
+    if (p < 0) continue;
+    for (NetId n : m.nets) nets_of_point[static_cast<std::size_t>(p)].insert(n);
+  }
+  for (const Chain& chain : pb.chains) {
+    for (std::size_t i = 0; i + 1 < chain.points.size(); ++i) {
+      const auto& a = nets_of_point[static_cast<std::size_t>(chain.points[i])];
+      const auto& b =
+          nets_of_point[static_cast<std::size_t>(chain.points[i + 1])];
+      const bool share = std::any_of(a.begin(), a.end(), [&](NetId n) {
+        return b.count(n) > 0;
+      });
+      EXPECT_TRUE(share) << "chain link without a shared dual net";
+    }
+  }
+}
+
+TEST(FlippingTest, EveryNonInjectionModuleInExactlyOnePoint) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 50;
+  spec.cnots = 70;
+  spec.y_states = 14;
+  spec.a_states = 7;
+  const PdGraph g = pdgraph::build_pd_graph(icm::make_workload(spec));
+  const IshapeResult ishape = simplify_ishape(g);
+  const PrimalBridging pb = bridge_primal(g, ishape);
+
+  std::vector<int> seen(static_cast<std::size_t>(g.module_count()), 0);
+  for (const auto& members : pb.point_members)
+    for (ModuleId m : members) ++seen[static_cast<std::size_t>(m)];
+  for (const pdgraph::PrimalModule& m : g.modules()) {
+    const int expected =
+        (m.origin == pdgraph::ModuleOrigin::Injection || m.meas_constrained)
+            ? 0
+            : 1;
+    EXPECT_EQ(seen[static_cast<std::size_t>(m.id)], expected)
+        << "module " << m.id;
+    EXPECT_EQ(pb.point_of_module[static_cast<std::size_t>(m.id)] >= 0,
+              expected == 1);
+  }
+  // Every point belongs to exactly one chain.
+  for (int p = 0; p < pb.point_count(); ++p) {
+    const int c = pb.chain_of_point[static_cast<std::size_t>(p)];
+    ASSERT_GE(c, 0);
+    const auto& pts = pb.chains[static_cast<std::size_t>(c)].points;
+    EXPECT_EQ(std::count(pts.begin(), pts.end(), p), 1);
+  }
+}
+
+TEST(FlippingTest, BridgingReducesNodeCountSubstantially) {
+  const core::PaperBenchmark& bench = core::paper_benchmark("4gt10-v1_81");
+  const PdGraph g =
+      pdgraph::build_pd_graph(icm::make_workload(core::workload_spec(bench)));
+  const IshapeResult ishape = simplify_ishape(g);
+  const PrimalBridging pb = bridge_primal(g, ishape);
+  // The paper's Table 1 shows 362 modules collapsing to 18 nodes; our
+  // greedy must deliver the same order of reduction (at least 4x).
+  EXPECT_LT(pb.chain_count() * 4, pb.point_count());
+}
+
+TEST(DualBridgingTest, ThreeCnotExampleMergesD0D1Only) {
+  const PdGraph g = three_cnot_graph();
+  const IshapeResult ishape = simplify_ishape(g);
+  DualBridging db = bridge_dual(g, ishape);
+
+  // Fig. 14(b): d0 and d1 merge at p2; d2 stays separate (its bridging
+  // opportunities were consumed by the I-shape splits).
+  EXPECT_EQ(db.bridge_count(), 1);
+  EXPECT_EQ(db.bridges()[0].site, 2);
+  EXPECT_TRUE(db.components().same(0, 1));
+  EXPECT_FALSE(db.components().same(0, 2));
+  EXPECT_EQ(db.component_count(), 2);
+}
+
+TEST(DualBridgingTest, WithoutIshapeMergesEverything) {
+  const PdGraph g = three_cnot_graph();
+  DualBridging db = bridge_dual_without_ishape(g);
+  // On the raw records all three nets cross p2, so everything merges —
+  // exactly the d0/d2 bridging the paper calls out as an error after
+  // I-shape (Sec. 3.4), demonstrating why the split-awareness matters.
+  EXPECT_EQ(db.component_count(), 1);
+}
+
+TEST(DualBridgingTest, NeverMergesSameComponentTwice) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 100;
+  spec.y_states = 16;
+  spec.a_states = 8;
+  spec.seed = 3;
+  const PdGraph g = pdgraph::build_pd_graph(icm::make_workload(spec));
+  const IshapeResult ishape = simplify_ishape(g);
+  DualBridging db = bridge_dual(g, ishape);
+  // #bridges == #nets - #components exactly when no redundant bridge (which
+  // would have created an extra loop) was ever added.
+  EXPECT_EQ(db.bridge_count(), g.net_count() - db.component_count());
+}
+
+TEST(DualBridgingTest, RespectsMeasurementLevelInterleaving) {
+  // Two nets touching interleaved measurement levels must not merge.
+  icm::IcmCircuit icm("lvl");
+  const int q0 = icm.add_line(icm::InitBasis::Zero);
+  const int q1 = icm.add_line(icm::InitBasis::Zero);
+  const int q2 = icm.add_line(icm::InitBasis::Zero);
+  const int q3 = icm.add_line(icm::InitBasis::Zero);
+  const int hub = icm.add_line(icm::InitBasis::Zero);
+  // Net 0: q0 -> hub; net 1: q1 -> hub (they share the hub's module).
+  icm.add_cnot(q0, hub);
+  icm.add_cnot(q1, hub);
+  // Interleaved levels: q0 < q1 (levels 0 < 1) and q3 < q2 wires net-1's
+  // level range around net-0's.
+  icm.add_meas_order(q0, q1);
+  icm.add_meas_order(q1, q2);
+  icm.add_meas_order(q2, q3);
+  // Net 0 touches q0 (level 0); also wire q0 -> q3 so net 0's range spans
+  // [0, 3] while net 1 touches q1 (level 1): partial overlap -> reject.
+  icm.add_cnot(q3, hub);  // net 2 touches q3 (level 3)
+  const PdGraph g = pdgraph::build_pd_graph(icm);
+  DualBridging db = bridge_dual_without_ishape(g);
+  // net0 range [0,0]; net1 range [1,1]; net2 range [3,3]: all orderable,
+  // so they merge pairwise until one component remains.
+  EXPECT_EQ(db.component_count(), 1);
+}
+
+TEST(DualBridgingTest, RejectsPartiallyOverlappingRanges) {
+  icm::IcmCircuit icm("ovl");
+  std::vector<int> lines;
+  for (int i = 0; i < 6; ++i) lines.push_back(icm.add_line(icm::InitBasis::Zero));
+  const int hub = icm.add_line(icm::InitBasis::Zero);
+  // Levels: l0=0, l1=1, l2=2 via chain l0<l1<l2.
+  icm.add_meas_order(lines[0], lines[1]);
+  icm.add_meas_order(lines[1], lines[2]);
+  // Net 0 touches levels {0, 2} (range [0,2]); net 1 touches level 1
+  // (range [1,1]) -> contained partial overlap, not orderable: reject.
+  icm.add_cnot(lines[0], lines[3]);
+  icm.add_cnot(lines[2], lines[3]);   // net 1: rows l2, l3
+  icm.add_cnot(lines[1], hub);
+  // Build nets explicitly: net0 = cnot(l0,l3), net1 = cnot(l2,l3) share
+  // module on row l3; net0 range [0,0], net1 range [2,2]: orderable, merge.
+  // net2 = cnot(l1,hub) range [1,1] shares no module with them: separate.
+  const PdGraph g = pdgraph::build_pd_graph(icm);
+  DualBridging db = bridge_dual_without_ishape(g);
+  EXPECT_TRUE(db.components().same(0, 1));
+  EXPECT_FALSE(db.components().same(0, 2));
+
+  // Now the merged component has range [0,2]; a net at level 1 crossing the
+  // same row must be rejected (partial overlap).
+  icm::IcmCircuit icm2("ovl2");
+  std::vector<int> l2;
+  for (int i = 0; i < 4; ++i) l2.push_back(icm2.add_line(icm::InitBasis::Zero));
+  icm2.add_meas_order(l2[0], l2[1]);
+  icm2.add_meas_order(l2[1], l2[2]);
+  icm2.add_cnot(l2[0], l2[3]);  // net 0, range [0,0]
+  icm2.add_cnot(l2[2], l2[3]);  // net 1, range [2,2]
+  icm2.add_cnot(l2[1], l2[3]);  // net 2, range [1,1]
+  const PdGraph g2 = pdgraph::build_pd_graph(icm2);
+  DualBridging db2 = bridge_dual_without_ishape(g2);
+  // Sweep order merges net0+net1 first ([0,0] and [2,2] are orderable),
+  // giving a component of range [0,2]; net2's [1,1] partially overlaps it
+  // and must stay separate.
+  EXPECT_TRUE(db2.components().same(0, 1));
+  EXPECT_FALSE(db2.components().same(0, 2));
+  EXPECT_EQ(db2.component_count(), 2);
+  EXPECT_EQ(db2.bridge_count(), 1);
+}
+
+TEST(DualBridgingTest, IshapeAwareBridgingNeverBridgesAtEmptyZones) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 40;
+  spec.cnots = 60;
+  spec.y_states = 10;
+  spec.a_states = 5;
+  const PdGraph g = pdgraph::build_pd_graph(icm::make_workload(spec));
+  const IshapeResult ishape = simplify_ishape(g);
+  DualBridging db = bridge_dual(g, ishape);
+  for (const DualBridge& b : db.bridges()) {
+    const auto& zone = ishape.zone_nets()[static_cast<std::size_t>(b.site)];
+    EXPECT_TRUE(std::find(zone.begin(), zone.end(), b.net_a) != zone.end());
+    EXPECT_TRUE(std::find(zone.begin(), zone.end(), b.net_b) != zone.end());
+  }
+}
+
+
+TEST(FlippingTest, BestOfRestartsNeverWorseThanSingleRun) {
+  const core::PaperBenchmark& bench = core::paper_benchmark("4gt4-v0_73");
+  const PdGraph g =
+      pdgraph::build_pd_graph(icm::make_workload(core::workload_spec(bench)));
+  const IshapeResult ishape = simplify_ishape(g);
+  const PrimalBridging single = bridge_primal(g, ishape, 7);
+  const PrimalBridging best = bridge_primal_best(g, ishape, 7, 6);
+  EXPECT_LE(best.chain_count(), single.chain_count());
+  // Determinism of the multi-restart variant.
+  const PrimalBridging again = bridge_primal_best(g, ishape, 7, 6);
+  EXPECT_EQ(best.chain_count(), again.chain_count());
+  EXPECT_EQ(best.bridge_count(), again.bridge_count());
+}
+
+TEST(FlippingTest, BestOfRestartsRejectsZeroRestarts) {
+  const PdGraph g = three_cnot_graph();
+  const IshapeResult ishape = simplify_ishape(g);
+  EXPECT_THROW(bridge_primal_best(g, ishape, 1, 0), TqecError);
+}
+
+}  // namespace
+}  // namespace tqec::compress

@@ -1,0 +1,194 @@
+// Integration tests for the full compression pipeline: the paper's worked
+// example, end-to-end legality and geometry validity, braiding
+// preservation through routing, determinism, and mode comparisons.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "compress/dual_bridging.h"
+#include "core/compiler.h"
+#include "core/paper_tables.h"
+#include "geom/canonical.h"
+#include "geom/validate.h"
+#include "icm/workload.h"
+
+namespace tqec::core {
+namespace {
+
+CompileResult compile_mode(const icm::IcmCircuit& circuit, PipelineMode mode,
+                           std::uint64_t seed = 7) {
+  CompileOptions opt;
+  opt.mode = mode;
+  opt.seed = seed;
+  return compile(circuit, opt);
+}
+
+TEST(Fig1Test, CanonicalVolumeIs54) {
+  const icm::IcmCircuit circuit = three_cnot_example();
+  EXPECT_EQ(geom::canonical_volume(circuit.stats()), 54);
+}
+
+TEST(Fig1Test, FullPipelineReachesVolume6) {
+  const CompileResult r =
+      compile_mode(three_cnot_example(), PipelineMode::Full);
+  EXPECT_EQ(r.volume, 6);  // paper Fig. 1(e): 2 x 1 x 3
+  EXPECT_TRUE(r.routed_legal);
+  EXPECT_TRUE(geom::validate(r.geometry).ok());
+}
+
+TEST(Fig1Test, ProgressionIsMonotone) {
+  const icm::IcmCircuit circuit = three_cnot_example();
+  const auto modular = compile_mode(circuit, PipelineMode::ModularOnly);
+  const auto dual_only = compile_mode(circuit, PipelineMode::DualOnly);
+  const auto full = compile_mode(circuit, PipelineMode::Full);
+  EXPECT_LE(full.volume, dual_only.volume);
+  EXPECT_LE(dual_only.volume, modular.volume);
+  EXPECT_LT(modular.volume, 54);
+}
+
+TEST(CompileTest, ReportsStageStatistics) {
+  const CompileResult r =
+      compile_mode(three_cnot_example(), PipelineMode::Full);
+  EXPECT_EQ(r.modules, 6);
+  EXPECT_EQ(r.ishape_merges, 3);
+  EXPECT_EQ(r.primal_bridges, 2);
+  EXPECT_EQ(r.dual_bridges, 1);
+  EXPECT_EQ(r.net_components, 2);
+  EXPECT_EQ(r.nodes, 1);  // everything in one primal-bridging super-module
+  EXPECT_EQ(r.canonical_volume, 54);
+}
+
+TEST(CompileTest, DeterministicForFixedSeed) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+  const auto a = compile_mode(circuit, PipelineMode::Full, 5);
+  const auto b = compile_mode(circuit, PipelineMode::Full, 5);
+  EXPECT_EQ(a.volume, b.volume);
+  EXPECT_EQ(a.routing.total_wire, b.routing.total_wire);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+class EndToEndTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EndToEndTest, LegalValidAndCompressed) {
+  const PaperBenchmark& bench = paper_benchmarks()[GetParam()];
+  const icm::IcmCircuit circuit =
+      icm::make_workload(workload_spec(bench));
+  const CompileResult r = compile_mode(circuit, PipelineMode::Full);
+  EXPECT_TRUE(r.routed_legal) << bench.name;
+  const auto report = geom::validate(r.geometry);
+  EXPECT_TRUE(report.ok()) << bench.name << ": " << report.summary();
+  // The compression must beat the canonical form massively (the paper
+  // reports 6.5x+ on the smallest benchmark).
+  EXPECT_LT(r.volume * 3, r.canonical_volume) << bench.name;
+  // Geometry box census: one per |Y> and |A> ancilla.
+  EXPECT_EQ(r.geometry.boxes().size(),
+            static_cast<std::size_t>(bench.y_states + bench.a_states));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBenchmarks, EndToEndTest,
+                         ::testing::Range<std::size_t>(0, 2));
+
+TEST(EndToEndTest, BraidingPreservedThroughRouting) {
+  // Every original CNOT net must thread the cells of the exact modules its
+  // PD-graph records say it passes through, after all compression stages.
+  const PaperBenchmark& bench = paper_benchmark("4gt10-v1_81");
+  const icm::IcmCircuit circuit =
+      icm::make_workload(workload_spec(bench));
+  const pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  const compress::IshapeResult ishape = compress::simplify_ishape(graph);
+  const compress::PrimalBridging bridging =
+      compress::bridge_primal(graph, ishape, 7);
+  compress::DualBridging dual = compress::bridge_dual(graph, ishape);
+  place::NodeSet nodes = place::build_nodes(graph, ishape, bridging, dual);
+  place::PlaceOptions popt;
+  popt.seed = 7;
+  const place::Placement placement = place::place_modules(nodes, popt);
+  route::RouteOptions ropt;
+  const route::RoutingResult routing =
+      route::route_nets(nodes, placement, ropt);
+  ASSERT_TRUE(routing.legal);
+
+  std::unordered_map<pdgraph::NetId, std::size_t> component_index;
+  for (const pdgraph::DualNet& net : graph.nets())
+    component_index.emplace(dual.component_of(net.id),
+                            component_index.size());
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    const auto& routed = routing.nets[component_index.at(
+        dual.component_of(net.id))];
+    std::set<std::tuple<int, int, int>> cells;
+    for (const Vec3& c : routed.cells) cells.insert({c.x, c.y, c.z});
+    for (pdgraph::ModuleId m : net.path()) {
+      const Vec3 pin = placement.module_cell[static_cast<std::size_t>(m)];
+      EXPECT_TRUE(cells.count({pin.x, pin.y, pin.z}))
+          << "net " << net.id << " no longer threads module " << m;
+    }
+  }
+}
+
+TEST(ModeComparisonTest, FullBeatsDualOnlyOnMidsizeBenchmark) {
+  const PaperBenchmark& bench = paper_benchmark("4gt4-v0_73");
+  const icm::IcmCircuit circuit =
+      icm::make_workload(workload_spec(bench));
+  const auto full = compile_mode(circuit, PipelineMode::Full);
+  const auto dual_only = compile_mode(circuit, PipelineMode::DualOnly);
+  EXPECT_TRUE(full.routed_legal);
+  EXPECT_TRUE(dual_only.routed_legal);
+  // Paper Table 3: dual-only needs strictly more volume (1.29x on this
+  // benchmark); allow a little SA noise but demand a real gap.
+  EXPECT_GT(static_cast<double>(dual_only.volume),
+            1.05 * static_cast<double>(full.volume));
+  // And far fewer B*-tree nodes for the full flow (paper Table 1).
+  EXPECT_LT(full.nodes * 2, dual_only.nodes);
+}
+
+TEST(ModeComparisonTest, AblationFlagsChangeTheFlow) {
+  const icm::IcmCircuit circuit = three_cnot_example();
+  CompileOptions opt;
+  opt.enable_ishape = false;
+  const CompileResult no_ishape = compile(circuit, opt);
+  EXPECT_EQ(no_ishape.ishape_merges, 0);
+  opt = CompileOptions{};
+  opt.enable_primal = false;
+  const CompileResult no_primal = compile(circuit, opt);
+  EXPECT_EQ(no_primal.primal_bridges, 0);
+  EXPECT_GT(no_primal.nodes, 1);
+  opt = CompileOptions{};
+  opt.enable_dual = false;
+  const CompileResult no_dual = compile(circuit, opt);
+  EXPECT_EQ(no_dual.dual_bridges, 0);
+  EXPECT_EQ(no_dual.net_components, 3);
+}
+
+TEST(EmitGeometryTest, CensusMatchesPipelineState) {
+  const CompileResult r =
+      compile_mode(three_cnot_example(), PipelineMode::Full);
+  // One primal chain defect + two dual component defects; no boxes.
+  int primal = 0;
+  int dual = 0;
+  for (const geom::Defect& d : r.geometry.defects())
+    (d.type == geom::DefectType::Primal ? primal : dual) += 1;
+  EXPECT_EQ(primal, 1);
+  EXPECT_EQ(dual, 2);
+  EXPECT_TRUE(r.geometry.boxes().empty());
+}
+
+TEST(PaperTablesTest, LookupAndConsistency) {
+  EXPECT_EQ(paper_benchmarks().size(), 8u);
+  EXPECT_THROW(paper_benchmark("nope"), TqecError);
+  for (const PaperBenchmark& b : paper_benchmarks()) {
+    EXPECT_EQ(b.y_states, 2 * b.a_states) << b.name;
+    EXPECT_GT(b.hsu_volume, b.ours_volume) << b.name;
+    EXPECT_GT(b.lin2d_volume, b.hsu_volume) << b.name;
+    EXPECT_GT(b.lin1d_volume, b.lin2d_volume) << b.name;
+    EXPECT_GT(b.canonical_volume, b.lin1d_volume) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace tqec::core

@@ -1,0 +1,158 @@
+// Tests for gate decomposition. Equivalence is verified two ways:
+// classically on all basis states for reversible-only stages, and with the
+// exact state-vector simulator for the Clifford+T stage.
+#include <gtest/gtest.h>
+
+#include "decompose/decompose.h"
+#include "qcir/generator.h"
+#include "qcir/simulator.h"
+
+namespace tqec::decompose {
+namespace {
+
+using qcir::Circuit;
+using qcir::Gate;
+using qcir::GateKind;
+
+/// Check classical agreement on every input; ancillas (appended qubits)
+/// start at 0 and must return to 0.
+void expect_classically_equal(const Circuit& original, const Circuit& lowered) {
+  ASSERT_GE(lowered.num_qubits(), original.num_qubits());
+  const int n = original.num_qubits();
+  const int total = lowered.num_qubits();
+  for (std::size_t input = 0; input < (std::size_t{1} << n); ++input) {
+    std::vector<bool> in_small(static_cast<std::size_t>(n));
+    std::vector<bool> in_big(static_cast<std::size_t>(total), false);
+    for (int q = 0; q < n; ++q) {
+      const bool bit = (input & (std::size_t{1} << q)) != 0;
+      in_small[static_cast<std::size_t>(q)] = bit;
+      in_big[static_cast<std::size_t>(q)] = bit;
+    }
+    const auto out_small = original.simulate_classical(in_small);
+    const auto out_big = lowered.simulate_classical(in_big);
+    for (int q = 0; q < n; ++q)
+      EXPECT_EQ(out_big[static_cast<std::size_t>(q)],
+                out_small[static_cast<std::size_t>(q)])
+          << "input " << input << " qubit " << q;
+    for (int q = n; q < total; ++q)
+      EXPECT_FALSE(out_big[static_cast<std::size_t>(q)])
+          << "dirty ancilla, input " << input;
+  }
+}
+
+TEST(LowerToToffoliTest, PassesThroughSimpleGates) {
+  Circuit c(3);
+  c.add(Gate::x(0));
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::toffoli(0, 1, 2));
+  const Circuit lowered = lower_to_toffoli(c);
+  EXPECT_EQ(lowered.num_qubits(), 3);
+  ASSERT_EQ(lowered.size(), 3u);
+  EXPECT_EQ(lowered.gates()[2].kind, GateKind::Toffoli);
+}
+
+class MctLoweringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MctLoweringTest, ClassicallyEquivalentWithCleanAncillas) {
+  const int controls = GetParam();
+  Circuit c(controls + 1);
+  std::vector<int> ctrl(static_cast<std::size_t>(controls));
+  for (int i = 0; i < controls; ++i) ctrl[static_cast<std::size_t>(i)] = i;
+  c.add(Gate::mct(ctrl, controls));
+  const Circuit lowered = lower_to_toffoli(c);
+  EXPECT_EQ(lowered.num_qubits(), controls + 1 + (controls - 2));
+  for (const Gate& g : lowered.gates())
+    EXPECT_EQ(g.kind, GateKind::Toffoli);
+  EXPECT_EQ(lowered.size(), static_cast<std::size_t>(2 * controls - 3));
+  expect_classically_equal(c, lowered);
+}
+
+INSTANTIATE_TEST_SUITE_P(ControlCounts, MctLoweringTest,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+TEST(FredkinLoweringTest, SingleControlFredkin) {
+  Circuit c(3);
+  c.add(Gate::fredkin({0}, 1, 2));
+  const Circuit lowered = lower_to_toffoli(c);
+  for (const Gate& g : lowered.gates())
+    EXPECT_TRUE(g.kind == GateKind::Toffoli || g.kind == GateKind::Cnot);
+  expect_classically_equal(c, lowered);
+}
+
+TEST(FredkinLoweringTest, MultiControlFredkin) {
+  Circuit c(4);
+  c.add(Gate::fredkin({0, 1}, 2, 3));
+  expect_classically_equal(c, lower_to_toffoli(c));
+}
+
+TEST(SwapLoweringTest, BecomesThreeCnots) {
+  Circuit c(2);
+  c.add(Gate::swap(0, 1));
+  const Circuit lowered = lower_to_toffoli(c);
+  EXPECT_EQ(lowered.size(), 3u);
+  expect_classically_equal(c, lowered);
+}
+
+TEST(CliffordTLoweringTest, ToffoliNetworkIsExactlyEquivalent) {
+  Circuit c(3);
+  c.add(Gate::toffoli(0, 1, 2));
+  const Circuit lowered = lower_to_clifford_t(c);
+  EXPECT_TRUE(lowered.is_clifford_t());
+  const auto stats = lowered.stats();
+  EXPECT_EQ(stats.t, 7);
+  EXPECT_EQ(stats.h, 2);
+  EXPECT_EQ(stats.cnot, 6);
+  EXPECT_TRUE(qcir::circuits_equivalent(c, lowered));
+}
+
+TEST(CliffordTLoweringTest, AllToffoliOrientations) {
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int t = 0; t < 3; ++t) {
+        if (a == b || a == t || b == t) continue;
+        Circuit c(3);
+        c.add(Gate::toffoli(a, b, t));
+        EXPECT_TRUE(qcir::circuits_equivalent(c, lower_to_clifford_t(c)))
+            << a << b << t;
+      }
+    }
+  }
+}
+
+TEST(CliffordTLoweringTest, RejectsUnloweredMct) {
+  Circuit c(4);
+  c.add(Gate::mct({0, 1, 2}, 3));
+  EXPECT_THROW(lower_to_clifford_t(c), TqecError);
+}
+
+TEST(FullDecomposeTest, RandomReversibleCircuitsStayEquivalent) {
+  // End-to-end check on small random circuits: decompose to Clifford+T and
+  // verify unitary equivalence against the original reversible circuit.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    qcir::RandomReversibleSpec spec;
+    spec.num_qubits = 5;
+    spec.num_gates = 12;
+    spec.locality_window = 5;
+    spec.seed = seed;
+    const Circuit original = qcir::make_random_reversible(spec);
+    const Circuit lowered = decompose(original);
+    EXPECT_TRUE(lowered.is_clifford_t());
+    ASSERT_EQ(lowered.num_qubits(), original.num_qubits());
+    EXPECT_TRUE(qcir::circuits_equivalent(original, lowered)) << seed;
+  }
+}
+
+TEST(FullDecomposeTest, SummaryCountsAncillasAndGates) {
+  Circuit c(5);
+  c.add(Gate::mct({0, 1, 2, 3}, 4));  // needs 2 ancillas, 5 Toffolis
+  const Circuit lowered = decompose(c);
+  const DecomposeStats stats = summarize(c, lowered);
+  EXPECT_EQ(stats.original_qubits, 5);
+  EXPECT_EQ(stats.ancilla_qubits, 2);
+  EXPECT_EQ(stats.t_count, 5 * 7);
+  EXPECT_EQ(stats.h_count, 5 * 2);
+  EXPECT_EQ(stats.cnot_count, 5 * 6 + 0);
+}
+
+}  // namespace
+}  // namespace tqec::decompose

@@ -1,0 +1,177 @@
+// Tests for the OBJ exporter: mesh structure, group separation, option
+// handling, and file I/O.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/compiler.h"
+#include "core/paper_tables.h"
+#include "geom/canonical.h"
+#include "geom/export_obj.h"
+#include "geom/export_svg.h"
+
+namespace tqec::geom {
+namespace {
+
+GeomDescription tiny_description() {
+  GeomDescription g("tiny");
+  Defect primal;
+  primal.type = DefectType::Primal;
+  primal.segments.push_back({{0, 0, 0}, {3, 0, 0}});
+  g.add_defect(primal);
+  Defect dual;
+  dual.type = DefectType::Dual;
+  dual.segments.push_back({{1, 0, 0}, {1, 2, 0}});
+  g.add_defect(dual);
+  g.add_box({BoxKind::YBox, {10, 0, 0}, -1});
+  return g;
+}
+
+int count_lines_starting(const std::string& text, const std::string& prefix) {
+  int count = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(prefix, 0) == 0) ++count;
+  return count;
+}
+
+TEST(ExportObjTest, CuboidCensus) {
+  const GeomDescription g = tiny_description();
+  std::ostringstream os;
+  const int cuboids = export_obj(g, os);
+  EXPECT_EQ(cuboids, 3);  // 1 primal segment + 1 dual segment + 1 box
+  const std::string obj = os.str();
+  EXPECT_EQ(count_lines_starting(obj, "v "), 3 * 8);
+  EXPECT_EQ(count_lines_starting(obj, "f "), 3 * 6);
+}
+
+TEST(ExportObjTest, GroupsAndMaterials) {
+  const std::string obj = to_obj(tiny_description());
+  EXPECT_NE(obj.find("g primal_defects"), std::string::npos);
+  EXPECT_NE(obj.find("g dual_defects"), std::string::npos);
+  EXPECT_NE(obj.find("g distillation_boxes"), std::string::npos);
+  EXPECT_NE(obj.find("usemtl primal"), std::string::npos);
+  EXPECT_NE(obj.find("usemtl dual"), std::string::npos);
+}
+
+TEST(ExportObjTest, BoxesCanBeExcluded) {
+  ObjExportOptions opt;
+  opt.include_boxes = false;
+  std::ostringstream os;
+  EXPECT_EQ(export_obj(tiny_description(), os, opt), 2);
+  EXPECT_EQ(os.str().find("distillation_boxes"), std::string::npos);
+}
+
+TEST(ExportObjTest, DualGeometryIsOffset) {
+  GeomDescription g("dual-only");
+  Defect dual;
+  dual.type = DefectType::Dual;
+  dual.segments.push_back({{0, 0, 0}, {0, 0, 0}});
+  g.add_defect(dual);
+  ObjExportOptions opt;
+  opt.defect_thickness = 1.0;
+  opt.dual_offset = 0.5;
+  const std::string obj = to_obj(g, opt);
+  // With thickness 1 and offset 0.5 the first vertex is at 0.5.
+  EXPECT_NE(obj.find("v 0.5 0.5 0.5"), std::string::npos);
+}
+
+TEST(ExportObjTest, RejectsBadThickness) {
+  std::ostringstream os;
+  ObjExportOptions opt;
+  opt.defect_thickness = 0.0;
+  EXPECT_THROW(export_obj(tiny_description(), os, opt), TqecError);
+  opt.defect_thickness = 1.5;
+  EXPECT_THROW(export_obj(tiny_description(), os, opt), TqecError);
+}
+
+TEST(ExportObjTest, FileWriting) {
+  const std::string path = ::testing::TempDir() + "/out.obj";
+  write_obj_file(tiny_description(), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_THROW(write_obj_file(tiny_description(), "/nonexistent/x/y.obj"),
+               TqecError);
+}
+
+TEST(ExportObjTest, FullPipelineGeometryExports) {
+  core::CompileOptions opt;
+  const core::CompileResult result =
+      core::compile(core::three_cnot_example(), opt);
+  const std::string obj = to_obj(result.geometry);
+  EXPECT_GT(count_lines_starting(obj, "v "), 0);
+  // Vertex references in faces stay in range.
+  const int vertices = count_lines_starting(obj, "v ");
+  std::istringstream in(obj);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("f ", 0) != 0) continue;
+    std::istringstream fs(line.substr(2));
+    int index = 0;
+    while (fs >> index) {
+      EXPECT_GE(index, 1);
+      EXPECT_LE(index, vertices);
+    }
+  }
+}
+
+TEST(ExportObjTest, CanonicalGeometryExports) {
+  const GeomDescription g =
+      build_canonical(core::three_cnot_example());
+  std::ostringstream os;
+  const int cuboids = export_obj(g, os);
+  // 3 lines x 4 segments + 3 rings x 4 segments + 0 boxes.
+  EXPECT_EQ(cuboids, 24);
+}
+
+
+TEST(ExportSvgTest, EmitsOnePanelPerOccupiedLayer) {
+  const GeomDescription g = tiny_description();
+  std::ostringstream os;
+  const int panels = export_svg(g, os);
+  // Defects live at y = 0 but the Y distillation box spans y = 0..2.
+  EXPECT_EQ(panels, 3);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("class=\"primal\""), std::string::npos);
+  EXPECT_NE(svg.find("class=\"dual\""), std::string::npos);
+  EXPECT_NE(svg.find("class=\"box\""), std::string::npos);
+}
+
+TEST(ExportSvgTest, EmptyDescription) {
+  GeomDescription g("empty");
+  std::ostringstream os;
+  EXPECT_EQ(export_svg(g, os), 0);
+  EXPECT_NE(os.str().find("<svg"), std::string::npos);
+}
+
+TEST(ExportSvgTest, LayerCapRespected) {
+  GeomDescription g("tall");
+  for (int y = 0; y < 10; ++y) {
+    Defect d;
+    d.type = DefectType::Primal;
+    d.segments.push_back({{0, y, 0}, {2, y, 0}});
+    g.add_defect(d);
+  }
+  SvgExportOptions opt;
+  opt.max_layers = 4;
+  std::ostringstream os;
+  EXPECT_EQ(export_svg(g, os, opt), 4);
+}
+
+TEST(ExportSvgTest, PipelineGeometryRendersEveryLayer) {
+  core::CompileOptions copt;
+  const core::CompileResult result =
+      core::compile(core::three_cnot_example(), copt);
+  const std::string svg = to_svg(result.geometry);
+  EXPECT_NE(svg.find("y=0"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/layers.svg";
+  write_svg_file(result.geometry, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace tqec::geom

@@ -1,0 +1,151 @@
+// Property sweeps on the geometry substrate: Box3 interval algebra,
+// validator behaviour on randomized defect soups, canonical-form identities
+// across random ICM specs, and RevLib round-trips on random circuits.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/canonical.h"
+#include "geom/validate.h"
+#include "icm/workload.h"
+#include "qcir/generator.h"
+#include "qcir/revlib.h"
+
+namespace tqec {
+namespace {
+
+class BoxAlgebraSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxAlgebraSweep, IntervalIdentitiesHold) {
+  Rng rng(GetParam());
+  auto random_box = [&]() {
+    const Vec3 a{rng.range(-10, 10), rng.range(-10, 10), rng.range(-10, 10)};
+    const Vec3 b{rng.range(-10, 10), rng.range(-10, 10), rng.range(-10, 10)};
+    return Box3::spanning(a, b);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const Box3 a = random_box();
+    const Box3 b = random_box();
+    // Symmetry.
+    EXPECT_EQ(a.intersects(b), b.intersects(a));
+    EXPECT_EQ(a.separation(b), b.separation(a));
+    // Separation 0 <=> touching or overlapping.
+    if (a.intersects(b)) EXPECT_EQ(a.separation(b), 0);
+    // Merge contains both.
+    const Box3 m = a.merged(b);
+    EXPECT_TRUE(m.contains(a.lo) && m.contains(a.hi));
+    EXPECT_TRUE(m.contains(b.lo) && m.contains(b.hi));
+    EXPECT_GE(m.volume(), std::max(a.volume(), b.volume()));
+    // Inflation is monotone in volume and preserves containment.
+    const Box3 big = a.inflated(2);
+    EXPECT_TRUE(big.contains(a.lo) && big.contains(a.hi));
+    EXPECT_GE(big.volume(), a.volume());
+    // Any point of a is inside a.
+    const Vec3 p{rng.range(a.lo.x, a.hi.x), rng.range(a.lo.y, a.hi.y),
+                 rng.range(a.lo.z, a.hi.z)};
+    EXPECT_TRUE(a.contains(p));
+    EXPECT_EQ(a.expanded(p).volume(), a.volume());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxAlgebraSweep,
+                         ::testing::Values(1u, 2u, 3u));
+
+class ValidatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidatorSweep, DisjointLatticeWalksAlwaysValidate) {
+  // Defects built as axis-aligned walks on well-separated start rows can
+  // never violate the structural rules.
+  Rng rng(GetParam());
+  geom::GeomDescription g("walks");
+  for (int d = 0; d < 12; ++d) {
+    geom::Defect defect;
+    defect.type = d % 2 == 0 ? geom::DefectType::Primal
+                             : geom::DefectType::Dual;
+    // Same-type defects are spaced 40 cells apart in y; opposite types may
+    // interleave freely (cross-type sharing is legal).
+    Vec3 cursor{0, (d / 2) * 40 + (d % 2), 0};
+    for (int step = 0; step < 6; ++step) {
+      const Axis axis = static_cast<Axis>(rng.range(0, 1) * 2);  // X or Z
+      const int len = rng.range(1, 5);
+      const Vec3 end = cursor + len * unit(axis);
+      defect.segments.push_back({cursor, end});
+      cursor = end;
+    }
+    g.add_defect(defect);
+  }
+  const auto report = geom::validate(g);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST_P(ValidatorSweep, SelfIntersectingWalkIsStillOneDefect) {
+  // A defect may revisit its own cells (one connected structure); the
+  // validator only rejects sharing across distinct defects.
+  Rng rng(GetParam());
+  geom::GeomDescription g("loop");
+  geom::Defect defect;
+  defect.type = geom::DefectType::Primal;
+  defect.segments.push_back({{0, 0, 0}, {5, 0, 0}});
+  defect.segments.push_back({{5, 0, 0}, {5, 0, 5}});
+  defect.segments.push_back({{5, 0, 5}, {0, 0, 5}});
+  defect.segments.push_back({{0, 0, 5}, {0, 0, 0}});  // closes on itself
+  g.add_defect(defect);
+  EXPECT_TRUE(geom::validate(g).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorSweep,
+                         ::testing::Values(4u, 5u, 6u));
+
+class CanonicalSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanonicalSweep, BuiltGeometryAlwaysMatchesClosedForm) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    icm::WorkloadSpec spec;
+    spec.a_states = rng.range(2, 8);
+    spec.y_states = 2 * spec.a_states;
+    spec.qubits = 3 * spec.a_states + rng.range(10, 40);
+    spec.cnots = 3 * spec.a_states + rng.range(10, 60);
+    spec.seed = rng();
+    const icm::IcmCircuit icm = icm::make_workload(spec);
+    const geom::GeomDescription g = geom::build_canonical(icm);
+    EXPECT_EQ(g.additive_volume(), geom::canonical_volume(icm.stats()));
+    const auto report = geom::validate(g);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    // Census: one rail defect per line, one ring per CNOT.
+    EXPECT_EQ(g.defects().size(),
+              static_cast<std::size_t>(spec.qubits + spec.cnots));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalSweep,
+                         ::testing::Values(7u, 8u, 9u, 10u));
+
+class RevlibRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RevlibRoundTripSweep, RandomCircuitsSurviveWriteParse) {
+  qcir::RandomReversibleSpec spec;
+  spec.num_qubits = 12;
+  spec.num_gates = 60;
+  spec.locality_window = 6;
+  spec.seed = GetParam();
+  const qcir::Circuit original = qcir::make_random_reversible(spec);
+  const qcir::Circuit back =
+      qcir::parse_real_string(qcir::write_real(original), "rt");
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(back.gates()[i], original.gates()[i]) << i;
+  // Classical behaviour identical on sampled inputs.
+  Rng rng(spec.seed ^ 0xABCDEF);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::vector<bool> input(static_cast<std::size_t>(spec.num_qubits));
+    for (auto&& bit : input) bit = rng.chance(0.5);
+    EXPECT_EQ(original.simulate_classical(input),
+              back.simulate_classical(input));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevlibRoundTripSweep,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace tqec

@@ -1,0 +1,199 @@
+// Tests for the ICM layer: the Clifford+T -> ICM builder, measurement-order
+// analysis, and the Table-1 workload generator.
+#include <gtest/gtest.h>
+
+#include "core/paper_tables.h"
+#include "decompose/decompose.h"
+#include "icm/builder.h"
+#include "icm/ordering.h"
+#include "icm/workload.h"
+#include "qcir/generator.h"
+
+namespace tqec::icm {
+namespace {
+
+using qcir::Circuit;
+using qcir::Gate;
+
+TEST(IcmCircuitTest, LineBookkeeping) {
+  IcmCircuit icm("t");
+  const int a = icm.add_line(InitBasis::Zero);
+  const int b = icm.add_line(InitBasis::AState, MeasBasis::X);
+  EXPECT_EQ(icm.num_lines(), 2);
+  EXPECT_EQ(icm.init_basis(b), InitBasis::AState);
+  EXPECT_EQ(icm.meas_basis(b), MeasBasis::X);
+  icm.add_cnot(a, b);
+  EXPECT_EQ(icm.cnots().size(), 1u);
+  EXPECT_THROW(icm.add_cnot(a, a), TqecError);
+  EXPECT_THROW(icm.add_cnot(0, 9), TqecError);
+  icm.mark_output(a);
+  EXPECT_TRUE(icm.is_output(a));
+  EXPECT_FALSE(icm.is_output(b));
+}
+
+TEST(BuilderTest, CnotOnlyCircuitIsStructurePreserving) {
+  Circuit c(3);
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::cnot(2, 1));
+  const IcmCircuit icm = from_clifford_t(c);
+  EXPECT_EQ(icm.num_lines(), 3);
+  ASSERT_EQ(icm.cnots().size(), 2u);
+  EXPECT_EQ(icm.cnots()[0], (IcmCnot{0, 1}));
+  EXPECT_EQ(icm.cnots()[1], (IcmCnot{2, 1}));
+  EXPECT_TRUE(icm.meas_order().empty());
+  EXPECT_TRUE(icm.is_output(0));
+}
+
+TEST(BuilderTest, TGateCosts) {
+  Circuit c(1);
+  c.add(Gate::t(0));
+  const IcmCircuit icm = from_clifford_t(c);
+  const IcmStats s = icm.stats();
+  EXPECT_EQ(s.qubits, 4);    // q + a + y1 + y2
+  EXPECT_EQ(s.cnots, 3);
+  EXPECT_EQ(s.a_states, 1);
+  EXPECT_EQ(s.y_states, 2);
+  EXPECT_EQ(icm.meas_order().size(), 2u);  // intra-T only
+  // First-order measurement is Z-basis on the original line.
+  EXPECT_EQ(icm.meas_basis(0), MeasBasis::Z);
+}
+
+TEST(BuilderTest, InterTGateConstraints) {
+  Circuit c(1);
+  c.add(Gate::t(0));
+  c.add(Gate::t(0));
+  const IcmCircuit icm = from_clifford_t(c);
+  // 2 intra-T per gate + 4 inter-T between the two gates.
+  EXPECT_EQ(icm.meas_order().size(), 2u + 2u + 4u);
+  EXPECT_NO_THROW(analyze_order(icm));
+}
+
+TEST(BuilderTest, TGatesOnDifferentQubitsAreUnordered) {
+  Circuit c(2);
+  c.add(Gate::t(0));
+  c.add(Gate::t(1));
+  const IcmCircuit icm = from_clifford_t(c);
+  EXPECT_EQ(icm.meas_order().size(), 4u);  // only intra-T pairs
+}
+
+TEST(BuilderTest, SAndHCosts) {
+  Circuit c(1);
+  c.add(Gate::s(0));
+  c.add(Gate::h(0));
+  const IcmCircuit icm = from_clifford_t(c);
+  const IcmStats s = icm.stats();
+  EXPECT_EQ(s.qubits, 3);
+  EXPECT_EQ(s.cnots, 2);
+  EXPECT_EQ(s.y_states, 1);
+  EXPECT_EQ(s.a_states, 0);
+}
+
+TEST(BuilderTest, PaulisAreElided) {
+  Circuit c(2);
+  c.add(Gate::x(0));
+  c.add(Gate::z(1));
+  c.add(Gate::cnot(0, 1));
+  const IcmCircuit icm = from_clifford_t(c);
+  EXPECT_EQ(icm.num_lines(), 2);
+  EXPECT_EQ(icm.cnots().size(), 1u);
+}
+
+TEST(BuilderTest, RejectsNonCliffordT) {
+  Circuit c(3);
+  c.add(Gate::toffoli(0, 1, 2));
+  EXPECT_THROW(from_clifford_t(c), TqecError);
+}
+
+TEST(BuilderTest, DecomposedToffoliMatchesPaperRatios) {
+  Circuit c(3);
+  c.add(Gate::toffoli(0, 1, 2));
+  const IcmCircuit icm = from_clifford_t(decompose::decompose(c));
+  const IcmStats s = icm.stats();
+  EXPECT_EQ(s.a_states, 7);                 // 7 T gates
+  EXPECT_EQ(s.y_states, 2 * s.a_states);    // paper Table-1 ratio
+  EXPECT_NO_THROW(analyze_order(icm));
+}
+
+TEST(OrderingTest, LevelsFollowConstraints) {
+  IcmCircuit icm("o");
+  for (int i = 0; i < 4; ++i) icm.add_line(InitBasis::Zero);
+  icm.add_meas_order(0, 1);
+  icm.add_meas_order(1, 2);
+  icm.add_meas_order(0, 3);
+  const OrderAnalysis a = analyze_order(icm);
+  EXPECT_EQ(a.level[0], 0);
+  EXPECT_EQ(a.level[1], 1);
+  EXPECT_EQ(a.level[2], 2);
+  EXPECT_EQ(a.level[3], 1);
+  EXPECT_EQ(a.max_level, 2);
+  EXPECT_TRUE(a.constrained[0]);
+  EXPECT_TRUE(a.constrained[3]);
+}
+
+TEST(OrderingTest, DetectsCycles) {
+  IcmCircuit icm("cyc");
+  icm.add_line(InitBasis::Zero);
+  icm.add_line(InitBasis::Zero);
+  icm.add_meas_order(0, 1);
+  icm.add_meas_order(1, 0);
+  EXPECT_THROW(analyze_order(icm), TqecError);
+}
+
+TEST(OrderingTest, OrderRespected) {
+  IcmCircuit icm("r");
+  icm.add_line(InitBasis::Zero);
+  icm.add_line(InitBasis::Zero);
+  icm.add_meas_order(0, 1);
+  EXPECT_TRUE(order_respected(icm, {0, 5}));
+  EXPECT_FALSE(order_respected(icm, {5, 5}));
+  EXPECT_FALSE(order_respected(icm, {6, 5}));
+}
+
+TEST(WorkloadTest, RejectsInfeasibleSpecs) {
+  WorkloadSpec spec;
+  spec.qubits = 10;
+  spec.cnots = 10;
+  spec.y_states = 3;  // not 2 * a_states
+  spec.a_states = 2;
+  EXPECT_THROW(make_workload(spec), TqecError);
+  spec.y_states = 4;
+  spec.qubits = 7;  // 3*2 ancilla lines + only 1 data line
+  EXPECT_THROW(make_workload(spec), TqecError);
+  spec.qubits = 10;
+  spec.cnots = 5;  // < 3 * a_states
+  EXPECT_THROW(make_workload(spec), TqecError);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadSpec spec;
+  spec.qubits = 50;
+  spec.cnots = 80;
+  spec.y_states = 20;
+  spec.a_states = 10;
+  spec.seed = 42;
+  const IcmCircuit a = make_workload(spec);
+  const IcmCircuit b = make_workload(spec);
+  ASSERT_EQ(a.cnots().size(), b.cnots().size());
+  for (std::size_t i = 0; i < a.cnots().size(); ++i)
+    EXPECT_EQ(a.cnots()[i], b.cnots()[i]);
+}
+
+class PaperWorkloadTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaperWorkloadTest, ReproducesTable1Statistics) {
+  const core::PaperBenchmark& bench = core::paper_benchmarks()[GetParam()];
+  const IcmCircuit icm = make_workload(core::workload_spec(bench));
+  const IcmStats s = icm.stats();
+  EXPECT_EQ(s.qubits, bench.qubits) << bench.name;
+  EXPECT_EQ(s.cnots, bench.cnots) << bench.name;
+  EXPECT_EQ(s.y_states, bench.y_states) << bench.name;
+  EXPECT_EQ(s.a_states, bench.a_states) << bench.name;
+  EXPECT_NO_THROW(analyze_order(icm)) << bench.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PaperWorkloadTest,
+                         ::testing::Range<std::size_t>(0, 8));
+
+}  // namespace
+}  // namespace tqec::icm

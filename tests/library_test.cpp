@@ -1,0 +1,124 @@
+// Tests for the circuit-family library: every reversible construction is
+// checked against its arithmetic specification on all inputs.
+#include <gtest/gtest.h>
+
+#include "qcir/library.h"
+#include "qcir/simulator.h"
+
+namespace tqec::qcir {
+namespace {
+
+std::vector<bool> to_bits(unsigned value, int width) {
+  std::vector<bool> bits(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bits[static_cast<std::size_t>(i)] = (value >> i) & 1u;
+  return bits;
+}
+
+class RippleAdderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleAdderTest, AddsEveryInputPair) {
+  const int bits = GetParam();
+  const Circuit adder = make_ripple_adder(bits);
+  ASSERT_EQ(adder.num_qubits(), 2 * bits + 2);
+  const unsigned modulus = 1u << bits;
+  for (unsigned a = 0; a < modulus; ++a) {
+    for (unsigned b = 0; b < modulus; ++b) {
+      for (unsigned cin = 0; cin <= 1; ++cin) {
+        std::vector<bool> in(static_cast<std::size_t>(adder.num_qubits()),
+                             false);
+        in[static_cast<std::size_t>(adder_cin_qubit())] = cin != 0;
+        for (int i = 0; i < bits; ++i) {
+          in[static_cast<std::size_t>(adder_a_qubit(i))] = (a >> i) & 1u;
+          in[static_cast<std::size_t>(adder_b_qubit(i))] = (b >> i) & 1u;
+        }
+        const auto out = adder.simulate_classical(in);
+        const unsigned total = a + b + cin;
+        for (int i = 0; i < bits; ++i) {
+          EXPECT_EQ(out[static_cast<std::size_t>(adder_b_qubit(i))],
+                    ((total >> i) & 1u) != 0)
+              << "sum bit " << i << " for " << a << "+" << b << "+" << cin;
+          // The a register is restored.
+          EXPECT_EQ(out[static_cast<std::size_t>(adder_a_qubit(i))],
+                    ((a >> i) & 1u) != 0);
+        }
+        EXPECT_EQ(out[static_cast<std::size_t>(adder_carry_qubit(bits))],
+                  ((total >> bits) & 1u) != 0)
+            << "carry for " << a << "+" << b << "+" << cin;
+        // cin line restored.
+        EXPECT_EQ(out[static_cast<std::size_t>(adder_cin_qubit())],
+                  cin != 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderTest, ::testing::Values(1, 2, 3));
+
+class IncrementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementTest, IncrementsModulo2N) {
+  const int bits = GetParam();
+  const Circuit inc = make_increment(bits);
+  const unsigned modulus = 1u << bits;
+  for (unsigned v = 0; v < modulus; ++v) {
+    const auto out = inc.simulate_classical(to_bits(v, bits));
+    unsigned result = 0;
+    for (int i = 0; i < bits; ++i)
+      if (out[static_cast<std::size_t>(i)]) result |= 1u << i;
+    EXPECT_EQ(result, (v + 1) % modulus) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IncrementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(MajorityVoteTest, ComputesMajorityOfThree) {
+  const Circuit maj = make_majority_vote();
+  for (unsigned v = 0; v < 8; ++v) {
+    std::vector<bool> in = to_bits(v, 4);
+    const auto out = maj.simulate_classical(in);
+    const int ones = static_cast<int>(in[0]) + in[1] + in[2];
+    EXPECT_EQ(out[3], ones >= 2) << "inputs " << v;
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                in[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GroverDiffusionTest, IsItsOwnInverse) {
+  // The diffusion operator is a reflection: D^2 = I (up to global phase).
+  for (int n : {2, 3, 4}) {
+    const Circuit d = make_grover_diffusion(n);
+    Circuit dd(n);
+    for (const Gate& g : d.gates()) dd.add(g);
+    for (const Gate& g : d.gates()) dd.add(g);
+    const Circuit identity(n);
+    EXPECT_TRUE(circuits_equivalent(dd, identity)) << n;
+  }
+}
+
+TEST(GroverDiffusionTest, FlipsSignOfNonUniformComponent) {
+  // D = 2|s><s| - I: applying D to |s> (uniform superposition) leaves it
+  // fixed; applying it to a basis state changes it nontrivially.
+  const Circuit d = make_grover_diffusion(3);
+  StateVector uniform(3);
+  for (int q = 0; q < 3; ++q) uniform.apply(Gate::h(q));
+  StateVector after = uniform;
+  after.apply(d);
+  EXPECT_NEAR(StateVector::fidelity(uniform, after), 1.0, 1e-9);
+
+  StateVector basis(3);
+  StateVector basis_after = basis;
+  basis_after.apply(d);
+  EXPECT_LT(StateVector::fidelity(basis, basis_after), 0.9);
+}
+
+TEST(LibraryTest, RejectsDegenerateSizes) {
+  EXPECT_THROW(make_ripple_adder(0), TqecError);
+  EXPECT_THROW(make_increment(0), TqecError);
+  EXPECT_THROW(make_grover_diffusion(1), TqecError);
+}
+
+}  // namespace
+}  // namespace tqec::qcir

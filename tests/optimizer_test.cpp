@@ -1,0 +1,128 @@
+// Tests for the reversible peephole optimizer, including unitary
+// equivalence checks through the state-vector simulator.
+#include <gtest/gtest.h>
+
+#include "qcir/generator.h"
+#include "qcir/optimizer.h"
+#include "qcir/simulator.h"
+
+namespace tqec::qcir {
+namespace {
+
+TEST(OptimizerTest, CancelsAdjacentSelfInversePairs) {
+  Circuit c(3);
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::toffoli(0, 1, 2));
+  c.add(Gate::toffoli(0, 1, 2));
+  c.add(Gate::x(2));
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.gates()[0], Gate::x(2));
+  EXPECT_EQ(stats.cancelled_pairs, 2);
+}
+
+TEST(OptimizerTest, CancelsAcrossDisjointGates) {
+  Circuit c(4);
+  c.add(Gate::h(0));
+  c.add(Gate::cnot(2, 3));  // disjoint from qubit 0
+  c.add(Gate::h(0));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.gates()[0], Gate::cnot(2, 3));
+}
+
+TEST(OptimizerTest, SharedQubitBlocksCancellation) {
+  Circuit c(2);
+  c.add(Gate::h(0));
+  c.add(Gate::cnot(0, 1));  // shares qubit 0: barrier
+  c.add(Gate::h(0));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(OptimizerTest, PhaseInversePairsCancel) {
+  Circuit c(1);
+  c.add(Gate::t(0));
+  c.add(Gate::tdg(0));
+  c.add(Gate::s(0));
+  c.add(Gate::sdg(0));
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(OptimizerTest, PhaseFusions) {
+  Circuit c(1);
+  c.add(Gate::t(0));
+  c.add(Gate::t(0));  // -> S
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.gates()[0].kind, GateKind::S);
+  EXPECT_EQ(stats.fused_pairs, 1);
+
+  Circuit d(1);
+  d.add(Gate::s(0));
+  d.add(Gate::s(0));  // -> Z
+  EXPECT_EQ(optimize(d).gates()[0].kind, GateKind::Z);
+
+  // T T T T -> S S -> Z at fixpoint.
+  Circuit q(1);
+  for (int i = 0; i < 4; ++i) q.add(Gate::t(0));
+  const Circuit qf = optimize(q);
+  ASSERT_EQ(qf.size(), 1u);
+  EXPECT_EQ(qf.gates()[0].kind, GateKind::Z);
+}
+
+TEST(OptimizerTest, FusionRespectsUnitarySemantics) {
+  Circuit c(2);
+  c.add(Gate::t(0));
+  c.add(Gate::cnot(1, 0));
+  c.add(Gate::t(0));  // barrier in between: no fusion
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(circuits_equivalent(c, out));
+}
+
+TEST(OptimizerTest, DifferentOperandsNeverCombine) {
+  Circuit c(3);
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::cnot(0, 2));
+  c.add(Gate::cnot(1, 0));
+  EXPECT_EQ(optimize(c).size(), 3u);
+}
+
+TEST(OptimizerTest, PreservesMetadata) {
+  Circuit c(2, "meta");
+  c.set_qubit_names({"a", "b"});
+  c.set_constant_inputs({std::nullopt, true});
+  c.set_garbage_outputs({false, true});
+  c.add(Gate::x(0));
+  c.add(Gate::x(0));
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.name(), "meta");
+  EXPECT_EQ(out.qubit_names()[1], "b");
+  EXPECT_EQ(out.constant_inputs()[1], std::optional<bool>(true));
+  EXPECT_TRUE(out.garbage_outputs()[1]);
+}
+
+class OptimizerEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerEquivalenceTest, RandomCircuitsStayEquivalent) {
+  RandomReversibleSpec spec;
+  spec.num_qubits = 5;
+  spec.num_gates = 30;
+  spec.locality_window = 3;  // tight window produces many adjacent repeats
+  spec.seed = GetParam();
+  const Circuit original = make_random_reversible(spec);
+  const Circuit optimized = optimize(original);
+  EXPECT_LE(optimized.size(), original.size());
+  EXPECT_TRUE(circuits_equivalent(original, optimized)) << spec.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tqec::qcir

@@ -1,0 +1,140 @@
+// Property sweeps over the PD-graph construction: structural invariants
+// that must hold for any generated workload, across seeds and sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "icm/ordering.h"
+#include "icm/workload.h"
+#include "pdgraph/pd_graph.h"
+
+namespace tqec::pdgraph {
+namespace {
+
+struct SweepSpec {
+  int qubits;
+  int cnots;
+  int a_states;
+  std::uint64_t seed;
+};
+
+class PdGraphSweep : public ::testing::TestWithParam<SweepSpec> {
+ protected:
+  icm::IcmCircuit circuit() const {
+    const SweepSpec p = GetParam();
+    icm::WorkloadSpec spec;
+    spec.qubits = p.qubits;
+    spec.cnots = p.cnots;
+    spec.a_states = p.a_states;
+    spec.y_states = 2 * p.a_states;
+    spec.seed = p.seed;
+    return icm::make_workload(spec);
+  }
+};
+
+TEST_P(PdGraphSweep, ModuleOriginCensusMatchesIdentity) {
+  const icm::IcmCircuit icm = circuit();
+  const PdGraph g = build_pd_graph(icm);
+  int initial = 0;
+  int innovative = 0;
+  int injection = 0;
+  for (const PrimalModule& m : g.modules()) {
+    switch (m.origin) {
+      case ModuleOrigin::RowInitial: ++initial; break;
+      case ModuleOrigin::Innovative: ++innovative; break;
+      case ModuleOrigin::Injection: ++injection; break;
+    }
+  }
+  const icm::IcmStats s = icm.stats();
+  EXPECT_EQ(initial, s.qubits);
+  EXPECT_EQ(innovative, s.cnots);
+  EXPECT_EQ(injection, s.y_states + s.a_states);
+  EXPECT_EQ(g.module_count(),
+            s.qubits + s.cnots + s.y_states + s.a_states);
+}
+
+TEST_P(PdGraphSweep, RowsPartitionModulesInAscendingIdOrder) {
+  const PdGraph g = build_pd_graph(circuit());
+  std::set<ModuleId> seen;
+  for (const auto& row : g.rows()) {
+    ModuleId prev = -1;
+    for (ModuleId m : row) {
+      EXPECT_GT(m, prev) << "row modules must be appended in id order";
+      prev = m;
+      EXPECT_TRUE(seen.insert(m).second) << "module in two rows";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(g.module_count()));
+}
+
+TEST_P(PdGraphSweep, NetPathsAreConsistentWithModuleRecords) {
+  const PdGraph g = build_pd_graph(circuit());
+  for (const DualNet& net : g.nets()) {
+    // Control modules on the same row, adjacent in the row list.
+    const PrimalModule& a = g.module(net.control_a);
+    const PrimalModule& b = g.module(net.control_b);
+    EXPECT_EQ(a.row, b.row);
+    const auto& row = g.rows()[static_cast<std::size_t>(a.row)];
+    const auto it_a = std::find(row.begin(), row.end(), a.id);
+    ASSERT_NE(it_a, row.end());
+    ASSERT_NE(it_a + 1, row.end());
+    EXPECT_EQ(*(it_a + 1), b.id)
+        << "innovative module must directly follow the control current";
+    // Every module of the path records the net.
+    for (ModuleId m : net.path()) {
+      const auto& nets = g.module(m).nets;
+      EXPECT_TRUE(std::find(nets.begin(), nets.end(), net.id) != nets.end());
+    }
+    // The target is on a different row.
+    EXPECT_NE(g.module(net.target).row, a.row);
+  }
+}
+
+TEST_P(PdGraphSweep, MeasurementAnnotationsOnlyOnRowFinals) {
+  const icm::IcmCircuit icm = circuit();
+  const PdGraph g = build_pd_graph(icm);
+  for (const auto& row : g.rows()) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const PrimalModule& m = g.module(row[i]);
+      if (i + 1 < row.size())
+        EXPECT_FALSE(m.has_meas) << "measurement not on the row end";
+    }
+    const PrimalModule& last = g.module(row.back());
+    EXPECT_EQ(last.has_meas, !icm.is_output(last.row));
+  }
+}
+
+TEST_P(PdGraphSweep, ConstraintLevelsAreStrictlyOrdered) {
+  const icm::IcmCircuit icm = circuit();
+  const PdGraph g = build_pd_graph(icm);
+  for (const auto& [before, after] : g.meas_order()) {
+    const PrimalModule& a = g.module(before);
+    const PrimalModule& b = g.module(after);
+    EXPECT_TRUE(a.meas_constrained);
+    EXPECT_TRUE(b.meas_constrained);
+    EXPECT_LT(a.meas_level, b.meas_level);
+  }
+}
+
+TEST_P(PdGraphSweep, InjectionModulesHeadTheirRows) {
+  const icm::IcmCircuit icm = circuit();
+  const PdGraph g = build_pd_graph(icm);
+  for (const PrimalModule& m : g.modules()) {
+    if (m.origin != ModuleOrigin::Injection) continue;
+    const auto& row = g.rows()[static_cast<std::size_t>(m.row)];
+    ASSERT_FALSE(row.empty());
+    EXPECT_EQ(row.front(), m.id);
+    EXPECT_TRUE(icm::is_injection(icm.init_basis(m.row)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PdGraphSweep,
+    ::testing::Values(SweepSpec{30, 40, 4, 1}, SweepSpec{30, 40, 4, 2},
+                      SweepSpec{60, 100, 12, 3}, SweepSpec{60, 100, 12, 4},
+                      SweepSpec{120, 200, 24, 5}, SweepSpec{120, 200, 24, 6},
+                      SweepSpec{250, 400, 50, 7}, SweepSpec{250, 400, 50, 8}));
+
+}  // namespace
+}  // namespace tqec::pdgraph

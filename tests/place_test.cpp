@@ -1,0 +1,324 @@
+// Tests for the placement subsystem: B*-tree structure and packing,
+// super-module node construction, and the SA placer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "core/paper_tables.h"
+#include "icm/workload.h"
+#include "place/bstar_tree.h"
+#include "place/nodes.h"
+#include "place/placer.h"
+
+namespace tqec::place {
+namespace {
+
+Footprint unit_fp(int) { return {1, 1}; }
+
+TEST(BStarTreeTest, EmptyAndSingle) {
+  BStarTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.pack(unit_fp).width, 0);
+  Rng rng(1);
+  tree.insert(42, rng);
+  EXPECT_TRUE(tree.contains(42));
+  const PackResult pack = tree.pack(unit_fp);
+  ASSERT_EQ(pack.placed.size(), 1u);
+  EXPECT_EQ(pack.placed[0].x, 0);
+  EXPECT_EQ(pack.placed[0].z, 0);
+  EXPECT_EQ(pack.width, 1);
+  EXPECT_EQ(pack.depth, 1);
+}
+
+TEST(BStarTreeTest, ChainInsertionPacksARow) {
+  BStarTree tree;
+  for (int i = 0; i < 5; ++i) tree.insert_chain(i);
+  const PackResult pack = tree.pack(unit_fp);
+  EXPECT_EQ(pack.width, 5);
+  EXPECT_EQ(pack.depth, 1);
+  std::set<int> xs;
+  for (const PackedItem& p : pack.placed) {
+    EXPECT_EQ(p.z, 0);
+    xs.insert(p.x);
+  }
+  EXPECT_EQ(xs.size(), 5u);
+}
+
+/// Property: a packed placement never overlaps and is always contained in
+/// the reported width x depth.
+void expect_legal_packing(const BStarTree& tree,
+                          const std::vector<Footprint>& dims) {
+  const PackResult pack = tree.pack(
+      [&](int item) { return dims[static_cast<std::size_t>(item)]; });
+  std::set<std::pair<int, int>> cells;
+  for (const PackedItem& p : pack.placed) {
+    const Footprint fp = dims[static_cast<std::size_t>(p.item)];
+    EXPECT_GE(p.x, 0);
+    EXPECT_GE(p.z, 0);
+    EXPECT_LE(p.x + fp.w, pack.width);
+    EXPECT_LE(p.z + fp.d, pack.depth);
+    for (int dx = 0; dx < fp.w; ++dx) {
+      for (int dz = 0; dz < fp.d; ++dz) {
+        const bool inserted = cells.insert({p.x + dx, p.z + dz}).second;
+        EXPECT_TRUE(inserted) << "overlap at (" << p.x + dx << ","
+                              << p.z + dz << ")";
+      }
+    }
+  }
+}
+
+class BStarTreeRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BStarTreeRandomOps, InvariantsSurviveRandomEditing) {
+  Rng rng(GetParam());
+  const int universe = 40;
+  std::vector<Footprint> dims(static_cast<std::size_t>(universe));
+  for (auto& d : dims) d = {rng.range(1, 5), rng.range(1, 5)};
+
+  BStarTree tree;
+  std::set<int> present;
+  for (int step = 0; step < 300; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.45 && static_cast<int>(present.size()) < universe) {
+      int item = rng.range(0, universe - 1);
+      while (present.count(item)) item = (item + 1) % universe;
+      tree.insert(item, rng);
+      present.insert(item);
+    } else if (roll < 0.7 && !present.empty()) {
+      auto it = present.begin();
+      std::advance(it, static_cast<long>(rng.below(present.size())));
+      tree.remove(*it, rng);
+      present.erase(it);
+    } else if (present.size() >= 2) {
+      auto it = present.begin();
+      std::advance(it, static_cast<long>(rng.below(present.size())));
+      const int a = *it;
+      it = present.begin();
+      std::advance(it, static_cast<long>(rng.below(present.size())));
+      const int b = *it;
+      if (a != b) tree.swap_items(a, b);
+    }
+    tree.check_invariants();
+    EXPECT_EQ(tree.size(), static_cast<int>(present.size()));
+  }
+  expect_legal_packing(tree, dims);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BStarTreeRandomOps,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(BStarTreeTest, RemoveRejectsAbsentItem) {
+  BStarTree tree;
+  Rng rng(1);
+  tree.insert(0, rng);
+  EXPECT_THROW(tree.remove(7, rng), TqecError);
+}
+
+struct BuiltNodes {
+  pdgraph::PdGraph graph;
+  NodeSet nodes;
+};
+
+BuiltNodes build_for(const icm::IcmCircuit& circuit) {
+  BuiltNodes out{pdgraph::build_pd_graph(circuit), {}};
+  const compress::IshapeResult ishape = compress::simplify_ishape(out.graph);
+  const compress::PrimalBridging bridging =
+      compress::bridge_primal(out.graph, ishape, 7);
+  compress::DualBridging dual = compress::bridge_dual(out.graph, ishape);
+  out.nodes = build_nodes(out.graph, ishape, bridging, dual);
+  return out;
+}
+
+TEST(NodeBuildTest, EveryModuleInExactlyOneNode) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 70;
+  spec.cnots = 100;
+  spec.y_states = 24;
+  spec.a_states = 12;
+  const auto built = build_for(icm::make_workload(spec));
+  std::vector<int> count(static_cast<std::size_t>(built.graph.module_count()),
+                         0);
+  for (const PlacementNode& node : built.nodes.nodes)
+    for (pdgraph::ModuleId m : node.modules)
+      ++count[static_cast<std::size_t>(m)];
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(NodeBuildTest, ModuleOffsetsStayInsideFootprints) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 50;
+  spec.cnots = 80;
+  spec.y_states = 16;
+  spec.a_states = 8;
+  const auto built = build_for(icm::make_workload(spec));
+  for (const PlacementNode& node : built.nodes.nodes) {
+    for (const Vec3& off : node.module_offsets) {
+      EXPECT_GE(off.x, 0);
+      EXPECT_LT(off.x, node.dims.x);
+      EXPECT_GE(off.y, 0);
+      EXPECT_LT(off.y, node.dims.y);
+      EXPECT_GE(off.z, 0);
+      EXPECT_LT(off.z, node.dims.z);
+    }
+    for (const NodeBox& box : node.boxes) {
+      const Vec3 d = geom::box_dims(box.kind);
+      EXPECT_LE(box.offset.x + d.x, node.dims.x);
+      EXPECT_LE(box.offset.y + d.y, node.dims.y);
+      EXPECT_LE(box.offset.z + d.z, node.dims.z);
+    }
+  }
+}
+
+TEST(NodeBuildTest, TimeDependentNodesOrderByLevel) {
+  icm::IcmCircuit icm("ord");
+  const int q = icm.add_line(icm::InitBasis::Zero);
+  const int a = icm.add_line(icm::InitBasis::Zero);
+  const int b = icm.add_line(icm::InitBasis::Zero);
+  icm.add_cnot(q, a);
+  icm.add_cnot(q, b);
+  icm.add_meas_order(q, a);
+  icm.add_meas_order(a, b);
+  const auto built = build_for(icm);
+  bool found = false;
+  for (const PlacementNode& node : built.nodes.nodes) {
+    if (node.kind != NodeKind::TimeDependent) continue;
+    found = true;
+    int prev_level = -1;
+    int prev_x = -1;
+    for (std::size_t i = 0; i < node.modules.size(); ++i) {
+      const auto& mod = built.graph.module(node.modules[i]);
+      EXPECT_GE(mod.meas_level, prev_level);
+      EXPECT_GT(node.module_offsets[i].x, prev_x);
+      prev_level = mod.meas_level;
+      prev_x = node.module_offsets[i].x;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NodeBuildTest, DistillationNodesHoldAllBoxes) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 20;
+  spec.a_states = 10;
+  const auto built = build_for(icm::make_workload(spec));
+  int y_boxes = 0;
+  int a_boxes = 0;
+  for (const PlacementNode& node : built.nodes.nodes) {
+    for (const NodeBox& box : node.boxes) {
+      EXPECT_EQ(node.kind, NodeKind::Distillation);
+      (box.kind == geom::BoxKind::YBox ? y_boxes : a_boxes) += 1;
+    }
+  }
+  EXPECT_EQ(y_boxes, 20);
+  EXPECT_EQ(a_boxes, 10);
+}
+
+TEST(NodeBuildTest, NetPinsCoverEveryNetPath) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 40;
+  spec.cnots = 60;
+  spec.y_states = 10;
+  spec.a_states = 5;
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+  const pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  const compress::IshapeResult ishape = compress::simplify_ishape(graph);
+  const compress::PrimalBridging bridging =
+      compress::bridge_primal(graph, ishape, 7);
+  compress::DualBridging dual = compress::bridge_dual(graph, ishape);
+  NodeSet nodes = build_nodes(graph, ishape, bridging, dual);
+
+  // Rebuild the component -> pin-list index mapping the builder used.
+  std::unordered_map<pdgraph::NetId, std::size_t> index;
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    const pdgraph::NetId rep = dual.component_of(net.id);
+    index.emplace(rep, index.size());
+  }
+  EXPECT_EQ(index.size(), nodes.net_pins.size());
+  for (const pdgraph::DualNet& net : graph.nets()) {
+    const auto& pins =
+        nodes.net_pins[index.at(dual.component_of(net.id))];
+    for (pdgraph::ModuleId m : net.path())
+      EXPECT_TRUE(std::find(pins.begin(), pins.end(), m) != pins.end())
+          << "net " << net.id << " module " << m;
+  }
+}
+
+TEST(PlacerTest, ModulesLandOnDistinctCells) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const auto built = build_for(icm::make_workload(spec));
+  PlaceOptions opt;
+  opt.seed = 3;
+  const Placement placement = place_modules(built.nodes, opt);
+  std::set<std::tuple<int, int, int>> cells;
+  for (const Vec3& c : placement.module_cell)
+    EXPECT_TRUE(cells.insert({c.x, c.y, c.z}).second)
+        << "two modules share " << c;
+  // Boxes must not overlap each other or module cells.
+  for (std::size_t i = 0; i < placement.boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < placement.boxes.size(); ++j)
+      EXPECT_FALSE(placement.boxes[i].extent().intersects(
+          placement.boxes[j].extent()));
+    for (const Vec3& c : placement.module_cell)
+      EXPECT_FALSE(placement.boxes[i].extent().contains(c));
+  }
+  EXPECT_EQ(placement.volume, placement.core.volume());
+  EXPECT_GT(placement.volume, 0);
+}
+
+TEST(PlacerTest, DeterministicForFixedSeed) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 40;
+  spec.cnots = 60;
+  spec.y_states = 12;
+  spec.a_states = 6;
+  const auto built = build_for(icm::make_workload(spec));
+  PlaceOptions opt;
+  opt.seed = 11;
+  const Placement a = place_modules(built.nodes, opt);
+  const Placement b = place_modules(built.nodes, opt);
+  EXPECT_EQ(a.volume, b.volume);
+  EXPECT_EQ(a.module_cell.size(), b.module_cell.size());
+  for (std::size_t m = 0; m < a.module_cell.size(); ++m)
+    EXPECT_EQ(a.module_cell[m], b.module_cell[m]);
+}
+
+TEST(PlacerTest, SaImprovesOnInitialSolution) {
+  const auto& bench = core::paper_benchmark("4gt10-v1_81");
+  const icm::IcmCircuit circuit =
+      icm::make_workload(core::workload_spec(bench));
+  const auto built = build_for(circuit);
+  PlaceOptions opt;
+  opt.seed = 7;
+  const Placement placement = place_modules(built.nodes, opt);
+  EXPECT_LE(placement.volume, placement.initial_volume);
+  EXPECT_GT(placement.moves_accepted, 0);
+}
+
+TEST(PlacerTest, LayerGapAddsWhitespace) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 40;
+  spec.cnots = 60;
+  spec.y_states = 12;
+  spec.a_states = 6;
+  const auto built = build_for(icm::make_workload(spec));
+  PlaceOptions tight;
+  tight.seed = 5;
+  PlaceOptions gapped = tight;
+  gapped.layer_y_gap = 1;
+  const Placement a = place_modules(built.nodes, tight);
+  const Placement b = place_modules(built.nodes, gapped);
+  EXPECT_GT(b.core.dims().y, a.core.dims().y);
+}
+
+}  // namespace
+}  // namespace tqec::place

@@ -1,0 +1,268 @@
+// Unit tests for the quantum-circuit IR: gate/circuit validation, RevLib
+// parsing, classical simulation, the state-vector simulator, and the
+// random-circuit generator.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qcir/circuit.h"
+#include "qcir/generator.h"
+#include "qcir/revlib.h"
+#include "qcir/simulator.h"
+
+namespace tqec::qcir {
+namespace {
+
+TEST(GateTest, FactoriesAndNames) {
+  EXPECT_EQ(Gate::cnot(0, 1).kind, GateKind::Cnot);
+  EXPECT_EQ(Gate::toffoli(0, 1, 2).controls.size(), 2u);
+  EXPECT_EQ(std::string(gate_kind_name(GateKind::Tdg)), "Tdg");
+  EXPECT_TRUE(is_clifford_t(GateKind::H));
+  EXPECT_FALSE(is_clifford_t(GateKind::Toffoli));
+  EXPECT_TRUE(is_t_like(GateKind::T));
+  EXPECT_FALSE(is_t_like(GateKind::S));
+  EXPECT_EQ(Gate::toffoli(0, 1, 2).to_string(), "TOFFOLI(0,1;2)");
+}
+
+TEST(CircuitTest, RejectsBadGates) {
+  Circuit c(3);
+  EXPECT_THROW(c.add(Gate::cnot(0, 3)), TqecError);   // out of range
+  EXPECT_THROW(c.add(Gate::cnot(1, 1)), TqecError);   // duplicate qubit
+  EXPECT_THROW(c.add(Gate{GateKind::H, {0}, {1}}), TqecError);  // arity
+  EXPECT_NO_THROW(c.add(Gate::toffoli(0, 1, 2)));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CircuitTest, StatsCensus) {
+  Circuit c(4);
+  c.add(Gate::x(0));
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::cnot(1, 2));
+  c.add(Gate::t(3));
+  c.add(Gate::tdg(3));
+  c.add(Gate::s(2));
+  c.add(Gate::h(1));
+  const CircuitStats s = c.stats();
+  EXPECT_EQ(s.x, 1);
+  EXPECT_EQ(s.cnot, 2);
+  EXPECT_EQ(s.t, 2);
+  EXPECT_EQ(s.s, 1);
+  EXPECT_EQ(s.h, 1);
+  EXPECT_EQ(s.total_gates, 7);
+  EXPECT_TRUE(c.is_clifford_t());
+  c.add(Gate::toffoli(0, 1, 2));
+  EXPECT_FALSE(c.is_clifford_t());
+}
+
+TEST(CircuitTest, ClassicalSimulation) {
+  Circuit c(3);
+  c.add(Gate::x(0));
+  c.add(Gate::cnot(0, 1));
+  c.add(Gate::toffoli(0, 1, 2));
+  const auto out = c.simulate_classical({false, false, false});
+  EXPECT_EQ(out, (std::vector<bool>{true, true, true}));
+}
+
+TEST(CircuitTest, ClassicalSimulationFredkinSwap) {
+  Circuit c(3);
+  c.add(Gate::swap(0, 1));
+  const auto swapped = c.simulate_classical({true, false, false});
+  EXPECT_EQ(swapped, (std::vector<bool>{false, true, false}));
+
+  Circuit f(3);
+  f.add(Gate::fredkin({0}, 1, 2));
+  EXPECT_EQ(f.simulate_classical({false, true, false}),
+            (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(f.simulate_classical({true, true, false}),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(CircuitTest, ClassicalSimulationRejectsNonReversible) {
+  Circuit c(1);
+  c.add(Gate::h(0));
+  EXPECT_THROW(c.simulate_classical({false}), TqecError);
+}
+
+constexpr const char* kSampleReal = R"(# toffoli double-control example
+.version 1.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.constants ---
+.garbage ---
+.begin
+t1 a
+t2 a b
+t3 a b c
+f3 a b c
+.end
+)";
+
+TEST(RevlibTest, ParsesSampleDocument) {
+  const Circuit c = parse_real_string(kSampleReal, "sample");
+  EXPECT_EQ(c.num_qubits(), 3);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gates()[0], Gate::x(0));
+  EXPECT_EQ(c.gates()[1], Gate::cnot(0, 1));
+  EXPECT_EQ(c.gates()[2], Gate::toffoli(0, 1, 2));
+  EXPECT_EQ(c.gates()[3], Gate::fredkin({0}, 1, 2));
+  ASSERT_EQ(c.qubit_names().size(), 3u);
+  EXPECT_EQ(c.qubit_names()[2], "c");
+}
+
+TEST(RevlibTest, ParsesConstantsAndGarbage) {
+  const std::string doc =
+      ".numvars 2\n.variables x y\n.constants 1-\n.garbage -1\n"
+      ".begin\nt2 x y\n.end\n";
+  const Circuit c = parse_real_string(doc);
+  ASSERT_EQ(c.constant_inputs().size(), 2u);
+  EXPECT_EQ(c.constant_inputs()[0], std::optional<bool>(true));
+  EXPECT_EQ(c.constant_inputs()[1], std::nullopt);
+  ASSERT_EQ(c.garbage_outputs().size(), 2u);
+  EXPECT_FALSE(c.garbage_outputs()[0]);
+  EXPECT_TRUE(c.garbage_outputs()[1]);
+}
+
+TEST(RevlibTest, ParsesMctAndWideFredkin) {
+  const std::string doc =
+      ".numvars 5\n.variables v w x y z\n.begin\nt5 v w x y z\nf4 v w x y\n.end\n";
+  const Circuit c = parse_real_string(doc);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::Mct);
+  EXPECT_EQ(c.gates()[0].controls.size(), 4u);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::Fredkin);
+  EXPECT_EQ(c.gates()[1].controls.size(), 2u);
+}
+
+TEST(RevlibTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_real_string("t2 a b\n"), TqecError);  // gate before .begin
+  EXPECT_THROW(parse_real_string(".numvars 2\n.begin\nt2 x0 x9\n.end\n"),
+               TqecError);  // unknown qubit
+  EXPECT_THROW(parse_real_string(".numvars 1\n.begin\nq1 x0\n.end\n"),
+               TqecError);  // unknown family
+  EXPECT_THROW(parse_real_string(".numvars 2\n.begin\nt3 x0 x1\n.end\n"),
+               TqecError);  // arity mismatch
+  EXPECT_THROW(parse_real_string(""), TqecError);  // no .begin at all
+}
+
+TEST(RevlibTest, PositionalQubitNamesWithoutVariables) {
+  const std::string doc = ".numvars 3\n.begin\nt2 x0 x2\n.end\n";
+  const Circuit c = parse_real_string(doc);
+  EXPECT_EQ(c.gates()[0], Gate::cnot(0, 2));
+}
+
+TEST(RevlibTest, WriteParseRoundTrip) {
+  Circuit c(4, "rt");
+  c.add(Gate::x(3));
+  c.add(Gate::cnot(2, 0));
+  c.add(Gate::toffoli(0, 1, 3));
+  c.add(Gate::mct({0, 1, 2}, 3));
+  c.add(Gate::swap(1, 2));
+  c.add(Gate::fredkin({3}, 0, 1));
+  const Circuit back = parse_real_string(write_real(c), "roundtrip");
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_EQ(back.gates()[i], c.gates()[i]) << "gate " << i;
+}
+
+TEST(SimulatorTest, SingleQubitIdentities) {
+  // H^2 = I, S^2 = Z, T^2 = S (all up to nothing — exact).
+  Circuit h2(1), id(1);
+  h2.add(Gate::h(0));
+  h2.add(Gate::h(0));
+  EXPECT_TRUE(circuits_equivalent(h2, id));
+
+  Circuit s2(1), z(1);
+  s2.add(Gate::s(0));
+  s2.add(Gate::s(0));
+  z.add(Gate::z(0));
+  EXPECT_TRUE(circuits_equivalent(s2, z));
+
+  Circuit t2(1), s(1);
+  t2.add(Gate::t(0));
+  t2.add(Gate::t(0));
+  s.add(Gate::s(0));
+  EXPECT_TRUE(circuits_equivalent(t2, s));
+
+  Circuit ssdg(1);
+  ssdg.add(Gate::s(0));
+  ssdg.add(Gate::sdg(0));
+  EXPECT_TRUE(circuits_equivalent(ssdg, id));
+
+  Circuit x_via_h(1), x(1);
+  x_via_h.add(Gate::h(0));
+  x_via_h.add(Gate::z(0));
+  x_via_h.add(Gate::h(0));
+  x.add(Gate::x(0));
+  EXPECT_TRUE(circuits_equivalent(x_via_h, x));
+}
+
+TEST(SimulatorTest, DistinguishesDifferentCircuits) {
+  Circuit t(1), s(1);
+  t.add(Gate::t(0));
+  s.add(Gate::s(0));
+  EXPECT_FALSE(circuits_equivalent(t, s));
+
+  Circuit cnot01(2), cnot10(2);
+  cnot01.add(Gate::cnot(0, 1));
+  cnot10.add(Gate::cnot(1, 0));
+  EXPECT_FALSE(circuits_equivalent(cnot01, cnot10));
+}
+
+TEST(SimulatorTest, SwapEqualsThreeCnots) {
+  Circuit via_cnots(2), via_swap(2);
+  via_cnots.add(Gate::cnot(0, 1));
+  via_cnots.add(Gate::cnot(1, 0));
+  via_cnots.add(Gate::cnot(0, 1));
+  via_swap.add(Gate::swap(0, 1));
+  EXPECT_TRUE(circuits_equivalent(via_cnots, via_swap));
+}
+
+TEST(SimulatorTest, GlobalPhaseIsIgnoredButRelativePhaseIsNot) {
+  // Z = S^2 differs from identity; but e^{i pi/4}-style global phases from
+  // T-conjugation cancel in the comparison.
+  Circuit tz(1), zt(1);
+  tz.add(Gate::t(0));
+  tz.add(Gate::z(0));
+  zt.add(Gate::z(0));
+  zt.add(Gate::t(0));
+  EXPECT_TRUE(circuits_equivalent(tz, zt));
+}
+
+TEST(GeneratorTest, RespectsSpecAndDeterminism) {
+  RandomReversibleSpec spec;
+  spec.num_qubits = 10;
+  spec.num_gates = 50;
+  spec.seed = 3;
+  const Circuit a = make_random_reversible(spec);
+  const Circuit b = make_random_reversible(spec);
+  EXPECT_EQ(a.num_qubits(), 10);
+  EXPECT_EQ(a.size(), 50u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.gates()[i], b.gates()[i]);
+
+  spec.seed = 4;
+  const Circuit c = make_random_reversible(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= !(a.gates()[i] == c.gates()[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, LocalityKeepsGatesBanded) {
+  RandomReversibleSpec spec;
+  spec.num_qubits = 64;
+  spec.num_gates = 300;
+  spec.locality_window = 4;
+  spec.seed = 11;
+  const Circuit c = make_random_reversible(spec);
+  for (const Gate& g : c.gates()) {
+    const auto qs = g.qubits();
+    int lo = *std::min_element(qs.begin(), qs.end());
+    int hi = *std::max_element(qs.begin(), qs.end());
+    EXPECT_LE(hi - lo, 4) << g.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace tqec::qcir

@@ -1,0 +1,170 @@
+// Tests for the dual-defect net router: legality, obstacle avoidance,
+// braiding safety (no route through foreign modules), pin coverage, and
+// congestion negotiation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "core/paper_tables.h"
+#include "icm/workload.h"
+#include "place/nodes.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace tqec::route {
+namespace {
+
+struct Flow {
+  pdgraph::PdGraph graph;
+  place::NodeSet nodes;
+  place::Placement placement;
+  RoutingResult routing;
+};
+
+Flow run_flow(const icm::IcmCircuit& circuit, std::uint64_t seed = 7) {
+  Flow flow{pdgraph::build_pd_graph(circuit), {}, {}, {}};
+  const compress::IshapeResult ishape = compress::simplify_ishape(flow.graph);
+  const compress::PrimalBridging bridging =
+      compress::bridge_primal(flow.graph, ishape, seed);
+  compress::DualBridging dual = compress::bridge_dual(flow.graph, ishape);
+  flow.nodes = place::build_nodes(flow.graph, ishape, bridging, dual);
+  place::PlaceOptions popt;
+  popt.seed = seed;
+  flow.placement = place::place_modules(flow.nodes, popt);
+  RouteOptions ropt;
+  ropt.seed = seed;
+  flow.routing = route_nets(flow.nodes, flow.placement, ropt);
+  return flow;
+}
+
+icm::IcmCircuit midsize_workload() {
+  icm::WorkloadSpec spec;
+  spec.qubits = 80;
+  spec.cnots = 120;
+  spec.y_states = 28;
+  spec.a_states = 14;
+  return icm::make_workload(spec);
+}
+
+TEST(RouterTest, ThreeCnotRoutesLegally) {
+  const Flow flow = run_flow(core::three_cnot_example());
+  EXPECT_TRUE(flow.routing.legal);
+  EXPECT_EQ(flow.routing.nets.size(), flow.nodes.net_pins.size());
+  EXPECT_GT(flow.routing.total_wire, 0);
+}
+
+TEST(RouterTest, EveryPinIsOnItsTree) {
+  const Flow flow = run_flow(midsize_workload());
+  ASSERT_TRUE(flow.routing.legal);
+  for (const RoutedNet& net : flow.routing.nets) {
+    std::set<std::tuple<int, int, int>> cells;
+    for (const Vec3& c : net.cells) cells.insert({c.x, c.y, c.z});
+    for (pdgraph::ModuleId m :
+         flow.nodes.net_pins[static_cast<std::size_t>(net.component)]) {
+      const Vec3 pin =
+          flow.placement.module_cell[static_cast<std::size_t>(m)];
+      EXPECT_TRUE(cells.count({pin.x, pin.y, pin.z}))
+          << "component " << net.component << " missing pin module " << m;
+    }
+  }
+}
+
+TEST(RouterTest, NoRouteThroughForeignModules) {
+  const Flow flow = run_flow(midsize_workload());
+  std::unordered_map<Vec3, pdgraph::ModuleId> module_at;
+  for (std::size_t m = 0; m < flow.placement.module_cell.size(); ++m)
+    module_at[flow.placement.module_cell[m]] =
+        static_cast<pdgraph::ModuleId>(m);
+  for (const RoutedNet& net : flow.routing.nets) {
+    const auto& pins =
+        flow.nodes.net_pins[static_cast<std::size_t>(net.component)];
+    const std::unordered_set<pdgraph::ModuleId> own(pins.begin(), pins.end());
+    for (const Vec3& c : net.cells) {
+      const auto it = module_at.find(c);
+      if (it == module_at.end()) continue;
+      EXPECT_TRUE(own.count(it->second))
+          << "component " << net.component
+          << " threads unrelated module " << it->second
+          << " — braiding would change";
+    }
+  }
+}
+
+TEST(RouterTest, NoRouteInsideDistillationBoxes) {
+  const Flow flow = run_flow(midsize_workload());
+  for (const RoutedNet& net : flow.routing.nets)
+    for (const Vec3& c : net.cells)
+      for (const geom::DistillBox& box : flow.placement.boxes)
+        EXPECT_FALSE(box.extent().contains(c));
+}
+
+TEST(RouterTest, CapacityRespectedOutsidePortRegions) {
+  const Flow flow = run_flow(midsize_workload());
+  ASSERT_TRUE(flow.routing.legal);
+  // Count usage per cell; cells used by 2+ nets must be pin cells (module
+  // loops) or their declared port cells.
+  std::unordered_map<Vec3, int> usage;
+  for (const RoutedNet& net : flow.routing.nets)
+    for (const Vec3& c : net.cells) ++usage[c];
+  // Port region = the module cells and their face-adjacent cells (the
+  // same convention as the validator's V3 exemption).
+  std::unordered_set<Vec3> allowed;
+  for (std::size_t m = 0; m < flow.placement.module_cell.size(); ++m) {
+    const Vec3 cell = flow.placement.module_cell[m];
+    allowed.insert(cell);
+    for (const Vec3 step : {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
+                            Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+      allowed.insert(cell + step);
+  }
+  for (const auto& [cell, count] : usage) {
+    if (count > 1)
+      EXPECT_TRUE(allowed.count(cell))
+          << count << " nets share non-port cell " << cell;
+  }
+}
+
+TEST(RouterTest, DeterministicForFixedSeed) {
+  const icm::IcmCircuit circuit = midsize_workload();
+  const Flow a = run_flow(circuit, 9);
+  const Flow b = run_flow(circuit, 9);
+  EXPECT_EQ(a.routing.total_wire, b.routing.total_wire);
+  EXPECT_EQ(a.routing.volume, b.routing.volume);
+}
+
+TEST(RouterTest, WireLowerBoundedByPinSpread) {
+  const Flow flow = run_flow(core::three_cnot_example());
+  // Each component needs at least as many cells as pins.
+  for (const RoutedNet& net : flow.routing.nets)
+    EXPECT_GE(net.cells.size(),
+              flow.nodes.net_pins[static_cast<std::size_t>(net.component)]
+                  .size());
+}
+
+TEST(RouterTest, DualOnlyBaselineAlsoRoutes) {
+  const icm::IcmCircuit circuit = midsize_workload();
+  pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  compress::DualBridging dual =
+      compress::bridge_dual_without_ishape(graph);
+  place::NodeSet nodes = place::build_nodes_dual_only(graph, dual);
+  place::PlaceOptions popt;
+  popt.seed = 7;
+  const place::Placement placement = place::place_modules(nodes, popt);
+  RouteOptions ropt;
+  const RoutingResult routing = route_nets(nodes, placement, ropt);
+  EXPECT_TRUE(routing.legal);
+}
+
+TEST(RouterTest, BoundingVolumeCoversPlacementCore) {
+  const Flow flow = run_flow(midsize_workload());
+  EXPECT_GE(flow.routing.volume, flow.placement.core.volume());
+  EXPECT_TRUE(flow.routing.bounding.contains(flow.placement.core.lo));
+  EXPECT_TRUE(flow.routing.bounding.contains(flow.placement.core.hi));
+}
+
+}  // namespace
+}  // namespace tqec::route

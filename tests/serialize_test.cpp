@@ -1,0 +1,88 @@
+// Tests for the .icm text serialization: round-trips, format errors, and
+// workload round-trips.
+#include <gtest/gtest.h>
+
+#include "core/paper_tables.h"
+#include "icm/serialize.h"
+#include "icm/workload.h"
+
+namespace tqec::icm {
+namespace {
+
+void expect_same(const IcmCircuit& a, const IcmCircuit& b) {
+  ASSERT_EQ(a.num_lines(), b.num_lines());
+  for (int l = 0; l < a.num_lines(); ++l) {
+    EXPECT_EQ(a.init_basis(l), b.init_basis(l)) << l;
+    EXPECT_EQ(a.meas_basis(l), b.meas_basis(l)) << l;
+    EXPECT_EQ(a.is_output(l), b.is_output(l)) << l;
+  }
+  ASSERT_EQ(a.cnots().size(), b.cnots().size());
+  for (std::size_t i = 0; i < a.cnots().size(); ++i)
+    EXPECT_EQ(a.cnots()[i], b.cnots()[i]);
+  ASSERT_EQ(a.meas_order().size(), b.meas_order().size());
+  for (std::size_t i = 0; i < a.meas_order().size(); ++i)
+    EXPECT_EQ(a.meas_order()[i], b.meas_order()[i]);
+}
+
+TEST(SerializeTest, RoundTripThreeCnot) {
+  const IcmCircuit original = core::three_cnot_example();
+  const IcmCircuit back = parse_icm_text(to_icm_text(original));
+  EXPECT_EQ(back.name(), "three-cnot");
+  expect_same(original, back);
+}
+
+TEST(SerializeTest, RoundTripWithAncillasAndOrder) {
+  IcmCircuit circuit("mix");
+  const int q = circuit.add_line(InitBasis::Plus, MeasBasis::X);
+  const int a = circuit.add_line(InitBasis::AState, MeasBasis::X);
+  const int y = circuit.add_line(InitBasis::YState);
+  circuit.add_cnot(q, a);
+  circuit.add_cnot(a, y);
+  circuit.add_meas_order(q, a);
+  circuit.mark_output(y);
+  expect_same(circuit, parse_icm_text(to_icm_text(circuit)));
+}
+
+TEST(SerializeTest, RoundTripGeneratedWorkload) {
+  const IcmCircuit original = make_workload(
+      core::workload_spec(core::paper_benchmark("4gt10-v1_81")));
+  const IcmCircuit back = parse_icm_text(to_icm_text(original));
+  expect_same(original, back);
+  const IcmStats sa = original.stats();
+  const IcmStats sb = back.stats();
+  EXPECT_EQ(sa.qubits, sb.qubits);
+  EXPECT_EQ(sa.y_states, sb.y_states);
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  const IcmCircuit c = parse_icm_text(
+      "# header comment\n\nicm 1 t\nlines 2\nline 0 zero z\n"
+      "# mid comment\nline 1 plus x output\ncnot 0 1\n");
+  EXPECT_EQ(c.num_lines(), 2);
+  EXPECT_TRUE(c.is_output(1));
+  EXPECT_EQ(c.meas_basis(1), MeasBasis::X);
+}
+
+TEST(SerializeTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_icm_text(""), TqecError);                 // no header
+  EXPECT_THROW(parse_icm_text("icm 2 x\n"), TqecError);        // bad version
+  EXPECT_THROW(parse_icm_text("icm 1 x\nline 1 zero z\n"),
+               TqecError);                                     // sparse ids
+  EXPECT_THROW(parse_icm_text("icm 1 x\nlines 2\nline 0 zero z\n"),
+               TqecError);                                     // count mismatch
+  EXPECT_THROW(parse_icm_text("icm 1 x\nline 0 spin z\n"), TqecError);
+  EXPECT_THROW(parse_icm_text("icm 1 x\nfrobnicate\n"), TqecError);
+  EXPECT_THROW(parse_icm_text("icm 1 x\nline 0 zero z\ncnot 0 0\n"),
+               TqecError);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const IcmCircuit original = core::three_cnot_example();
+  const std::string path = ::testing::TempDir() + "/rt.icm";
+  write_icm_file(original, path);
+  expect_same(original, read_icm_file(path));
+  EXPECT_THROW(read_icm_file("/nonexistent/nope.icm"), TqecError);
+}
+
+}  // namespace
+}  // namespace tqec::icm

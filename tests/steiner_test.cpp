@@ -1,0 +1,97 @@
+// Tests for the rectilinear wirelength estimators: HPWL, MST, and the
+// iterated 1-Steiner heuristic, including the classic relationships
+// between them.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geom/steiner.h"
+
+namespace tqec::geom {
+namespace {
+
+TEST(HpwlTest, DegenerateAndBasic) {
+  EXPECT_EQ(hpwl({}), 0);
+  EXPECT_EQ(hpwl({{3, 4, 5}}), 0);
+  EXPECT_EQ(hpwl({{0, 0, 0}, {2, 3, 4}}), 9);
+  EXPECT_EQ(hpwl({{0, 0, 0}, {2, 0, 0}, {1, 5, 0}}), 7);
+}
+
+TEST(MstTest, TwoPinsIsManhattan) {
+  EXPECT_EQ(rectilinear_mst_length({{0, 0, 0}, {3, 4, 5}}), 12);
+  EXPECT_EQ(rectilinear_mst_length({{1, 1, 1}}), 0);
+  EXPECT_EQ(rectilinear_mst_length({}), 0);
+}
+
+TEST(MstTest, ChainAndStar) {
+  // Collinear chain: MST = end-to-end length.
+  EXPECT_EQ(rectilinear_mst_length({{0, 0, 0}, {5, 0, 0}, {2, 0, 0}}), 5);
+  // Star: 3 arms of length 2 from the center.
+  EXPECT_EQ(rectilinear_mst_length(
+                {{0, 0, 0}, {2, 0, 0}, {-2, 0, 0}, {0, 2, 0}}),
+            6);
+}
+
+TEST(MstTest, AtLeastHpwl) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec3> pins;
+    const int k = rng.range(2, 9);
+    for (int i = 0; i < k; ++i)
+      pins.push_back({rng.range(0, 20), rng.range(0, 20), rng.range(0, 20)});
+    EXPECT_GE(rectilinear_mst_length(pins), hpwl(pins));
+  }
+}
+
+TEST(SteinerTest, TwoPinsAddNothing) {
+  const SteinerTree tree = rectilinear_steiner_tree({{0, 0, 0}, {4, 4, 0}});
+  EXPECT_TRUE(tree.steiner_points.empty());
+  EXPECT_EQ(tree.length, 8);
+}
+
+TEST(SteinerTest, ClassicCrossGains) {
+  // Four corners of a plus sign: the MST needs 3*4 = ... while one Steiner
+  // point at the center yields 4 arms.
+  const std::vector<Vec3> pins{{2, 0, 0}, {0, 2, 0}, {4, 2, 0}, {2, 4, 0}};
+  const std::int64_t mst = rectilinear_mst_length(pins);
+  const SteinerTree tree = rectilinear_steiner_tree(pins);
+  EXPECT_LE(tree.length, mst);
+  ASSERT_EQ(tree.steiner_points.size(), 1u);
+  EXPECT_EQ(tree.steiner_points[0], Vec3(2, 2, 0));
+  EXPECT_EQ(tree.length, 8);  // four arms of length 2
+  EXPECT_EQ(mst, 12);         // without the center: three 4-long hops
+}
+
+TEST(SteinerTest, NeverWorseThanMstNeverBetterThanHpwl) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vec3> pins;
+    const int k = rng.range(3, 7);
+    for (int i = 0; i < k; ++i)
+      pins.push_back({rng.range(0, 12), rng.range(0, 12), rng.range(0, 4)});
+    const std::int64_t mst = rectilinear_mst_length(pins);
+    const SteinerTree tree = rectilinear_steiner_tree(pins);
+    EXPECT_LE(tree.length, mst);
+    EXPECT_GE(tree.length, hpwl(pins));  // RSMT >= HPWL always
+  }
+}
+
+TEST(SteinerTest, RespectsPointBudget) {
+  const std::vector<Vec3> pins{{2, 0, 0}, {0, 2, 0}, {4, 2, 0}, {2, 4, 0}};
+  const SteinerTree none = rectilinear_steiner_tree(pins, 0);
+  EXPECT_TRUE(none.steiner_points.empty());
+  EXPECT_EQ(none.length, rectilinear_mst_length(pins));
+  EXPECT_THROW(rectilinear_steiner_tree(pins, -1), TqecError);
+}
+
+TEST(SteinerTest, WorksInThreeDimensions) {
+  // Two crossing pairs in different z planes plus a vertical connection.
+  const std::vector<Vec3> pins{
+      {0, 0, 0}, {4, 0, 0}, {2, 3, 2}, {2, -3, 2}};
+  const SteinerTree tree = rectilinear_steiner_tree(pins);
+  EXPECT_LE(tree.length, rectilinear_mst_length(pins));
+  EXPECT_GE(tree.length, hpwl(pins));
+}
+
+}  // namespace
+}  // namespace tqec::geom

@@ -1,0 +1,125 @@
+// Tests for the end-to-end design verifier, including negative cases with
+// deliberately corrupted artifacts.
+#include <gtest/gtest.h>
+
+#include "core/paper_tables.h"
+#include "icm/workload.h"
+#include "verify/verifier.h"
+
+namespace tqec::verify {
+namespace {
+
+core::CompileResult compile_with_internals(const icm::IcmCircuit& circuit,
+                                           core::PipelineMode mode =
+                                               core::PipelineMode::Full) {
+  core::CompileOptions opt;
+  opt.mode = mode;
+  opt.seed = 7;
+  opt.keep_internals = true;
+  return core::compile(circuit, opt);
+}
+
+TEST(VerifyTest, ThreeCnotPassesAllChecks) {
+  const auto result = compile_with_internals(core::three_cnot_example());
+  const VerifyReport report = verify_result(result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.braids_checked, 9);  // 3 nets x 3 modules
+}
+
+class VerifyModesTest
+    : public ::testing::TestWithParam<core::PipelineMode> {};
+
+TEST_P(VerifyModesTest, WorkloadPassesAllChecks) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 70;
+  spec.cnots = 100;
+  spec.y_states = 24;
+  spec.a_states = 12;
+  const auto result =
+      compile_with_internals(icm::make_workload(spec), GetParam());
+  const VerifyReport report = verify_result(result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.braids_checked, 300);  // 100 nets x 3 records
+  EXPECT_GT(report.constraints_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, VerifyModesTest,
+                         ::testing::Values(core::PipelineMode::Full,
+                                           core::PipelineMode::DualOnly,
+                                           core::PipelineMode::ModularOnly));
+
+TEST(VerifyTest, RequiresInternals) {
+  core::CompileOptions opt;  // keep_internals defaults to false
+  const auto result = core::compile(core::three_cnot_example(), opt);
+  EXPECT_THROW(verify_result(result), TqecError);
+}
+
+TEST(VerifyTest, DetectsMissingBraidThreading) {
+  auto result = compile_with_internals(core::three_cnot_example());
+  // Corrupt one routed tree: drop all its cells.
+  ASSERT_FALSE(result.routing.nets.empty());
+  result.routing.nets[0].cells.clear();
+  const VerifyReport report = verify_result(result);
+  EXPECT_FALSE(report.ok());
+  bool found_b1 = false;
+  for (const auto& issue : report.issues) found_b1 |= issue.check == "B1";
+  EXPECT_TRUE(found_b1);
+}
+
+TEST(VerifyTest, DetectsModuleCollision) {
+  auto result = compile_with_internals(core::three_cnot_example());
+  ASSERT_GE(result.placement.module_cell.size(), 2u);
+  result.placement.module_cell[1] = result.placement.module_cell[0];
+  const VerifyReport report = verify_result(result);
+  bool found_b2 = false;
+  for (const auto& issue : report.issues) found_b2 |= issue.check == "B2";
+  EXPECT_TRUE(found_b2);
+}
+
+TEST(VerifyTest, DetectsMeasurementOrderViolation) {
+  icm::IcmCircuit circuit("ord");
+  const int q = circuit.add_line(icm::InitBasis::Zero);
+  const int a = circuit.add_line(icm::InitBasis::AState, icm::MeasBasis::X);
+  circuit.add_cnot(q, a);
+  circuit.add_meas_order(q, a);
+  auto result = compile_with_internals(circuit);
+  ASSERT_TRUE(verify_result(result).ok());
+  // Swap the x coordinates of the two constrained modules.
+  const auto& order = result.internals->graph.meas_order();
+  ASSERT_FALSE(order.empty());
+  auto& cells = result.placement.module_cell;
+  std::swap(cells[static_cast<std::size_t>(order[0].first)],
+            cells[static_cast<std::size_t>(order[0].second)]);
+  const VerifyReport report = verify_result(result);
+  bool found_b3 = false;
+  for (const auto& issue : report.issues) found_b3 |= issue.check == "B3";
+  EXPECT_TRUE(found_b3);
+}
+
+TEST(VerifyTest, DetectsVolumeMismatch) {
+  auto result = compile_with_internals(core::three_cnot_example());
+  result.routing.volume += 1;
+  const VerifyReport report = verify_result(result);
+  bool found_b5 = false;
+  for (const auto& issue : report.issues) found_b5 |= issue.check == "B5";
+  EXPECT_TRUE(found_b5);
+}
+
+TEST(VerifyTest, SummaryIsInformative) {
+  const auto result = compile_with_internals(core::three_cnot_example());
+  const VerifyReport report = verify_result(result);
+  EXPECT_NE(report.summary().find("braid records"), std::string::npos);
+  EXPECT_NE(report.summary().find("all preserved"), std::string::npos);
+}
+
+TEST(VerifyTest, PaperBenchmarkPasses) {
+  const auto& bench = core::paper_benchmark("4gt10-v1_81");
+  const auto result = compile_with_internals(
+      icm::make_workload(core::workload_spec(bench)));
+  const VerifyReport report = verify_result(result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.braids_checked, 3 * bench.cnots);
+}
+
+}  // namespace
+}  // namespace tqec::verify

@@ -1,0 +1,205 @@
+// tqec_compress — command-line front end for the bridge-compression flow.
+//
+//   tqec_compress compress <file.real|file.icm> [options]
+//   tqec_compress benchmark <name> [options]     (paper workloads)
+//   tqec_compress list                           (benchmark names)
+//
+// Options:
+//   --mode=full|dual|modular   pipeline variant (default full)
+//   --seed=<n>                 pipeline seed (default 7)
+//   --effort=<f>               SA effort multiplier (default 1.0)
+//   --no-optimize              skip the reversible peephole pass
+//   --no-plan                  disable f-value dual-segment planning
+//   --verify                   run the end-to-end braiding verifier
+//   --json=<path>              write the final geometry as JSON
+//   --obj=<path>               write the final geometry as Wavefront OBJ
+//   --icm=<path>               write the ICM form (.icm format)
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/paper_tables.h"
+#include "decompose/decompose.h"
+#include "geom/canonical.h"
+#include "geom/export_obj.h"
+#include "geom/export_svg.h"
+#include "icm/builder.h"
+#include "icm/serialize.h"
+#include "icm/workload.h"
+#include "qcir/optimizer.h"
+#include "qcir/revlib.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using namespace tqec;
+
+struct CliOptions {
+  core::CompileOptions compile;
+  bool optimize = true;
+  bool verify = false;
+  std::optional<std::string> json_path;
+  std::optional<std::string> obj_path;
+  std::optional<std::string> svg_path;
+  std::optional<std::string> icm_path;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tqec_compress compress <file.real|file.icm> [options]\n"
+      "       tqec_compress benchmark <name> [options]\n"
+      "       tqec_compress list\n"
+      "options: --mode=full|dual|modular --seed=N --effort=F\n"
+      "         --no-optimize --no-plan --verify\n"
+      "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
+  return 2;
+}
+
+bool parse_flag(const std::string& arg, CliOptions& opt) {
+  auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+    const std::size_t n = std::strlen(prefix);
+    if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+    return std::nullopt;
+  };
+  if (auto v = value_of("--mode=")) {
+    if (*v == "full") opt.compile.mode = core::PipelineMode::Full;
+    else if (*v == "dual") opt.compile.mode = core::PipelineMode::DualOnly;
+    else if (*v == "modular")
+      opt.compile.mode = core::PipelineMode::ModularOnly;
+    else return false;
+    return true;
+  }
+  if (auto v = value_of("--seed=")) {
+    opt.compile.seed = static_cast<std::uint64_t>(std::stoull(*v));
+    return true;
+  }
+  if (auto v = value_of("--effort=")) {
+    opt.compile.effort = std::stod(*v);
+    return true;
+  }
+  if (arg == "--no-optimize") return opt.optimize = false, true;
+  if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
+  if (arg == "--verify") return opt.verify = true, true;
+  if (auto v = value_of("--json=")) return opt.json_path = *v, true;
+  if (auto v = value_of("--obj=")) return opt.obj_path = *v, true;
+  if (auto v = value_of("--svg=")) return opt.svg_path = *v, true;
+  if (auto v = value_of("--icm=")) return opt.icm_path = *v, true;
+  return false;
+}
+
+icm::IcmCircuit load_input(const std::string& path, const CliOptions& opt) {
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".icm") == 0)
+    return icm::read_icm_file(path);
+  qcir::Circuit reversible = qcir::parse_real_file(path);
+  if (opt.optimize) {
+    qcir::OptimizeStats stats;
+    reversible = qcir::optimize(reversible, &stats);
+    if (stats.cancelled_pairs + stats.fused_pairs > 0)
+      std::printf("peephole: %lld -> %lld gates (%d cancelled, %d fused)\n",
+                  static_cast<long long>(stats.gates_before),
+                  static_cast<long long>(stats.gates_after),
+                  stats.cancelled_pairs, stats.fused_pairs);
+  }
+  return icm::from_clifford_t(decompose::decompose(reversible));
+}
+
+int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
+  const icm::IcmStats stats = circuit.stats();
+  std::printf("ICM: %d lines, %d CNOTs, %d |Y>, %d |A>; canonical volume "
+              "%lld\n",
+              stats.qubits, stats.cnots, stats.y_states, stats.a_states,
+              static_cast<long long>(geom::canonical_volume(stats)));
+  if (opt.icm_path) {
+    icm::write_icm_file(circuit, *opt.icm_path);
+    std::printf("wrote %s\n", opt.icm_path->c_str());
+  }
+
+  opt.compile.keep_internals = opt.verify;
+  const core::CompileResult result = core::compile(circuit, opt.compile);
+  const Vec3 dims = result.routing.bounding.dims();
+  std::printf("modules %d -> nodes %d; volume %lld (%dx%dx%d), %s; "
+              "%.2fs total (place %.2fs, route %.2fs)\n",
+              result.modules, result.nodes,
+              static_cast<long long>(result.volume), dims.x, dims.y, dims.z,
+              result.routed_legal ? "legally routed" : "NOT LEGAL",
+              result.timings.total_s, result.timings.place_s,
+              result.timings.route_s);
+  std::printf("compression vs canonical: %.2fx\n",
+              static_cast<double>(result.canonical_volume) /
+                  static_cast<double>(result.volume));
+
+  if (opt.verify) {
+    const verify::VerifyReport report = verify::verify_result(result);
+    std::printf("verification: %s\n", report.summary().c_str());
+    if (!report.ok()) return 1;
+  }
+  if (opt.json_path) {
+    std::FILE* f = std::fopen(opt.json_path->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path->c_str());
+      return 1;
+    }
+    const std::string json = geom::to_json(result.geometry);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.json_path->c_str());
+  }
+  if (opt.obj_path) {
+    geom::write_obj_file(result.geometry, *opt.obj_path);
+    std::printf("wrote %s\n", opt.obj_path->c_str());
+  }
+  if (opt.svg_path) {
+    geom::write_svg_file(result.geometry, *opt.svg_path);
+    std::printf("wrote %s\n", opt.svg_path->c_str());
+  }
+  return result.routed_legal ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  CliOptions opt;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (!parse_flag(arg, opt)) {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return usage();
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  try {
+    if (command == "list") {
+      for (const core::PaperBenchmark& b : core::paper_benchmarks())
+        std::printf("%-16s %6d qubits %6d CNOTs\n", b.name.c_str(), b.qubits,
+                    b.cnots);
+      return 0;
+    }
+    if (command == "compress") {
+      if (positional.size() != 1) return usage();
+      return run_pipeline(load_input(positional[0], opt), opt);
+    }
+    if (command == "benchmark") {
+      if (positional.size() != 1) return usage();
+      const core::PaperBenchmark& bench = core::paper_benchmark(positional[0]);
+      return run_pipeline(
+          icm::make_workload(core::workload_spec(bench, opt.compile.seed)),
+          opt);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
