@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators.dir/estimators.cpp.o"
+  "CMakeFiles/estimators.dir/estimators.cpp.o.d"
+  "estimators"
+  "estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_flipping.dir/fig11_flipping.cpp.o"
+  "CMakeFiles/fig11_flipping.dir/fig11_flipping.cpp.o.d"
+  "fig11_flipping"
+  "fig11_flipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_planning.dir/fig15_planning.cpp.o"
+  "CMakeFiles/fig15_planning.dir/fig15_planning.cpp.o.d"
+  "fig15_planning"
+  "fig15_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_progression.dir/fig1_progression.cpp.o"
+  "CMakeFiles/fig1_progression.dir/fig1_progression.cpp.o.d"
+  "fig1_progression"
+  "fig1_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placer_comparison.dir/placer_comparison.cpp.o"
+  "CMakeFiles/placer_comparison.dir/placer_comparison.cpp.o.d"
+  "placer_comparison"
+  "placer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_volume.dir/table2_volume.cpp.o"
+  "CMakeFiles/table2_volume.dir/table2_volume.cpp.o.d"
+  "table2_volume"
+  "table2_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

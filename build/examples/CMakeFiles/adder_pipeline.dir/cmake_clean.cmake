@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_pipeline.dir/adder_pipeline.cpp.o"
+  "CMakeFiles/adder_pipeline.dir/adder_pipeline.cpp.o.d"
+  "adder_pipeline"
+  "adder_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/baseline_comparison.cpp" "examples/CMakeFiles/baseline_comparison.dir/baseline_comparison.cpp.o" "gcc" "examples/CMakeFiles/baseline_comparison.dir/baseline_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tqec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tqec_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompose/CMakeFiles/tqec_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tqec_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tqec_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/tqec_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdgraph/CMakeFiles/tqec_pdgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tqec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/icm/CMakeFiles/tqec_icm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcir/CMakeFiles/tqec_qcir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revlib_compress.dir/revlib_compress.cpp.o"
+  "CMakeFiles/revlib_compress.dir/revlib_compress.cpp.o.d"
+  "revlib_compress"
+  "revlib_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revlib_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

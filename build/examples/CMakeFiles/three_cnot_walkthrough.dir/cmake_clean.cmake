@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_cnot_walkthrough.dir/three_cnot_walkthrough.cpp.o"
+  "CMakeFiles/three_cnot_walkthrough.dir/three_cnot_walkthrough.cpp.o.d"
+  "three_cnot_walkthrough"
+  "three_cnot_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_cnot_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for three_cnot_walkthrough.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("qcir")
+subdirs("decompose")
+subdirs("icm")
+subdirs("geom")
+subdirs("pdgraph")
+subdirs("compress")
+subdirs("place")
+subdirs("route")
+subdirs("baseline")
+subdirs("core")
+subdirs("verify")

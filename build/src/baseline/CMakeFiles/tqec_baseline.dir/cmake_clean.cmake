@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_baseline.dir/lin2017.cpp.o"
+  "CMakeFiles/tqec_baseline.dir/lin2017.cpp.o.d"
+  "libtqec_baseline.a"
+  "libtqec_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

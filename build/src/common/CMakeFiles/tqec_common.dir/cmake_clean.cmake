@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_common.dir/logging.cpp.o"
+  "CMakeFiles/tqec_common.dir/logging.cpp.o.d"
+  "CMakeFiles/tqec_common.dir/string_util.cpp.o"
+  "CMakeFiles/tqec_common.dir/string_util.cpp.o.d"
+  "libtqec_common.a"
+  "libtqec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

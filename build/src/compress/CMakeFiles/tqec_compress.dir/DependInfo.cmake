@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/dual_bridging.cpp" "src/compress/CMakeFiles/tqec_compress.dir/dual_bridging.cpp.o" "gcc" "src/compress/CMakeFiles/tqec_compress.dir/dual_bridging.cpp.o.d"
+  "/root/repo/src/compress/flipping.cpp" "src/compress/CMakeFiles/tqec_compress.dir/flipping.cpp.o" "gcc" "src/compress/CMakeFiles/tqec_compress.dir/flipping.cpp.o.d"
+  "/root/repo/src/compress/ishape.cpp" "src/compress/CMakeFiles/tqec_compress.dir/ishape.cpp.o" "gcc" "src/compress/CMakeFiles/tqec_compress.dir/ishape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdgraph/CMakeFiles/tqec_pdgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/icm/CMakeFiles/tqec_icm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcir/CMakeFiles/tqec_qcir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

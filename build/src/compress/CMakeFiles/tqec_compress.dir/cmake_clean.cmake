@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_compress.dir/dual_bridging.cpp.o"
+  "CMakeFiles/tqec_compress.dir/dual_bridging.cpp.o.d"
+  "CMakeFiles/tqec_compress.dir/flipping.cpp.o"
+  "CMakeFiles/tqec_compress.dir/flipping.cpp.o.d"
+  "CMakeFiles/tqec_compress.dir/ishape.cpp.o"
+  "CMakeFiles/tqec_compress.dir/ishape.cpp.o.d"
+  "libtqec_compress.a"
+  "libtqec_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

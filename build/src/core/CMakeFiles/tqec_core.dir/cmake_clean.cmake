@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_core.dir/compiler.cpp.o"
+  "CMakeFiles/tqec_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/tqec_core.dir/paper_tables.cpp.o"
+  "CMakeFiles/tqec_core.dir/paper_tables.cpp.o.d"
+  "libtqec_core.a"
+  "libtqec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

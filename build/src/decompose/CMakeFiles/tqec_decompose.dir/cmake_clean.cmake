@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_decompose.dir/decompose.cpp.o"
+  "CMakeFiles/tqec_decompose.dir/decompose.cpp.o.d"
+  "libtqec_decompose.a"
+  "libtqec_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

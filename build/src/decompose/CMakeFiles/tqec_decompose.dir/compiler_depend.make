@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tqec_decompose.
+# This may be replaced when dependencies are built.

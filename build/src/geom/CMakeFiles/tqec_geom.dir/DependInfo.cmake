@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/canonical.cpp" "src/geom/CMakeFiles/tqec_geom.dir/canonical.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/canonical.cpp.o.d"
+  "/root/repo/src/geom/export_obj.cpp" "src/geom/CMakeFiles/tqec_geom.dir/export_obj.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/export_obj.cpp.o.d"
+  "/root/repo/src/geom/export_svg.cpp" "src/geom/CMakeFiles/tqec_geom.dir/export_svg.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/export_svg.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/geom/CMakeFiles/tqec_geom.dir/geometry.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/geometry.cpp.o.d"
+  "/root/repo/src/geom/linking.cpp" "src/geom/CMakeFiles/tqec_geom.dir/linking.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/linking.cpp.o.d"
+  "/root/repo/src/geom/steiner.cpp" "src/geom/CMakeFiles/tqec_geom.dir/steiner.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/steiner.cpp.o.d"
+  "/root/repo/src/geom/validate.cpp" "src/geom/CMakeFiles/tqec_geom.dir/validate.cpp.o" "gcc" "src/geom/CMakeFiles/tqec_geom.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/icm/CMakeFiles/tqec_icm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcir/CMakeFiles/tqec_qcir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

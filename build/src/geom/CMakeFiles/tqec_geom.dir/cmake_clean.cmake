@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_geom.dir/canonical.cpp.o"
+  "CMakeFiles/tqec_geom.dir/canonical.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/export_obj.cpp.o"
+  "CMakeFiles/tqec_geom.dir/export_obj.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/export_svg.cpp.o"
+  "CMakeFiles/tqec_geom.dir/export_svg.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/geometry.cpp.o"
+  "CMakeFiles/tqec_geom.dir/geometry.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/linking.cpp.o"
+  "CMakeFiles/tqec_geom.dir/linking.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/steiner.cpp.o"
+  "CMakeFiles/tqec_geom.dir/steiner.cpp.o.d"
+  "CMakeFiles/tqec_geom.dir/validate.cpp.o"
+  "CMakeFiles/tqec_geom.dir/validate.cpp.o.d"
+  "libtqec_geom.a"
+  "libtqec_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/icm/builder.cpp" "src/icm/CMakeFiles/tqec_icm.dir/builder.cpp.o" "gcc" "src/icm/CMakeFiles/tqec_icm.dir/builder.cpp.o.d"
+  "/root/repo/src/icm/ordering.cpp" "src/icm/CMakeFiles/tqec_icm.dir/ordering.cpp.o" "gcc" "src/icm/CMakeFiles/tqec_icm.dir/ordering.cpp.o.d"
+  "/root/repo/src/icm/serialize.cpp" "src/icm/CMakeFiles/tqec_icm.dir/serialize.cpp.o" "gcc" "src/icm/CMakeFiles/tqec_icm.dir/serialize.cpp.o.d"
+  "/root/repo/src/icm/workload.cpp" "src/icm/CMakeFiles/tqec_icm.dir/workload.cpp.o" "gcc" "src/icm/CMakeFiles/tqec_icm.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qcir/CMakeFiles/tqec_qcir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

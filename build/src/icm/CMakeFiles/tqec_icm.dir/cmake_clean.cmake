@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_icm.dir/builder.cpp.o"
+  "CMakeFiles/tqec_icm.dir/builder.cpp.o.d"
+  "CMakeFiles/tqec_icm.dir/ordering.cpp.o"
+  "CMakeFiles/tqec_icm.dir/ordering.cpp.o.d"
+  "CMakeFiles/tqec_icm.dir/serialize.cpp.o"
+  "CMakeFiles/tqec_icm.dir/serialize.cpp.o.d"
+  "CMakeFiles/tqec_icm.dir/workload.cpp.o"
+  "CMakeFiles/tqec_icm.dir/workload.cpp.o.d"
+  "libtqec_icm.a"
+  "libtqec_icm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_icm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

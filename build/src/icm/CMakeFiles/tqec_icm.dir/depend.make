@@ -1,0 +1,2 @@
+# Empty dependencies file for tqec_icm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_pdgraph.dir/pd_graph.cpp.o"
+  "CMakeFiles/tqec_pdgraph.dir/pd_graph.cpp.o.d"
+  "libtqec_pdgraph.a"
+  "libtqec_pdgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_pdgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

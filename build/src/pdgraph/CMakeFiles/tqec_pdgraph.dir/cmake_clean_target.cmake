@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtqec_pdgraph.a"
+)

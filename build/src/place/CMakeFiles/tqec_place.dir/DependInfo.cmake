@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/bstar_tree.cpp" "src/place/CMakeFiles/tqec_place.dir/bstar_tree.cpp.o" "gcc" "src/place/CMakeFiles/tqec_place.dir/bstar_tree.cpp.o.d"
+  "/root/repo/src/place/force_directed.cpp" "src/place/CMakeFiles/tqec_place.dir/force_directed.cpp.o" "gcc" "src/place/CMakeFiles/tqec_place.dir/force_directed.cpp.o.d"
+  "/root/repo/src/place/nodes.cpp" "src/place/CMakeFiles/tqec_place.dir/nodes.cpp.o" "gcc" "src/place/CMakeFiles/tqec_place.dir/nodes.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/tqec_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/tqec_place.dir/placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/tqec_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tqec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdgraph/CMakeFiles/tqec_pdgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/icm/CMakeFiles/tqec_icm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qcir/CMakeFiles/tqec_qcir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

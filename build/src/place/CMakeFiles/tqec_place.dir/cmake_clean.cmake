@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_place.dir/bstar_tree.cpp.o"
+  "CMakeFiles/tqec_place.dir/bstar_tree.cpp.o.d"
+  "CMakeFiles/tqec_place.dir/force_directed.cpp.o"
+  "CMakeFiles/tqec_place.dir/force_directed.cpp.o.d"
+  "CMakeFiles/tqec_place.dir/nodes.cpp.o"
+  "CMakeFiles/tqec_place.dir/nodes.cpp.o.d"
+  "CMakeFiles/tqec_place.dir/placer.cpp.o"
+  "CMakeFiles/tqec_place.dir/placer.cpp.o.d"
+  "libtqec_place.a"
+  "libtqec_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qcir/circuit.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/circuit.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/circuit.cpp.o.d"
+  "/root/repo/src/qcir/generator.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/generator.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/generator.cpp.o.d"
+  "/root/repo/src/qcir/library.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/library.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/library.cpp.o.d"
+  "/root/repo/src/qcir/optimizer.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/optimizer.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/optimizer.cpp.o.d"
+  "/root/repo/src/qcir/revlib.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/revlib.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/revlib.cpp.o.d"
+  "/root/repo/src/qcir/simulator.cpp" "src/qcir/CMakeFiles/tqec_qcir.dir/simulator.cpp.o" "gcc" "src/qcir/CMakeFiles/tqec_qcir.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tqec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_qcir.dir/circuit.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/circuit.cpp.o.d"
+  "CMakeFiles/tqec_qcir.dir/generator.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/generator.cpp.o.d"
+  "CMakeFiles/tqec_qcir.dir/library.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/library.cpp.o.d"
+  "CMakeFiles/tqec_qcir.dir/optimizer.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tqec_qcir.dir/revlib.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/revlib.cpp.o.d"
+  "CMakeFiles/tqec_qcir.dir/simulator.cpp.o"
+  "CMakeFiles/tqec_qcir.dir/simulator.cpp.o.d"
+  "libtqec_qcir.a"
+  "libtqec_qcir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_qcir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_route.dir/router.cpp.o"
+  "CMakeFiles/tqec_route.dir/router.cpp.o.d"
+  "libtqec_route.a"
+  "libtqec_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

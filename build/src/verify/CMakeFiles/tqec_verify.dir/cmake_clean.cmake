@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_verify.dir/verifier.cpp.o"
+  "CMakeFiles/tqec_verify.dir/verifier.cpp.o.d"
+  "libtqec_verify.a"
+  "libtqec_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

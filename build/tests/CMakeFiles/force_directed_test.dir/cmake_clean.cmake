@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/force_directed_test.dir/force_directed_test.cpp.o"
+  "CMakeFiles/force_directed_test.dir/force_directed_test.cpp.o.d"
+  "force_directed_test"
+  "force_directed_test.pdb"
+  "force_directed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/force_directed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icm_test.dir/icm_test.cpp.o"
+  "CMakeFiles/icm_test.dir/icm_test.cpp.o.d"
+  "icm_test"
+  "icm_test.pdb"
+  "icm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgraph_property_test.dir/pdgraph_property_test.cpp.o"
+  "CMakeFiles/pdgraph_property_test.dir/pdgraph_property_test.cpp.o.d"
+  "pdgraph_property_test"
+  "pdgraph_property_test.pdb"
+  "pdgraph_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgraph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdgraph_test.dir/pdgraph_test.cpp.o"
+  "CMakeFiles/pdgraph_test.dir/pdgraph_test.cpp.o.d"
+  "pdgraph_test"
+  "pdgraph_test.pdb"
+  "pdgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

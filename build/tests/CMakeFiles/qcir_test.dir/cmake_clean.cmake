@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcir_test.dir/qcir_test.cpp.o"
+  "CMakeFiles/qcir_test.dir/qcir_test.cpp.o.d"
+  "qcir_test"
+  "qcir_test.pdb"
+  "qcir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqec_compress_cli.dir/tqec_compress.cpp.o"
+  "CMakeFiles/tqec_compress_cli.dir/tqec_compress.cpp.o.d"
+  "tqec_compress"
+  "tqec_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqec_compress_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
