@@ -5,6 +5,12 @@
 //                                     quick: the four smallest)
 //   REPRO_EFFORT    = <float>        (SA/router effort multiplier, default 1)
 //   REPRO_SEED      = <int>          (pipeline seed, default 7)
+//   REPRO_JOBS      = <int>          (worker threads for parallel restarts;
+//                                     default 1, 0 = hardware concurrency)
+//   REPRO_PLACE_RESTARTS = <int>     (independent place+route attempts,
+//                                     best legal wins; default 1)
+//   REPRO_STATS     = 1              (print each run's per-stage
+//                                     observability report as JSON)
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,16 @@ inline double effort_from_env() {
 inline std::uint64_t seed_from_env() {
   const char* env = std::getenv("REPRO_SEED");
   return env != nullptr ? static_cast<std::uint64_t>(std::atoll(env)) : 7ull;
+}
+
+inline int jobs_from_env() {
+  const char* env = std::getenv("REPRO_JOBS");
+  return env != nullptr ? std::atoi(env) : 1;
+}
+
+inline int place_restarts_from_env() {
+  const char* env = std::getenv("REPRO_PLACE_RESTARTS");
+  return env != nullptr ? std::atoi(env) : 1;
 }
 
 /// Benchmarks to run. Paper tables default to all eight; the extension
@@ -52,8 +68,14 @@ inline core::CompileResult run_mode(const icm::IcmCircuit& circuit,
   opt.mode = mode;
   opt.seed = seed_from_env();
   opt.effort = effort_from_env();
+  opt.jobs = jobs_from_env();
+  opt.place_restarts = place_restarts_from_env();
   opt.emit_geometry = false;
-  return core::compile(circuit, opt);
+  const core::CompileResult result = core::compile(circuit, opt);
+  const char* stats_env = std::getenv("REPRO_STATS");
+  if (stats_env != nullptr && std::atoi(stats_env) != 0)
+    std::fputs(core::stats_json(result).c_str(), stdout);
+  return result;
 }
 
 inline void print_rule(int width = 100) {

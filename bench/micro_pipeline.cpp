@@ -53,6 +53,35 @@ void BM_DualOnlyPipeline(benchmark::State& state) {
 BENCHMARK(BM_DualOnlyPipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
+// Multi-seed restart engine scaling: 8 independent place+route attempts on
+// 1/2/4 worker threads. The volume counter must be identical across rows
+// of the same scale (deterministic reduction); wall-clock should shrink
+// with jobs on multicore hosts.
+void BM_MultiSeedPipeline(benchmark::State& state) {
+  const auto circuit = workload_of_scale(static_cast<int>(state.range(0)));
+  core::CompileOptions opt;
+  opt.emit_geometry = false;
+  opt.place_restarts = 8;
+  opt.jobs = static_cast<int>(state.range(1));
+  std::int64_t volume = 0;
+  bool legal = true;
+  for (auto _ : state) {
+    const auto result = core::compile(circuit, opt);
+    volume = result.volume;
+    legal = legal && result.routed_legal;
+    benchmark::DoNotOptimize(result.volume);
+  }
+  state.counters["volume"] = static_cast<double>(volume);
+  state.counters["legal"] = legal ? 1 : 0;
+  state.counters["jobs"] = static_cast<double>(opt.jobs);
+}
+BENCHMARK(BM_MultiSeedPipeline)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

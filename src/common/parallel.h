@@ -1,0 +1,79 @@
+// Minimal deterministic parallelism substrate (no external dependencies).
+//
+// parallel_for(n, jobs, fn) runs fn(i) for every index i in [0, n) across
+// up to `jobs` threads (the calling thread participates, so jobs == 1 never
+// spawns). Work is handed out through a shared atomic counter, which keeps
+// the scheduling dynamic while the *results* stay deterministic under the
+// repo-wide reduction rule (DESIGN.md):
+//
+//   every parallel stage writes iteration i's result into slot i of a
+//   pre-sized buffer and performs selection/reduction sequentially after
+//   the join, under a total order that never depends on thread count or
+//   scheduling — so `--jobs=1` and `--jobs=N` are bit-identical.
+//
+// Exceptions thrown by iterations are captured and the one with the lowest
+// index is rethrown after all workers drain (again independent of
+// scheduling); the remaining iterations still run, which is fine because
+// they are independent by contract.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tqec {
+
+/// Worker count for a `jobs` request: a positive request is taken as-is;
+/// zero or negative means "auto" (the hardware concurrency, at least 1).
+inline int resolve_jobs(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Run fn(i) for every i in [0, n) on up to `jobs` threads. Blocks until
+/// every iteration finished; rethrows the lowest-index exception, if any.
+inline void parallel_for(std::size_t n, int jobs,
+                         const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(n, static_cast<std::size_t>(std::max(1, jobs)));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = n;
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(work);
+  work();
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tqec

@@ -1,8 +1,11 @@
 #include "compress/flipping.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace tqec::compress {
@@ -163,18 +166,48 @@ PrimalBridging bridge_primal(const PdGraph& graph, const IshapeResult& ishape,
 
 PrimalBridging bridge_primal_best(const PdGraph& graph,
                                   const IshapeResult& ishape,
-                                  std::uint64_t seed, int restarts) {
+                                  std::uint64_t seed, int restarts, int jobs,
+                                  RestartReport* report) {
   TQEC_REQUIRE(restarts >= 1, "need at least one restart");
+  // Restart 0 reuses the base seed (single-restart calls stay identical to
+  // bridge_primal); the rest draw derived seeds up front so every restart
+  // is an independent, index-addressed task.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(restarts));
+  seeds[0] = seed;
   Rng seeder(seed);
-  PrimalBridging best = bridge_primal(graph, ishape, seed);
-  for (int r = 1; r < restarts; ++r) {
-    PrimalBridging candidate = bridge_primal(graph, ishape, seeder());
-    const auto key = [](const PrimalBridging& b) {
-      return std::pair(b.chain_count(), -b.bridge_count());
-    };
-    if (key(candidate) < key(best)) best = std::move(candidate);
+  for (int r = 1; r < restarts; ++r)
+    seeds[static_cast<std::size_t>(r)] = seeder();
+
+  std::vector<PrimalBridging> candidates(static_cast<std::size_t>(restarts));
+  std::vector<double> restart_s(static_cast<std::size_t>(restarts), 0.0);
+  parallel_for(static_cast<std::size_t>(restarts), jobs, [&](std::size_t r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    candidates[r] = bridge_primal(graph, ishape, seeds[r]);
+    restart_s[r] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+
+  // Deterministic reduction: scan in restart order with a strict-less key,
+  // so ties keep the earliest restart — bit-identical for any job count.
+  const auto key = [](const PrimalBridging& b) {
+    return std::pair(b.chain_count(), -b.bridge_count());
+  };
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < candidates.size(); ++r)
+    if (key(candidates[r]) < key(candidates[best])) best = r;
+
+  if (report != nullptr) {
+    report->restart_s = std::move(restart_s);
+    report->chain_counts.clear();
+    report->bridge_counts.clear();
+    for (const PrimalBridging& c : candidates) {
+      report->chain_counts.push_back(c.chain_count());
+      report->bridge_counts.push_back(c.bridge_count());
+    }
+    report->selected = static_cast<int>(best);
   }
-  return best;
+  return std::move(candidates[best]);
 }
 
 }  // namespace tqec::compress

@@ -66,13 +66,27 @@ PrimalBridging bridge_primal(const pdgraph::PdGraph& graph,
                              const IshapeResult& ishape,
                              std::uint64_t seed = 1);
 
+/// Per-restart observability for bridge_primal_best (one entry per
+/// restart, in restart order regardless of thread count).
+struct RestartReport {
+  std::vector<double> restart_s;  // wall time of each greedy run
+  std::vector<int> chain_counts;
+  std::vector<int> bridge_counts;
+  int selected = 0;  // index of the winning restart
+};
+
 /// Multi-restart variant: run the greedy `restarts` times with derived
 /// seeds and keep the cover with the fewest chains (ties broken toward
-/// more total bridges). The paper's greedy is randomized exactly so that
-/// restarts can escape bad start choices; this is deterministic for a
-/// fixed base seed.
+/// more total bridges, then toward the earliest restart). The paper's
+/// greedy is randomized exactly so that restarts can escape bad start
+/// choices. Restarts run on up to `jobs` threads; selection is a
+/// sequential scan over the restart-indexed candidates, so the result is
+/// bit-identical for any thread count and deterministic for a fixed base
+/// seed. `report`, when non-null, receives per-restart statistics.
 PrimalBridging bridge_primal_best(const pdgraph::PdGraph& graph,
                                   const IshapeResult& ishape,
-                                  std::uint64_t seed = 1, int restarts = 4);
+                                  std::uint64_t seed = 1, int restarts = 4,
+                                  int jobs = 1,
+                                  RestartReport* report = nullptr);
 
 }  // namespace tqec::compress

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 #include "geom/canonical.h"
 
 namespace tqec::core {
@@ -17,17 +22,18 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Append one segment per maximal collinear run of cells.
+}  // namespace
+
 void emit_cell_runs(geom::Defect& defect, std::vector<Vec3> cells) {
   if (cells.empty()) return;
-  std::sort(cells.begin(), cells.end());
-  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
-  // Greedy x-runs (cells sorted lexicographically by (x, y, z) — group by
-  // (y, z) and emit maximal x intervals; remaining singleton cells are
-  // still correct single-cell segments).
+  // Greedy x-runs: group by (y, z) and emit maximal x intervals; remaining
+  // singleton cells are still correct single-cell segments. One (y, z, x)
+  // sort both dedupes (duplicates are adjacent under any total order) and
+  // orders the runs.
   std::sort(cells.begin(), cells.end(), [](Vec3 a, Vec3 b) {
     return std::tuple(a.y, a.z, a.x) < std::tuple(b.y, b.z, b.x);
   });
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
   std::size_t i = 0;
   while (i < cells.size()) {
     std::size_t j = i;
@@ -38,8 +44,6 @@ void emit_cell_runs(geom::Defect& defect, std::vector<Vec3> cells) {
     i = j + 1;
   }
 }
-
-}  // namespace
 
 geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
                                     const place::NodeSet& nodes,
@@ -139,11 +143,14 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   result.ishape_merges = ishape.merge_count();
   result.timings.ishape_s = seconds_since(t);
 
+  const int jobs = resolve_jobs(options.jobs);
+
   t = std::chrono::steady_clock::now();
   compress::PrimalBridging bridging;
   if (use_primal) {
-    bridging = compress::bridge_primal_best(graph, ishape, options.seed,
-                                            options.primal_restarts);
+    bridging = compress::bridge_primal_best(
+        graph, ishape, options.seed, options.primal_restarts, jobs,
+        &result.timings.primal_restarts);
     result.primal_bridges = bridging.bridge_count();
   }
   result.timings.primal_bridge_s = seconds_since(t);
@@ -164,36 +171,82 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   result.net_components = dual.component_count();
   result.timings.dual_bridge_s = seconds_since(t);
 
-  // Stage 6 + 7: module placement and dual-defect net routing. When the
-  // router cannot legalize the tightest packing, escalate once with a free
-  // routing plane between layers (congestion-driven whitespace insertion).
+  // Stage 6 + 7: module placement and dual-defect net routing, run as K
+  // independent attempts with derived seeds on up to `jobs` threads
+  // (identically in every pipeline mode; attempt 0 uses options.seed
+  // itself). Within an attempt, when the router cannot legalize the
+  // tightest packing it escalates once with a free routing plane between
+  // layers (congestion-driven whitespace insertion). The winner is picked
+  // sequentially under the total order (legal first, volume, attempt
+  // index), so the result is bit-identical for any thread count.
   place::NodeSet nodes =
       use_primal ? place::build_nodes(graph, ishape, bridging, dual,
                                       options.plan_flips)
                  : place::build_nodes_dual_only(graph, dual);
   result.nodes = nodes.node_count();
 
-  place::Placement placement;
-  route::RoutingResult routing;
-  for (const int y_gap : {0, 1}) {
-    t = std::chrono::steady_clock::now();
-    place::PlaceOptions place_opt = options.place;
-    place_opt.seed = options.seed;
-    place_opt.effort *= options.effort;
-    place_opt.layer_y_gap = std::max(place_opt.layer_y_gap, y_gap);
-    placement = place_modules(nodes, place_opt);
-    result.timings.place_s += seconds_since(t);
+  const std::size_t attempts =
+      static_cast<std::size_t>(std::max(1, options.place_restarts));
+  std::vector<std::uint64_t> seeds(attempts);
+  seeds[0] = options.seed;
+  std::uint64_t seed_state = options.seed;
+  for (std::size_t k = 1; k < attempts; ++k) seeds[k] = splitmix64(seed_state);
 
-    t = std::chrono::steady_clock::now();
-    route::RouteOptions route_opt = options.route;
-    route_opt.seed = options.seed;
-    routing = route::route_nets(nodes, placement, route_opt);
-    result.timings.route_s += seconds_since(t);
-    if (routing.legal) break;
-    TQEC_LOG_INFO("routing illegal at y-gap " << y_gap
-                                              << "; escalating whitespace");
-  }
+  struct Attempt {
+    place::Placement placement;
+    route::RoutingResult routing;
+    PlaceAttemptStats stats;
+  };
+  std::vector<Attempt> outcomes(attempts);
+  t = std::chrono::steady_clock::now();
+  parallel_for(attempts, jobs, [&](std::size_t k) {
+    Attempt& a = outcomes[k];
+    a.stats.seed = seeds[k];
+    for (const int y_gap : {0, 1}) {
+      auto t_stage = std::chrono::steady_clock::now();
+      place::PlaceOptions place_opt = options.place;
+      place_opt.seed = seeds[k];
+      place_opt.effort *= options.effort;
+      place_opt.layer_y_gap = std::max(place_opt.layer_y_gap, y_gap);
+      a.placement = place_modules(nodes, place_opt);
+      a.stats.place_s += seconds_since(t_stage);
 
+      t_stage = std::chrono::steady_clock::now();
+      route::RouteOptions route_opt = options.route;
+      route_opt.seed = seeds[k];
+      a.routing = route::route_nets(nodes, a.placement, route_opt);
+      a.stats.route_s += seconds_since(t_stage);
+      a.stats.y_gap = y_gap;
+      if (a.routing.legal) break;
+      TQEC_LOG_INFO("attempt " << k << ": routing illegal at y-gap " << y_gap
+                               << "; escalating whitespace");
+    }
+    a.stats.volume = a.routing.volume;
+    a.stats.legal = a.routing.legal;
+    a.stats.sa_iterations = a.placement.iterations_run;
+    a.stats.sa_accepted = a.placement.moves_accepted;
+    a.stats.sa_rejected = a.placement.moves_rejected;
+    a.stats.route_iterations = a.routing.iterations;
+    a.stats.route_overused = a.routing.overused_cells;
+  });
+  result.timings.place_route_wall_s = seconds_since(t);
+
+  // Deterministic reduction: strict-less scan keeps the earliest attempt
+  // on ties.
+  std::size_t best = 0;
+  const auto key = [&](const Attempt& a) {
+    return std::tuple(a.routing.legal ? 0 : 1, a.routing.volume);
+  };
+  for (std::size_t k = 1; k < attempts; ++k)
+    if (key(outcomes[k]) < key(outcomes[best])) best = k;
+  outcomes[best].stats.selected = true;
+  result.timings.place_s = outcomes[best].stats.place_s;
+  result.timings.route_s = outcomes[best].stats.route_s;
+  result.timings.attempts.reserve(attempts);
+  for (const Attempt& a : outcomes) result.timings.attempts.push_back(a.stats);
+
+  place::Placement placement = std::move(outcomes[best].placement);
+  route::RoutingResult routing = std::move(outcomes[best].routing);
   result.placement = placement;
   result.routing = routing;
   result.routed_legal = routing.legal;
@@ -212,6 +265,82 @@ CompileResult compile(const icm::IcmCircuit& circuit,
                             << " volume=" << result.volume << " ("
                             << result.timings.total_s << "s)");
   return result;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string stats_json(const CompileResult& result) {
+  const StageTimings& t = result.timings;
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"name\": \"" << json_escape(result.name) << "\",\n"
+     << "  \"volume\": " << result.volume << ",\n"
+     << "  \"canonical_volume\": " << result.canonical_volume << ",\n"
+     << "  \"legal\": " << (result.routed_legal ? "true" : "false") << ",\n"
+     << "  \"modules\": " << result.modules << ",\n"
+     << "  \"nodes\": " << result.nodes << ",\n"
+     << "  \"ishape_merges\": " << result.ishape_merges << ",\n"
+     << "  \"primal_bridges\": " << result.primal_bridges << ",\n"
+     << "  \"dual_bridges\": " << result.dual_bridges << ",\n"
+     << "  \"net_components\": " << result.net_components << ",\n"
+     << "  \"timings\": {"
+     << "\"pd_graph_s\": " << json_double(t.pd_graph_s)
+     << ", \"ishape_s\": " << json_double(t.ishape_s)
+     << ", \"primal_bridge_s\": " << json_double(t.primal_bridge_s)
+     << ", \"dual_bridge_s\": " << json_double(t.dual_bridge_s)
+     << ", \"place_s\": " << json_double(t.place_s)
+     << ", \"route_s\": " << json_double(t.route_s)
+     << ", \"place_route_wall_s\": " << json_double(t.place_route_wall_s)
+     << ", \"total_s\": " << json_double(t.total_s) << "},\n";
+
+  os << "  \"primal_restarts\": {\"selected\": " << t.primal_restarts.selected
+     << ", \"restarts\": [";
+  for (std::size_t r = 0; r < t.primal_restarts.restart_s.size(); ++r) {
+    if (r > 0) os << ", ";
+    os << "{\"time_s\": " << json_double(t.primal_restarts.restart_s[r])
+       << ", \"chains\": " << t.primal_restarts.chain_counts[r]
+       << ", \"bridges\": " << t.primal_restarts.bridge_counts[r] << "}";
+  }
+  os << "]},\n";
+
+  os << "  \"attempts\": [";
+  for (std::size_t k = 0; k < t.attempts.size(); ++k) {
+    const PlaceAttemptStats& a = t.attempts[k];
+    if (k > 0) os << ",";
+    os << "\n    {\"seed\": " << a.seed << ", \"volume\": " << a.volume
+       << ", \"legal\": " << (a.legal ? "true" : "false")
+       << ", \"selected\": " << (a.selected ? "true" : "false")
+       << ", \"y_gap\": " << a.y_gap
+       << ", \"place_s\": " << json_double(a.place_s)
+       << ", \"route_s\": " << json_double(a.route_s)
+       << ", \"sa_iterations\": " << a.sa_iterations
+       << ", \"sa_accepted\": " << a.sa_accepted
+       << ", \"sa_rejected\": " << a.sa_rejected
+       << ", \"route_iterations\": " << a.route_iterations
+       << ", \"route_overused\": " << a.route_overused << "}";
+  }
+  if (!t.attempts.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
 }
 
 }  // namespace tqec::core

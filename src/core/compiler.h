@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compress/dual_bridging.h"
 #include "compress/flipping.h"
@@ -49,6 +50,15 @@ struct CompileOptions {
   /// Greedy primal-bridging restarts (best-of-N chain covers; the greedy
   /// start is randomized per the paper, so restarts escape bad starts).
   int primal_restarts = 4;
+  /// Independent place+route attempts with derived seeds (best legal
+  /// result wins by (volume, attempt index) — a total order, so the
+  /// outcome is identical for any `jobs` value). Attempt 0 uses `seed`
+  /// itself, so the default reproduces the single-attempt pipeline.
+  int place_restarts = 1;
+  /// Worker threads for the parallel stages (primal-bridging restarts and
+  /// place+route attempts). 1 = sequential; 0 or negative = one per
+  /// hardware thread. Never changes results, only wall-clock.
+  int jobs = 1;
   /// Validate and keep the emitted geometric description (adds memory and
   /// time on the largest benchmarks; tables only need the volume).
   bool emit_geometry = true;
@@ -60,6 +70,27 @@ struct CompileOptions {
   route::RouteOptions route;
 };
 
+/// Observability record of one place+route attempt of the multi-seed
+/// outer loop (CompileOptions::place_restarts).
+struct PlaceAttemptStats {
+  std::uint64_t seed = 0;
+  std::int64_t volume = 0;
+  bool legal = false;
+  bool selected = false;  // this attempt produced the final result
+  int y_gap = 0;          // whitespace-escalation level that finished it
+  double place_s = 0;
+  double route_s = 0;
+  int sa_iterations = 0;
+  int sa_accepted = 0;
+  int sa_rejected = 0;
+  int route_iterations = 0;
+  int route_overused = 0;
+};
+
+/// Per-stage observability report. The scalar *_s fields time the pipeline
+/// stages (for place/route: the *selected* attempt, summed over its
+/// whitespace escalations); the vectors break the parallel stages down
+/// per restart/attempt. Serializable via stats_json().
 struct StageTimings {
   double pd_graph_s = 0;
   double ishape_s = 0;
@@ -67,7 +98,13 @@ struct StageTimings {
   double dual_bridge_s = 0;
   double place_s = 0;
   double route_s = 0;
+  /// Wall-clock of the whole multi-seed place+route stage (all attempts).
+  double place_route_wall_s = 0;
   double total_s = 0;
+  /// Per-restart greedy primal-bridging breakdown (Full mode only).
+  compress::RestartReport primal_restarts;
+  /// One entry per place+route attempt, in attempt order.
+  std::vector<PlaceAttemptStats> attempts;
 };
 
 /// Intermediate pipeline structures, kept when
@@ -116,5 +153,13 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
                                     const place::Placement& placement,
                                     const route::RoutingResult& routing,
                                     const std::string& name);
+
+/// Append one segment per maximal collinear x-run of `cells` to the
+/// defect; duplicate input cells collapse. Exposed for testing.
+void emit_cell_runs(geom::Defect& defect, std::vector<Vec3> cells);
+
+/// Serialize a compile result's statistics and per-stage observability
+/// report (timings, per-restart breakdowns, SA/router counters) as JSON.
+std::string stats_json(const CompileResult& result);
 
 }  // namespace tqec::core

@@ -237,6 +237,7 @@ Placement Annealer::run() {
 
   double temperature = std::max(1.0, opt_.t0_fraction * cost);
   int accepted = 0;
+  int rejected = 0;
 
   for (int iter = 0; iter < iterations; ++iter) {
     enum class Move { Rotate, Swap, Relocate };
@@ -326,6 +327,7 @@ Placement Annealer::run() {
         best_state = snapshot();
       }
     } else {
+      ++rejected;
       switch (move) {
         case Move::Rotate:
           rotated_[static_cast<std::size_t>(a)] = saved_rot;
@@ -392,6 +394,7 @@ Placement Annealer::run() {
   placement.initial_volume = initial_volume;
   placement.iterations_run = iterations;
   placement.moves_accepted = accepted;
+  placement.moves_rejected = rejected;
   TQEC_LOG_INFO("placement: nodes=" << nodes_.node_count()
                                     << " layers=" << placement.layers
                                     << " volume=" << placement.volume

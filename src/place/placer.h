@@ -66,10 +66,13 @@ struct Placement {
   std::int64_t volume = 0;
   double wirelength = 0;
   int layers = 0;
-  /// SA statistics.
+  /// SA statistics. Accepted + rejected can fall short of iterations_run:
+  /// some iterations propose no applicable move (e.g. rotating a
+  /// non-rotatable node) and count as neither.
   std::int64_t initial_volume = 0;
   int iterations_run = 0;
   int moves_accepted = 0;
+  int moves_rejected = 0;
 };
 
 /// Place a node set. Deterministic for a fixed seed.

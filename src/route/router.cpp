@@ -53,7 +53,8 @@ class RoutingFabric {
         ++capacity_[index(
             placement.module_cell[static_cast<std::size_t>(m)])];
     for (std::size_t i = 0; i < n; ++i)
-      if (module_at_[i] >= 0) --capacity_[i];  // base 1 was counted on top
+      if (module_at_[i] >= 0)  // base 1 was counted on top
+        capacity_[i] = detail::counter_add(capacity_[i], -1);
   }
 
   std::size_t cell_count() const {
@@ -84,10 +85,10 @@ class RoutingFabric {
   int usage(std::size_t i) const { return usage_[i]; }
   int capacity(std::size_t i) const { return capacity_[i]; }
   void add_usage(std::size_t i, int d) {
-    usage_[i] = static_cast<std::uint16_t>(usage_[i] + d);
+    usage_[i] = detail::counter_add(usage_[i], d);
   }
   void add_capacity(std::size_t i, int d) {
-    capacity_[i] = static_cast<std::uint16_t>(capacity_[i] + d);
+    capacity_[i] = detail::counter_add(capacity_[i], d);
   }
   float& history(std::size_t i) { return history_[i]; }
 

@@ -18,13 +18,30 @@
 // Manhattan distance to the tree's bounding box).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/error.h"
 #include "place/nodes.h"
 #include "place/placer.h"
 
 namespace tqec::route {
+
+namespace detail {
+
+/// Occupancy-counter update for the routing fabric's uint16 usage/capacity
+/// arrays. A plain cast would wrap a negative result to 65535, silently
+/// masking congestion (a cell that looks maximally used is never chosen,
+/// and overuse accounting on it goes wrong); assert on underflow and clamp
+/// at zero as defense in depth.
+inline std::uint16_t counter_add(std::uint16_t value, int delta) {
+  const int next = static_cast<int>(value) + delta;
+  TQEC_ASSERT(next >= 0, "routing-fabric counter underflow");
+  return static_cast<std::uint16_t>(std::max(next, 0));
+}
+
+}  // namespace detail
 
 struct RouteOptions {
   std::uint64_t seed = 1;

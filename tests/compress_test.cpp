@@ -339,5 +339,32 @@ TEST(FlippingTest, BestOfRestartsRejectsZeroRestarts) {
   EXPECT_THROW(bridge_primal_best(g, ishape, 1, 0), TqecError);
 }
 
+TEST(FlippingTest, ParallelRestartsBitIdenticalToSequential) {
+  const core::PaperBenchmark& bench = core::paper_benchmark("4gt4-v0_73");
+  const PdGraph g =
+      pdgraph::build_pd_graph(icm::make_workload(core::workload_spec(bench)));
+  const IshapeResult ishape = simplify_ishape(g);
+  RestartReport seq_report;
+  RestartReport par_report;
+  const PrimalBridging seq =
+      bridge_primal_best(g, ishape, 7, 6, /*jobs=*/1, &seq_report);
+  const PrimalBridging par =
+      bridge_primal_best(g, ishape, 7, 6, /*jobs=*/4, &par_report);
+  // Full structural equality, not just the summary counts.
+  ASSERT_EQ(seq.chains.size(), par.chains.size());
+  for (std::size_t c = 0; c < seq.chains.size(); ++c)
+    EXPECT_EQ(seq.chains[c].points, par.chains[c].points) << "chain " << c;
+  EXPECT_EQ(seq.point_members, par.point_members);
+  EXPECT_EQ(seq.point_of_module, par.point_of_module);
+  EXPECT_EQ(seq.chain_of_point, par.chain_of_point);
+  EXPECT_EQ(seq.flip_of_point, par.flip_of_point);
+  // The report covers every restart and both runs select the same one.
+  ASSERT_EQ(seq_report.restart_s.size(), 6u);
+  ASSERT_EQ(par_report.chain_counts.size(), 6u);
+  EXPECT_EQ(seq_report.chain_counts, par_report.chain_counts);
+  EXPECT_EQ(seq_report.bridge_counts, par_report.bridge_counts);
+  EXPECT_EQ(seq_report.selected, par_report.selected);
+}
+
 }  // namespace
 }  // namespace tqec::compress

@@ -73,6 +73,94 @@ TEST(CompileTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a.nodes, b.nodes);
 }
 
+TEST(CompileTest, EveryModeHonorsTheSeedDeterministically) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+  for (const PipelineMode mode :
+       {PipelineMode::Full, PipelineMode::DualOnly, PipelineMode::ModularOnly}) {
+    const auto a = compile_mode(circuit, mode, 11);
+    const auto b = compile_mode(circuit, mode, 11);
+    EXPECT_EQ(a.volume, b.volume) << static_cast<int>(mode);
+    EXPECT_EQ(a.routing.total_wire, b.routing.total_wire)
+        << static_cast<int>(mode);
+    EXPECT_EQ(a.placement.module_cell, b.placement.module_cell)
+        << static_cast<int>(mode);
+  }
+}
+
+TEST(CompileTest, MultiSeedResultIndependentOfJobCount) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+  for (const PipelineMode mode :
+       {PipelineMode::Full, PipelineMode::DualOnly}) {
+    CompileOptions opt;
+    opt.mode = mode;
+    opt.seed = 5;
+    opt.place_restarts = 3;
+    opt.jobs = 1;
+    const auto seq = compile(circuit, opt);
+    opt.jobs = 8;
+    const auto par = compile(circuit, opt);
+    EXPECT_EQ(seq.volume, par.volume) << static_cast<int>(mode);
+    EXPECT_EQ(seq.routing.total_wire, par.routing.total_wire)
+        << static_cast<int>(mode);
+    EXPECT_EQ(seq.placement.module_cell, par.placement.module_cell)
+        << static_cast<int>(mode);
+    // Attempt reports agree on seeds, volumes, and the selected attempt.
+    ASSERT_EQ(seq.timings.attempts.size(), 3u);
+    ASSERT_EQ(par.timings.attempts.size(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(seq.timings.attempts[k].seed, par.timings.attempts[k].seed);
+      EXPECT_EQ(seq.timings.attempts[k].volume,
+                par.timings.attempts[k].volume);
+      EXPECT_EQ(seq.timings.attempts[k].selected,
+                par.timings.attempts[k].selected);
+    }
+  }
+}
+
+TEST(CompileTest, MultiSeedNeverWorseThanSingleAttempt) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+  CompileOptions opt;
+  opt.seed = 5;
+  const auto single = compile(circuit, opt);
+  opt.place_restarts = 4;
+  const auto multi = compile(circuit, opt);
+  ASSERT_TRUE(single.routed_legal);
+  ASSERT_TRUE(multi.routed_legal);
+  // Attempt 0 reuses the base seed, so the best-of-K result can only match
+  // or beat the single attempt.
+  EXPECT_LE(multi.volume, single.volume);
+  EXPECT_EQ(multi.timings.attempts[0].volume, single.volume);
+}
+
+TEST(CompileTest, StatsJsonReportsAttemptsAndRestarts) {
+  CompileOptions opt;
+  opt.place_restarts = 2;
+  const CompileResult r = compile(three_cnot_example(), opt);
+  const std::string json = stats_json(r);
+  EXPECT_NE(json.find("\"volume\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"legal\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"sa_accepted\""), std::string::npos);
+  EXPECT_NE(json.find("\"route_iterations\""), std::string::npos);
+  EXPECT_NE(json.find("\"primal_restarts\""), std::string::npos);
+  EXPECT_NE(json.find("\"selected\": true"), std::string::npos);
+}
+
 class EndToEndTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(EndToEndTest, LegalValidAndCompressed) {
@@ -163,6 +251,38 @@ TEST(ModeComparisonTest, AblationFlagsChangeTheFlow) {
   const CompileResult no_dual = compile(circuit, opt);
   EXPECT_EQ(no_dual.dual_bridges, 0);
   EXPECT_EQ(no_dual.net_components, 3);
+}
+
+TEST(EmitCellRunsTest, DeduplicatesAndEmitsMaximalRuns) {
+  geom::Defect defect;
+  // Unsorted input with duplicates: an x-run 0..2 on (y=0, z=0) plus a
+  // detached singleton; duplicates of (1,0,0) must collapse into the run.
+  emit_cell_runs(defect, {{4, 0, 0},
+                          {1, 0, 0},
+                          {0, 0, 0},
+                          {1, 0, 0},
+                          {2, 0, 0},
+                          {1, 0, 0}});
+  ASSERT_EQ(defect.segments.size(), 2u);
+  EXPECT_EQ(defect.segments[0].a, (Vec3{0, 0, 0}));
+  EXPECT_EQ(defect.segments[0].b, (Vec3{2, 0, 0}));
+  EXPECT_EQ(defect.segments[1].a, (Vec3{4, 0, 0}));
+  EXPECT_EQ(defect.segments[1].b, (Vec3{4, 0, 0}));
+}
+
+TEST(EmitCellRunsTest, GroupsRunsByYAndZ) {
+  geom::Defect defect;
+  emit_cell_runs(defect,
+                 {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}, {0, 0, 1}});
+  // Three (y, z) groups -> three segments; no run crosses a group.
+  ASSERT_EQ(defect.segments.size(), 3u);
+  for (const auto& seg : defect.segments) {
+    EXPECT_EQ(seg.a.y, seg.b.y);
+    EXPECT_EQ(seg.a.z, seg.b.z);
+  }
+  geom::Defect empty;
+  emit_cell_runs(empty, {});
+  EXPECT_TRUE(empty.segments.empty());
 }
 
 TEST(EmitGeometryTest, CensusMatchesPipelineState) {

@@ -166,5 +166,17 @@ TEST(RouterTest, BoundingVolumeCoversPlacementCore) {
   EXPECT_TRUE(flow.routing.bounding.contains(flow.placement.core.hi));
 }
 
+// Regression: the fabric's uint16 occupancy counters used to wrap a
+// negative update on a zero-valued cell to 65535, silently masking
+// congestion. The update must clamp at zero and flag the underflow.
+TEST(FabricCounterTest, NoWraparoundOnUnderflow) {
+  EXPECT_EQ(detail::counter_add(0, 0), 0);
+  EXPECT_EQ(detail::counter_add(0, 3), 3);
+  EXPECT_EQ(detail::counter_add(3, -3), 0);
+  EXPECT_EQ(detail::counter_add(65535, -1), 65534);
+  EXPECT_THROW(detail::counter_add(0, -1), TqecError);
+  EXPECT_THROW(detail::counter_add(2, -5), TqecError);
+}
+
 }  // namespace
 }  // namespace tqec::route

@@ -8,6 +8,13 @@
 //   --mode=full|dual|modular   pipeline variant (default full)
 //   --seed=<n>                 pipeline seed (default 7)
 //   --effort=<f>               SA effort multiplier (default 1.0)
+//   --jobs=<n>                 worker threads for parallel restarts
+//                              (default 1; 0 = one per hardware thread;
+//                              never changes results)
+//   --place-restarts=<k>       independent place+route attempts with
+//                              derived seeds, best legal wins (default 1)
+//   --stats-json=<path>        write the per-stage observability report
+//                              as JSON ("-" = stdout)
 //   --no-optimize              skip the reversible peephole pass
 //   --no-plan                  disable f-value dual-segment planning
 //   --verify                   run the end-to-end braiding verifier
@@ -45,6 +52,7 @@ struct CliOptions {
   std::optional<std::string> obj_path;
   std::optional<std::string> svg_path;
   std::optional<std::string> icm_path;
+  std::optional<std::string> stats_json_path;
 };
 
 int usage() {
@@ -54,6 +62,7 @@ int usage() {
       "       tqec_compress benchmark <name> [options]\n"
       "       tqec_compress list\n"
       "options: --mode=full|dual|modular --seed=N --effort=F\n"
+      "         --jobs=N --place-restarts=K --stats-json=PATH|-\n"
       "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
@@ -81,6 +90,15 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     opt.compile.effort = std::stod(*v);
     return true;
   }
+  if (auto v = value_of("--jobs=")) {
+    opt.compile.jobs = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value_of("--place-restarts=")) {
+    opt.compile.place_restarts = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value_of("--stats-json=")) return opt.stats_json_path = *v, true;
   if (arg == "--no-optimize") return opt.optimize = false, true;
   if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
   if (arg == "--verify") return opt.verify = true, true;
@@ -136,6 +154,22 @@ int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
     const verify::VerifyReport report = verify::verify_result(result);
     std::printf("verification: %s\n", report.summary().c_str());
     if (!report.ok()) return 1;
+  }
+  if (opt.stats_json_path) {
+    const std::string stats = core::stats_json(result);
+    if (*opt.stats_json_path == "-") {
+      std::fwrite(stats.data(), 1, stats.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(opt.stats_json_path->c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opt.stats_json_path->c_str());
+        return 1;
+      }
+      std::fwrite(stats.data(), 1, stats.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.stats_json_path->c_str());
+    }
   }
   if (opt.json_path) {
     std::FILE* f = std::fopen(opt.json_path->c_str(), "w");
