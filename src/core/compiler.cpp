@@ -228,6 +228,13 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.sa_rejected = a.placement.moves_rejected;
     a.stats.route_iterations = a.routing.iterations;
     a.stats.route_overused = a.routing.overused_cells;
+    a.stats.route_reroutes_per_iter = a.routing.reroutes_per_iter;
+    a.stats.route_reroutes = a.routing.reroutes_total;
+    a.stats.route_full_sweeps = a.routing.full_sweeps;
+    a.stats.route_queue_pushes = a.routing.queue_pushes;
+    a.stats.route_queue_pops = a.routing.queue_pops;
+    a.stats.route_repair_awarded = a.routing.repair_awarded;
+    a.stats.route_repair_failed = a.routing.repair_failed;
   });
   result.timings.place_route_wall_s = seconds_since(t);
 
@@ -336,7 +343,19 @@ std::string stats_json(const CompileResult& result) {
        << ", \"sa_accepted\": " << a.sa_accepted
        << ", \"sa_rejected\": " << a.sa_rejected
        << ", \"route_iterations\": " << a.route_iterations
-       << ", \"route_overused\": " << a.route_overused << "}";
+       << ", \"route_overused\": " << a.route_overused
+       << ", \"route_reroutes\": " << a.route_reroutes
+       << ", \"route_full_sweeps\": " << a.route_full_sweeps
+       << ", \"route_queue_pushes\": " << a.route_queue_pushes
+       << ", \"route_queue_pops\": " << a.route_queue_pops
+       << ", \"route_repair_awarded\": " << a.route_repair_awarded
+       << ", \"route_repair_failed\": " << a.route_repair_failed
+       << ", \"route_reroutes_per_iter\": [";
+    for (std::size_t r = 0; r < a.route_reroutes_per_iter.size(); ++r) {
+      if (r > 0) os << ", ";
+      os << a.route_reroutes_per_iter[r];
+    }
+    os << "]}";
   }
   if (!t.attempts.empty()) os << "\n  ";
   os << "]\n}\n";

@@ -85,6 +85,16 @@ struct PlaceAttemptStats {
   int sa_rejected = 0;
   int route_iterations = 0;
   int route_overused = 0;
+  /// PathFinder observability (final routing of the attempt): nets ripped
+  /// up + rerouted per negotiation iteration and in total, iterations that
+  /// swept every net, A*-queue traffic, and hard-block repair outcomes.
+  std::vector<int> route_reroutes_per_iter;
+  std::int64_t route_reroutes = 0;
+  int route_full_sweeps = 0;
+  std::int64_t route_queue_pushes = 0;
+  std::int64_t route_queue_pops = 0;
+  int route_repair_awarded = 0;
+  int route_repair_failed = 0;
 };
 
 /// Per-stage observability report. The scalar *_s fields time the pipeline

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <unordered_map>
@@ -17,6 +18,18 @@ constexpr std::array<Vec3, 6> kNeighbours{Vec3{1, 0, 0},  Vec3{-1, 0, 0},
                                           Vec3{0, 1, 0},  Vec3{0, -1, 0},
                                           Vec3{0, 0, 1},  Vec3{0, 0, -1}};
 
+/// Advance a stamp epoch. Epochs turn per-search clears into O(1) (a cell is
+/// "set" iff its stamp equals the current epoch); on the (astronomically
+/// rare) wrap the backing array is cleared so stale stamps can never alias a
+/// fresh epoch.
+inline void bump_epoch(int& epoch, std::vector<int>& stamps) {
+  if (epoch == std::numeric_limits<int>::max()) {
+    std::fill(stamps.begin(), stamps.end(), 0);
+    epoch = 0;
+  }
+  ++epoch;
+}
+
 class RoutingFabric {
  public:
   RoutingFabric(const place::NodeSet& nodes,
@@ -29,10 +42,10 @@ class RoutingFabric {
     usage_.assign(n, 0);
     capacity_.assign(n, 1);
     history_.assign(n, 0.0f);
+    nets_at_.assign(n, {});
     g_.assign(n, 0.0f);
     g_version_.assign(n, 0);
     parent_.assign(n, -1);
-    on_tree_.assign(n, 0);
     tree_version_.assign(n, 0);
 
     for (const geom::DistillBox& b : placement.boxes) {
@@ -84,16 +97,31 @@ class RoutingFabric {
   int module_at(std::size_t i) const { return module_at_[i]; }
   int usage(std::size_t i) const { return usage_[i]; }
   int capacity(std::size_t i) const { return capacity_[i]; }
-  void add_usage(std::size_t i, int d) {
-    usage_[i] = detail::counter_add(usage_[i], d);
-  }
   void add_capacity(std::size_t i, int d) {
     capacity_[i] = detail::counter_add(capacity_[i], d);
   }
   float& history(std::size_t i) { return history_[i]; }
 
-  // Versioned per-search scratch.
-  void begin_search() { ++search_epoch_; }
+  // Cell -> net occupancy index, kept in lockstep with the usage counters:
+  // every cell lists the components currently routed through it. Powers the
+  // incremental reroute schedule (which nets sit on an overused cell) and
+  // the hard-block repair phase (who contests a cell) without scanning
+  // every net's route.
+  void occupy(std::size_t i, int component) {
+    usage_[i] = detail::counter_add(usage_[i], +1);
+    nets_at_[i].push_back(component);
+  }
+  void vacate(std::size_t i, int component) {
+    usage_[i] = detail::counter_add(usage_[i], -1);
+    auto& nets = nets_at_[i];
+    const auto it = std::find(nets.begin(), nets.end(), component);
+    TQEC_ASSERT(it != nets.end(), "occupancy index missing a routed net");
+    nets.erase(it);
+  }
+  const std::vector<int>& nets_at(std::size_t i) const { return nets_at_[i]; }
+
+  // Versioned per-search scratch (O(1) reset per search).
+  void begin_search() { bump_epoch(search_epoch_, g_version_); }
   bool seen(std::size_t i) const { return g_version_[i] == search_epoch_; }
   float g(std::size_t i) const { return g_[i]; }
   void set_g(std::size_t i, float v, int parent_dir) {
@@ -103,7 +131,7 @@ class RoutingFabric {
   }
   int parent_dir(std::size_t i) const { return parent_[i]; }
 
-  void begin_tree() { ++tree_epoch_; }
+  void begin_tree() { bump_epoch(tree_epoch_, tree_version_); }
   bool on_tree(std::size_t i) const { return tree_version_[i] == tree_epoch_; }
   void mark_tree(std::size_t i) { tree_version_[i] = tree_epoch_; }
 
@@ -115,10 +143,10 @@ class RoutingFabric {
   std::vector<std::uint16_t> usage_;
   std::vector<std::uint16_t> capacity_;
   std::vector<float> history_;
+  std::vector<std::vector<int>> nets_at_;
   std::vector<float> g_;
   std::vector<int> g_version_;
   std::vector<std::int8_t> parent_;
-  std::vector<int> on_tree_;
   std::vector<int> tree_version_;
   int search_epoch_ = 0;
   int tree_epoch_ = 0;
@@ -158,6 +186,22 @@ class Router {
                std::vector<std::size_t>& tree_cells, double present_factor,
                int region_margin);
 
+  /// Remove / install a net's route, keeping usage counters and the
+  /// occupancy index in lockstep. Every rip-up and (re)install in the
+  /// negotiation loop and the repair phase goes through this pair.
+  void rip_up(const RoutedNet& net) {
+    for (const Vec3& cell : net.cells)
+      fabric_.vacate(fabric_.index(cell), net.component);
+  }
+  void install(const RoutedNet& net) {
+    for (const Vec3& cell : net.cells)
+      fabric_.occupy(fabric_.index(cell), net.component);
+  }
+
+  bool own_pin(std::size_t i) const {
+    return own_pin_version_[i] == own_pin_epoch_;
+  }
+
   /// The f-value planning (Fig. 15) assigns each chain module its access
   /// cells: the free cells through which its dual segments exit. Rotated
   /// nodes rotate the side; a cell claimed by a neighbouring structure
@@ -184,8 +228,12 @@ class Router {
   RouteOptions opt_;
   RoutingFabric fabric_;
   Rng rng_;
-  std::vector<std::uint8_t> own_pin_;  // per-cell flag for current component
-  std::vector<std::size_t> own_pin_cells_;
+  /// Stamped per-component pin marks (unblocks the component's own module
+  /// cells); an epoch bump replaces the per-component clear.
+  std::vector<int> own_pin_version_;
+  int own_pin_epoch_ = 0;
+  std::int64_t queue_pushes_ = 0;
+  std::int64_t queue_pops_ = 0;
 };
 
 bool Router::connect(int component, Vec3 source, Box3& tree_box,
@@ -202,11 +250,13 @@ bool Router::connect(int component, Vec3 source, Box3& tree_box,
                       std::greater<QueueEntry>> open;
   fabric_.set_g(source_idx, 0.0f, -1);
   open.push({heuristic(source, tree_box), 0.0f, source_idx});
+  ++queue_pushes_;
 
   std::size_t goal = static_cast<std::size_t>(-1);
   while (!open.empty()) {
     const QueueEntry top = open.top();
     open.pop();
+    ++queue_pops_;
     if (top.g > fabric_.g(top.cell)) continue;  // stale entry
     if (fabric_.on_tree(top.cell)) {
       goal = top.cell;
@@ -219,7 +269,7 @@ bool Router::connect(int component, Vec3 source, Box3& tree_box,
       const std::size_t qi = fabric_.index(q);
       if (fabric_.blocked(qi)) continue;
       const int mod = fabric_.module_at(qi);
-      if (mod >= 0 && own_pin_[qi] == 0)
+      if (mod >= 0 && !own_pin(qi))
         continue;  // unrelated primal module: spurious braid
       double cost = 1.0 + fabric_.history(qi);
       const int over = fabric_.usage(qi) - (fabric_.capacity(qi) - 1);
@@ -228,6 +278,7 @@ bool Router::connect(int component, Vec3 source, Box3& tree_box,
       if (!fabric_.seen(qi) || ng < fabric_.g(qi)) {
         fabric_.set_g(qi, ng, dir);
         open.push({ng + heuristic(q, tree_box), ng, qi});
+        ++queue_pushes_;
       }
     }
   }
@@ -260,13 +311,11 @@ bool Router::route_component(int component, RoutedNet& out,
   if (pins.empty()) return true;
 
   // Mark own pins (unblocks this component's module cells).
-  own_pin_cells_.clear();
-  for (pdgraph::ModuleId m : pins) {
-    const std::size_t i =
-        fabric_.index(placement_.module_cell[static_cast<std::size_t>(m)]);
-    own_pin_[i] = 1;
-    own_pin_cells_.push_back(i);
-  }
+  bump_epoch(own_pin_epoch_, own_pin_version_);
+  for (pdgraph::ModuleId m : pins)
+    own_pin_version_[fabric_.index(
+        placement_.module_cell[static_cast<std::size_t>(m)])] =
+        own_pin_epoch_;
 
   // Access-cell constraints only bind components that span several
   // placement nodes: the f-value planning (Fig. 15) governs the dual
@@ -328,7 +377,6 @@ bool Router::route_component(int component, RoutedNet& out,
     ok = ok && connect_with_retries(entries[i].cell);
   }
 
-  for (std::size_t i : own_pin_cells_) own_pin_[i] = 0;
   out.cells.reserve(tree_cells.size());
   for (std::size_t i : tree_cells) out.cells.push_back(fabric_.cell_at(i));
   return ok;
@@ -338,7 +386,7 @@ RoutingResult Router::run() {
   RoutingResult result;
   const int components = static_cast<int>(nodes_.net_pins.size());
   result.nets.assign(static_cast<std::size_t>(components), RoutedNet{});
-  own_pin_.assign(fabric_.cell_count(), 0);
+  own_pin_version_.assign(fabric_.cell_count(), 0);
 
   // Port-region capacity: a module loop pinned by several components must
   // admit one crossing per component not just on its own cell but through
@@ -364,7 +412,10 @@ RoutingResult Router::run() {
     }
   }
 
-  // Net order: most pins first (hardest nets claim resources early).
+  // Net order: most pins first (hardest nets claim resources early). The
+  // incremental schedule reroutes a *subset* of this order each iteration,
+  // so relative net order — and with it the result — is independent of
+  // which nets happen to be congestion-affected.
   std::vector<int> order(static_cast<std::size_t>(components));
   for (int i = 0; i < components; ++i) order[static_cast<std::size_t>(i)] = i;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -379,24 +430,35 @@ RoutingResult Router::run() {
   double present_factor = opt_.present_base;
   int stall = 0;
   int prev_overused = -1;
+  // Nets to rip up and reroute this iteration; iteration 1 routes all.
+  std::vector<std::uint8_t> dirty(static_cast<std::size_t>(components), 1);
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    int reroutes = 0;
     for (int c : order) {
+      if (!dirty[static_cast<std::size_t>(c)]) continue;
       RoutedNet& net = result.nets[static_cast<std::size_t>(c)];
-      // Rip up the previous route.
-      for (const Vec3& cell : net.cells) fabric_.add_usage(fabric_.index(cell), -1);
+      rip_up(net);  // previous route (no-op on iteration 1)
       const bool ok = route_component(c, net, present_factor);
       TQEC_REQUIRE(ok, "router failed to connect a net component");
-      for (const Vec3& cell : net.cells) fabric_.add_usage(fabric_.index(cell), +1);
+      install(net);
+      ++reroutes;
     }
+    result.reroutes_per_iter.push_back(reroutes);
+    result.reroutes_total += reroutes;
+    if (reroutes == components) ++result.full_sweeps;
 
-    // Congestion accounting.
+    // Congestion accounting; overused cells seed the next iteration's
+    // reroute set through the occupancy index.
+    std::fill(dirty.begin(), dirty.end(), 0);
     int overused = 0;
     for (std::size_t i = 0; i < fabric_.cell_count(); ++i) {
       const int over = fabric_.usage(i) - fabric_.capacity(i);
       if (over > 0) {
         ++overused;
         fabric_.history(i) += static_cast<float>(opt_.history_increment);
+        for (const int c : fabric_.nets_at(i))
+          dirty[static_cast<std::size_t>(c)] = 1;
       }
     }
     result.overused_cells = overused;
@@ -404,15 +466,22 @@ RoutingResult Router::run() {
       result.legal = true;
       break;
     }
-    present_factor *= opt_.present_growth;
+    present_factor =
+        std::min(present_factor * opt_.present_growth, opt_.present_max);
     // Negotiation stalled on persistently contested cells: stop and
     // resolve them explicitly below.
     stall = overused >= prev_overused && prev_overused >= 0 ? stall + 1 : 0;
     prev_overused = overused;
     if (stall >= 5) break;
+    // Full-sweep fallback: rerouting only the contested nets stopped
+    // making progress, so give every net a chance to move out of the way.
+    if (!opt_.incremental || stall > 0)
+      std::fill(dirty.begin(), dirty.end(), 1);
     TQEC_LOG_DEBUG("pathfinder iter " << iter + 1 << ": " << overused
-                                      << " overused cells");
+                                      << " overused cells, " << reroutes
+                                      << " nets rerouted");
   }
+  result.present_factor_final = present_factor;
 
   // Hard-block repair: when negotiation leaves a handful of contested
   // cells, award each to the net with the most pins (hardest to detour)
@@ -432,12 +501,10 @@ RoutingResult Router::run() {
     for (std::size_t idx : contested) {
       if (fabric_.usage(idx) <= fabric_.capacity(idx))
         continue;  // resolved by an earlier reroute in this scan
-      const Vec3 cell = fabric_.cell_at(idx);
-      std::vector<int> users;
-      for (const RoutedNet& net : result.nets)
-        if (std::find(net.cells.begin(), net.cells.end(), cell) !=
-            net.cells.end())
-          users.push_back(net.component);
+      // The occupancy index names the contestants directly; sorting by
+      // component id reproduces the order a scan over all nets would give.
+      std::vector<int> users = fabric_.nets_at(idx);
+      std::sort(users.begin(), users.end());
       if (users.size() < 2) continue;
       std::sort(users.begin(), users.end(), [&](int a, int b) {
         return nodes_.net_pins[static_cast<std::size_t>(a)].size() >
@@ -461,11 +528,9 @@ RoutingResult Router::run() {
         for (std::size_t u = 0; u < users.size(); ++u) {
           if (u == winner) continue;
           RoutedNet& net = result.nets[static_cast<std::size_t>(users[u])];
-          for (const Vec3& c : net.cells)
-            fabric_.add_usage(fabric_.index(c), -1);
+          rip_up(net);
           const bool ok = route_component(users[u], net, present_factor);
-          for (const Vec3& c : net.cells)
-            fabric_.add_usage(fabric_.index(c), +1);
+          install(net);
           rerouted.push_back(u);
           if (!ok) {
             all_ok = false;
@@ -480,15 +545,16 @@ RoutingResult Router::run() {
           // and lift the block before trying the next winner.
           for (std::size_t u : rerouted) {
             RoutedNet& net = result.nets[static_cast<std::size_t>(users[u])];
-            for (const Vec3& c : net.cells)
-              fabric_.add_usage(fabric_.index(c), -1);
+            rip_up(net);
             net = saved[u];
-            for (const Vec3& c : net.cells)
-              fabric_.add_usage(fabric_.index(c), +1);
+            install(net);
           }
           fabric_.unblock(idx);
         }
       }
+      if (awarded) ++result.repair_awarded;
+      else ++result.repair_failed;
+      const Vec3 cell = fabric_.cell_at(idx);
       TQEC_LOG_DEBUG("hard-block repair at " << cell << " among "
                                              << users.size() << " nets"
                                              << (awarded ? "" : " FAILED"));
@@ -496,6 +562,24 @@ RoutingResult Router::run() {
     if (!progressed) break;  // genuine cut: stays honestly illegal
   }
 
+  // Invariant: after negotiation and repair (including every repair
+  // rollback), usage counters and the occupancy index must both agree with
+  // the final routes. A leak here would silently corrupt congestion
+  // accounting, so the check runs in every build type (one O(cells) pass).
+  {
+    std::vector<std::uint32_t> recount(fabric_.cell_count(), 0);
+    for (const RoutedNet& net : result.nets)
+      for (const Vec3& cell : net.cells) ++recount[fabric_.index(cell)];
+    for (std::size_t i = 0; i < fabric_.cell_count(); ++i) {
+      TQEC_ASSERT(recount[i] == static_cast<std::uint32_t>(fabric_.usage(i)),
+                  "usage counters desynced from the final routes");
+      TQEC_ASSERT(recount[i] == fabric_.nets_at(i).size(),
+                  "occupancy index desynced from the final routes");
+    }
+  }
+
+  result.queue_pushes = queue_pushes_;
+  result.queue_pops = queue_pops_;
   result.bounding = placement_.core;
   result.total_wire = 0;
   for (const RoutedNet& net : result.nets) {
@@ -507,6 +591,7 @@ RoutingResult Router::run() {
   TQEC_LOG_INFO("routing: " << components << " components, legal="
                             << result.legal << " iters=" << result.iterations
                             << " wire=" << result.total_wire
+                            << " reroutes=" << result.reroutes_total
                             << " volume=" << result.volume);
   return result;
 }

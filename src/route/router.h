@@ -51,9 +51,18 @@ struct RouteOptions {
   int max_iterations = 40;
   /// History cost added to each overused cell per iteration.
   double history_increment = 1.0;
-  /// Present-congestion multiplier; grows by `present_growth` per iteration.
+  /// Present-congestion multiplier; grows by `present_growth` per iteration,
+  /// clamped at `present_max` (unbounded growth reaches inf, making every
+  /// congested cell's cost equal and stalling negotiation).
   double present_base = 2.0;
   double present_growth = 1.6;
+  double present_max = 1e9;
+  /// Incremental rip-up-and-reroute: from iteration 2 onward only nets that
+  /// occupy at least one overused cell are rerouted (in the same
+  /// deterministic net order as a full sweep), falling back to a full sweep
+  /// whenever the overused-cell count stalls. Disable to force the classic
+  /// full rip-up of every net on every iteration.
+  bool incremental = true;
   /// Initial half-width of the restricted search region around a
   /// connection's bounding box; grows when a connection fails.
   int region_margin = 6;
@@ -73,6 +82,24 @@ struct RoutingResult {
   /// Bounding box over placement core and all routed cells.
   Box3 bounding;
   std::int64_t volume = 0;
+
+  // PathFinder observability (serialized via core::stats_json).
+  /// Nets ripped up and rerouted in each negotiation iteration; the first
+  /// entry always equals the component count (iteration 1 routes all).
+  std::vector<int> reroutes_per_iter;
+  std::int64_t reroutes_total = 0;
+  /// Iterations that rerouted every net (iteration 1 plus stall fallbacks).
+  int full_sweeps = 0;
+  /// A*-queue traffic summed over all searches (negotiation + repair).
+  std::int64_t queue_pushes = 0;
+  std::int64_t queue_pops = 0;
+  /// Hard-block repair outcomes: contested cells awarded to one net vs.
+  /// cells where every candidate winner failed (left honestly overused).
+  int repair_awarded = 0;
+  int repair_failed = 0;
+  /// Present-congestion factor after the last negotiation iteration
+  /// (clamped at RouteOptions::present_max, hence always finite).
+  double present_factor_final = 0;
 };
 
 /// Route all merged dual-net components of a placed design.

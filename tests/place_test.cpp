@@ -292,6 +292,39 @@ TEST(PlacerTest, DeterministicForFixedSeed) {
     EXPECT_EQ(a.module_cell[m], b.module_cell[m]);
 }
 
+// Regression: the SA's incrementally tracked wirelength accumulated
+// floating-point drift across thousands of subtract/re-add updates, so the
+// cost steering the annealer could disagree with the model it represents.
+// The annealer now resyncs against a full recompute at every temperature
+// batch boundary (and asserts the tracked value matched in debug builds);
+// the reported wirelength must equal an external HPWL recompute over the
+// final module cells.
+TEST(PlacerTest, WirelengthMatchesExternalRecompute) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 60;
+  spec.cnots = 90;
+  spec.y_states = 18;
+  spec.a_states = 9;
+  const auto built = build_for(icm::make_workload(spec));
+  for (const std::uint64_t seed : {3, 9, 21}) {
+    PlaceOptions opt;
+    opt.seed = seed;
+    opt.batch = 32;  // frequent batch boundaries exercise the resync
+    const Placement placement = place_modules(built.nodes, opt);
+    double wire = 0;
+    for (const auto& pins : built.nodes.net_pins) {
+      if (pins.size() < 2) continue;
+      Box3 bbox;
+      for (pdgraph::ModuleId m : pins)
+        bbox = bbox.expanded(
+            placement.module_cell[static_cast<std::size_t>(m)]);
+      const Vec3 d = bbox.dims();
+      wire += (d.x - 1) + (d.y - 1) + (d.z - 1);
+    }
+    EXPECT_NEAR(placement.wirelength, wire, 1e-6) << "seed " << seed;
+  }
+}
+
 TEST(PlacerTest, SaImprovesOnInitialSolution) {
   const auto& bench = core::paper_benchmark("4gt10-v1_81");
   const icm::IcmCircuit circuit =

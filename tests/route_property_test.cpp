@@ -1,0 +1,229 @@
+// Randomized property tests for the dual-defect router, run for BOTH the
+// incremental PathFinder schedule (the default) and the classic full-sweep
+// schedule across a family of seeds:
+//   - V3: routed nets are pairwise cell-disjoint outside module port
+//     regions (a module's cell plus its face-adjacent cells — the
+//     geometry validator's V3 exemption);
+//   - V5: no routed cell enters a distillation-box extent;
+//   - schedule equality: on the same placement both schedules produce
+//     identical results (same routed cells per net, legality, volume).
+//
+// Scope of the equality property: both schedules visit nets in the same
+// deterministic order, so they are identical whenever negotiation resolves
+// without the incremental schedule skipping a net whose route the full
+// sweep would have re-priced. They are NOT identical in general — the
+// present-congestion factor grows globally every iteration, so a full
+// sweep re-prices even uncontested nets' alternatives while the
+// incremental schedule deliberately keeps their routes (see DESIGN.md).
+// Equality is therefore asserted on fixtures verified to agree (including
+// multi-iteration ones that exercise real skipping); those fixtures are
+// hand-built from integer arithmetic and the repo's own Rng — no libm, no
+// SA — so they behave identically on every platform. The SA flows assert
+// the validator invariants for both schedules.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/dual_bridging.h"
+#include "compress/flipping.h"
+#include "compress/ishape.h"
+#include "icm/workload.h"
+#include "place/nodes.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace tqec::route {
+namespace {
+
+/// V3: every cell shared by two or more routed nets lies in some module's
+/// port region (the module cell or a face-adjacent cell).
+void expect_pairwise_disjoint_outside_ports(const place::Placement& placement,
+                                            const RoutingResult& routing) {
+  std::unordered_map<Vec3, int> usage;
+  for (const RoutedNet& net : routing.nets)
+    for (const Vec3& c : net.cells) ++usage[c];
+  std::unordered_set<Vec3> allowed;
+  for (const Vec3& cell : placement.module_cell) {
+    allowed.insert(cell);
+    for (const Vec3 step : {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
+                            Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+      allowed.insert(cell + step);
+  }
+  for (const auto& [cell, count] : usage) {
+    if (count > 1) {
+      EXPECT_TRUE(allowed.count(cell))
+          << count << " nets share non-port cell " << cell;
+    }
+  }
+}
+
+/// V5: no routed cell inside any distillation-box extent.
+void expect_no_cell_in_boxes(const place::Placement& placement,
+                             const RoutingResult& routing) {
+  for (const RoutedNet& net : routing.nets)
+    for (const Vec3& c : net.cells)
+      for (const geom::DistillBox& box : placement.boxes)
+        EXPECT_FALSE(box.extent().contains(c))
+            << "component " << net.component << " enters box at "
+            << box.origin;
+}
+
+void expect_equal_results(const RoutingResult& a, const RoutingResult& b) {
+  EXPECT_EQ(a.legal, b.legal);
+  EXPECT_EQ(a.total_wire, b.total_wire);
+  EXPECT_EQ(a.volume, b.volume);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].component, b.nets[i].component);
+    std::set<std::tuple<int, int, int>> ca, cb;
+    for (const Vec3& c : a.nets[i].cells) ca.insert({c.x, c.y, c.z});
+    for (const Vec3& c : b.nets[i].cells) cb.insert({c.x, c.y, c.z});
+    EXPECT_EQ(ca, cb) << "component " << a.nets[i].component
+                      << " routed differently by the two schedules";
+  }
+}
+
+struct BothSchedules {
+  RoutingResult incremental;
+  RoutingResult full_sweep;
+};
+
+BothSchedules route_both_and_check_invariants(
+    const place::NodeSet& nodes, const place::Placement& placement) {
+  RouteOptions incremental;
+  RouteOptions full_sweep;
+  full_sweep.incremental = false;
+  BothSchedules out{route_nets(nodes, placement, incremental),
+                    route_nets(nodes, placement, full_sweep)};
+  for (const RoutingResult* r : {&out.incremental, &out.full_sweep}) {
+    EXPECT_TRUE(r->legal);
+    expect_pairwise_disjoint_outside_ports(placement, *r);
+    expect_no_cell_in_boxes(placement, *r);
+  }
+  // The schedules differ only in how much work they skip: the incremental
+  // one never rips up more nets than the sweep.
+  EXPECT_LE(out.incremental.reroutes_total, out.full_sweep.reroutes_total);
+  return out;
+}
+
+struct GridFixture {
+  place::NodeSet nodes;
+  place::Placement placement;
+};
+
+/// Random module field on a 10x10 plane at y = 0 plus one distillation box:
+/// 14 modules on distinct cells outside the box, 8 nets of 2-3 distinct
+/// pins each. The default routing margin leaves detour room on all sides,
+/// so the congestion is mild and negotiation converges; modules pinned by
+/// several nets still force port-region sharing, exercising V3's exemption.
+GridFixture random_fixture(std::uint64_t seed) {
+  Rng rng(seed);
+  GridFixture f;
+  const int extent = 10;
+  geom::DistillBox box;
+  box.kind = geom::BoxKind::YBox;
+  box.origin = {rng.range(0, extent - 3), 0, rng.range(0, extent - 3)};
+
+  std::set<std::tuple<int, int, int>> taken;
+  std::vector<Vec3> cells;
+  const int modules = 14;
+  while (static_cast<int>(cells.size()) < modules) {
+    const Vec3 c{rng.range(0, extent - 1), 0, rng.range(0, extent - 1)};
+    if (box.extent().contains(c)) continue;
+    if (!taken.insert({c.x, c.y, c.z}).second) continue;
+    cells.push_back(c);
+  }
+
+  const int nets = 8;
+  for (int n = 0; n < nets; ++n) {
+    const int pins = rng.range(2, 3);
+    std::set<pdgraph::ModuleId> chosen;
+    while (static_cast<int>(chosen.size()) < pins)
+      chosen.insert(static_cast<pdgraph::ModuleId>(rng.below(modules)));
+    f.nodes.net_pins.emplace_back(chosen.begin(), chosen.end());
+  }
+
+  for (int m = 0; m < modules; ++m) f.nodes.node_of_module.push_back(m);
+  f.nodes.module_offset.assign(cells.size(), Vec3{});
+  f.nodes.flip_of_module.assign(cells.size(), 0);
+  f.nodes.access_offsets.assign(cells.size(), {});
+
+  f.placement.module_cell = cells;
+  f.placement.boxes = {box};
+  Box3 core = box.extent();
+  for (const Vec3& c : cells) core = core.expanded(c);
+  f.placement.core = core;
+  f.placement.volume = core.volume();
+  return f;
+}
+
+class RoutePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutePropertyTest, RandomGridHoldsInvariantsUnderBothSchedules) {
+  const GridFixture f = random_fixture(GetParam());
+  route_both_and_check_invariants(f.nodes, f.placement);
+}
+
+TEST_P(RoutePropertyTest, SaFlowHoldsInvariantsUnderBothSchedules) {
+  icm::WorkloadSpec spec;
+  spec.qubits = 48;
+  spec.cnots = 72;
+  spec.y_states = 14;
+  spec.a_states = 7;
+  spec.seed = GetParam();
+  const icm::IcmCircuit circuit = icm::make_workload(spec);
+
+  pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  const compress::IshapeResult ishape = compress::simplify_ishape(graph);
+  const compress::PrimalBridging bridging =
+      compress::bridge_primal(graph, ishape, GetParam());
+  compress::DualBridging dual = compress::bridge_dual(graph, ishape);
+  const place::NodeSet nodes = place::build_nodes(graph, ishape, bridging,
+                                                  dual);
+  place::PlaceOptions popt;
+  popt.seed = GetParam();
+  const place::Placement placement = place::place_modules(nodes, popt);
+  route_both_and_check_invariants(nodes, placement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// Exact schedule equality, pinned on grid fixtures verified to agree.
+// Seeds 6 and 19 negotiate for two iterations with the incremental
+// schedule genuinely skipping clean nets, so they exercise (and would
+// catch a regression in) the skip logic and the deterministic net-visit
+// order; the remaining seeds converge in one iteration, where equality
+// must hold unconditionally.
+TEST(RoutePropertyTest, ScheduleEqualityOnAgreeingGridFixtures) {
+  for (const std::uint64_t seed : {2, 4, 5, 6, 9, 19}) {
+    SCOPED_TRACE(::testing::Message() << "fixture seed " << seed);
+    const GridFixture f = random_fixture(seed);
+    const BothSchedules both =
+        route_both_and_check_invariants(f.nodes, f.placement);
+    expect_equal_results(both.incremental, both.full_sweep);
+  }
+}
+
+// One-iteration convergence implies the schedules did byte-for-byte the
+// same work, whatever the fixture: verify that implication over the whole
+// seed family instead of trusting the curated list above.
+TEST(RoutePropertyTest, OneIterationConvergenceImpliesEquality) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const GridFixture f = random_fixture(seed);
+    const BothSchedules both =
+        route_both_and_check_invariants(f.nodes, f.placement);
+    if (both.full_sweep.iterations == 1) {
+      SCOPED_TRACE(::testing::Message() << "fixture seed " << seed);
+      expect_equal_results(both.incremental, both.full_sweep);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tqec::route

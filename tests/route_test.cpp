@@ -3,7 +3,9 @@
 // congestion negotiation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -159,11 +161,157 @@ TEST(RouterTest, DualOnlyBaselineAlsoRoutes) {
   EXPECT_TRUE(routing.legal);
 }
 
+TEST(RouterTest, RerouteScheduleObservability) {
+  const Flow flow = run_flow(midsize_workload());
+  // One entry per negotiation iteration; iteration 1 reroutes every net.
+  ASSERT_EQ(flow.routing.reroutes_per_iter.size(),
+            static_cast<std::size_t>(flow.routing.iterations));
+  EXPECT_EQ(flow.routing.reroutes_per_iter.front(),
+            static_cast<int>(flow.nodes.net_pins.size()));
+  std::int64_t total = 0;
+  for (const int n : flow.routing.reroutes_per_iter) total += n;
+  EXPECT_EQ(total, flow.routing.reroutes_total);
+  EXPECT_GE(flow.routing.full_sweeps, 1);
+  EXPECT_GT(flow.routing.queue_pushes, 0);
+  EXPECT_GE(flow.routing.queue_pushes, flow.routing.queue_pops);
+}
+
 TEST(RouterTest, BoundingVolumeCoversPlacementCore) {
   const Flow flow = run_flow(midsize_workload());
   EXPECT_GE(flow.routing.volume, flow.placement.core.volume());
   EXPECT_TRUE(flow.routing.bounding.contains(flow.placement.core.lo));
   EXPECT_TRUE(flow.routing.bounding.contains(flow.placement.core.hi));
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built contested fixture. Unlike the SA flows above it involves no
+// floating-point placement, so its routes are exact and environment-stable:
+// ideal for pinning down negotiation-stall, hard-block-repair, and
+// present-factor behavior.
+
+struct GridFixture {
+  place::NodeSet nodes;
+  place::Placement placement;
+};
+
+/// A 5x5 plane at y = 0 whose only free cells form a plus; every other cell
+/// holds a wall module pinned by no net. Net 0 connects the top/bottom arm
+/// ends, net 1 the left/right ends, so both corridors are forced and cross
+/// at the single centre cell — congestion that no negotiation can resolve.
+///
+///     z=0   .  .  P0 .  .       P  pin module    #  wall module
+///     z=1   #  #  |  #  #       |  net 0's forced corridor
+///     z=2   P1 -- +  -- P1      -  net 1's forced corridor
+///     z=3   #  #  |  #  #       +  the one contested free cell (2,0,2)
+///     z=4   .  .  P0 .  .
+GridFixture cross_fixture() {
+  GridFixture f;
+  std::vector<Vec3> cells = {{2, 0, 0}, {2, 0, 4}, {0, 0, 2}, {4, 0, 2}};
+  const std::set<std::tuple<int, int, int>> open = {
+      {2, 0, 0}, {2, 0, 1}, {2, 0, 2}, {2, 0, 3}, {2, 0, 4},
+      {0, 0, 2}, {1, 0, 2}, {3, 0, 2}, {4, 0, 2}};
+  for (int x = 0; x <= 4; ++x)
+    for (int z = 0; z <= 4; ++z)
+      if (!open.count({x, 0, z})) cells.push_back({x, 0, z});
+  const std::size_t modules = cells.size();
+  for (std::size_t m = 0; m < modules; ++m)
+    f.nodes.node_of_module.push_back(static_cast<int>(m));
+  f.nodes.module_offset.assign(modules, Vec3{});
+  f.nodes.flip_of_module.assign(modules, 0);
+  f.nodes.access_offsets.assign(modules, {});
+  f.nodes.net_pins = {{0, 1}, {2, 3}};
+  f.placement.module_cell = cells;
+  f.placement.core = Box3{{0, 0, 0}, {4, 0, 4}};
+  f.placement.volume = f.placement.core.volume();
+  return f;
+}
+
+/// Margin 0 keeps the fabric exactly the 5x5 core (no detour around walls).
+RouteOptions cross_options() {
+  RouteOptions opt;
+  opt.margin = 0;
+  return opt;
+}
+
+std::set<std::tuple<int, int, int>> cell_set(const RoutedNet& net) {
+  std::set<std::tuple<int, int, int>> cells;
+  for (const Vec3& c : net.cells) cells.insert({c.x, c.y, c.z});
+  return cells;
+}
+
+// Regression for the hard-block repair restore path: when every candidate
+// winner of a contested cell fails (each loser's reroute finds no detour),
+// the repair must roll back the hard block and every touched route, leaving
+// the design honestly illegal with the pre-repair routes intact. A leaked
+// block or a half-restored route corrupts usage accounting — route_nets()
+// itself asserts counter/index consistency against the final routes, so a
+// leak would throw rather than pass.
+TEST(RepairTest, NoAwardPathLeavesRoutesIntact) {
+  const GridFixture f = cross_fixture();
+  const RoutingResult r = route_nets(f.nodes, f.placement, cross_options());
+  EXPECT_FALSE(r.legal);
+  EXPECT_EQ(r.overused_cells, 1);
+  EXPECT_EQ(r.repair_awarded, 0);
+  EXPECT_EQ(r.repair_failed, 1);
+
+  // The rolled-back routes are the two exact forced corridors.
+  ASSERT_EQ(r.nets.size(), 2u);
+  const std::set<std::tuple<int, int, int>> column = {
+      {2, 0, 0}, {2, 0, 1}, {2, 0, 2}, {2, 0, 3}, {2, 0, 4}};
+  const std::set<std::tuple<int, int, int>> row = {
+      {0, 0, 2}, {1, 0, 2}, {2, 0, 2}, {3, 0, 2}, {4, 0, 2}};
+  EXPECT_EQ(cell_set(r.nets[0]), column);
+  EXPECT_EQ(cell_set(r.nets[1]), row);
+
+  // The failed repair left no hidden state: a second run from scratch
+  // reproduces the result exactly.
+  const RoutingResult again =
+      route_nets(f.nodes, f.placement, cross_options());
+  EXPECT_EQ(cell_set(again.nets[0]), column);
+  EXPECT_EQ(cell_set(again.nets[1]), row);
+  EXPECT_EQ(again.total_wire, r.total_wire);
+}
+
+// The incremental schedule must agree with the classic full sweep even when
+// negotiation never converges and repair fails.
+TEST(RepairTest, IncrementalAndFullSweepAgreeOnContestedFixture) {
+  const GridFixture f = cross_fixture();
+  RouteOptions full = cross_options();
+  full.incremental = false;
+  const RoutingResult inc =
+      route_nets(f.nodes, f.placement, cross_options());
+  const RoutingResult sweep = route_nets(f.nodes, f.placement, full);
+  EXPECT_EQ(inc.legal, sweep.legal);
+  EXPECT_EQ(inc.total_wire, sweep.total_wire);
+  EXPECT_EQ(inc.volume, sweep.volume);
+  ASSERT_EQ(inc.nets.size(), sweep.nets.size());
+  for (std::size_t i = 0; i < inc.nets.size(); ++i)
+    EXPECT_EQ(cell_set(inc.nets[i]), cell_set(sweep.nets[i]));
+}
+
+// Regression: the present-congestion factor used to grow unboundedly
+// (multiplied by present_growth every iteration), so under persistent
+// congestion it reached inf — at which point every congested cell's cost
+// compared equal and negotiation degenerated. It is now clamped at
+// RouteOptions::present_max and therefore always finite.
+TEST(PresentFactorTest, ClampedUnderPersistentCongestion) {
+  const GridFixture f = cross_fixture();
+  RouteOptions opt = cross_options();
+  opt.max_iterations = 40;
+  opt.present_growth = 1e300;  // one unclamped step would overflow to inf
+  const RoutingResult r = route_nets(f.nodes, f.placement, opt);
+  EXPECT_FALSE(r.legal);  // the fixture is structurally contested
+  EXPECT_TRUE(std::isfinite(r.present_factor_final));
+  EXPECT_EQ(r.present_factor_final, opt.present_max);
+}
+
+// With default growth on a converging flow the factor stays well below the
+// clamp; the field reports whatever the last iteration used.
+TEST(PresentFactorTest, ReportedAndFiniteOnLegalFlow) {
+  const Flow flow = run_flow(core::three_cnot_example());
+  EXPECT_TRUE(std::isfinite(flow.routing.present_factor_final));
+  EXPECT_GE(flow.routing.present_factor_final, 0.0);
+  EXPECT_LE(flow.routing.present_factor_final, RouteOptions{}.present_max);
 }
 
 // Regression: the fabric's uint16 occupancy counters used to wrap a

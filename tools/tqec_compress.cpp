@@ -15,6 +15,10 @@
 //                              derived seeds, best legal wins (default 1)
 //   --stats-json=<path>        write the per-stage observability report
 //                              as JSON ("-" = stdout)
+//   --route-full-sweep         disable incremental PathFinder rerouting
+//                              (rip up every net on every iteration; for
+//                              A/B comparisons against the incremental
+//                              schedule, which is the default)
 //   --no-optimize              skip the reversible peephole pass
 //   --no-plan                  disable f-value dual-segment planning
 //   --verify                   run the end-to-end braiding verifier
@@ -63,7 +67,7 @@ int usage() {
       "       tqec_compress list\n"
       "options: --mode=full|dual|modular --seed=N --effort=F\n"
       "         --jobs=N --place-restarts=K --stats-json=PATH|-\n"
-      "         --no-optimize --no-plan --verify\n"
+      "         --route-full-sweep --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
 }
@@ -99,6 +103,8 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     return true;
   }
   if (auto v = value_of("--stats-json=")) return opt.stats_json_path = *v, true;
+  if (arg == "--route-full-sweep")
+    return opt.compile.route.incremental = false, true;
   if (arg == "--no-optimize") return opt.optimize = false, true;
   if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
   if (arg == "--verify") return opt.verify = true, true;
