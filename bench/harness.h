@@ -11,6 +11,9 @@
 //                                     best legal wins; default 1)
 //   REPRO_STATS     = 1              (print each run's per-stage
 //                                     observability report as JSON)
+//   REPRO_TRACE_JSON = <path>        (micro_pipeline only: enable tracing
+//                                     and write a Chrome trace-event file
+//                                     of every timed run's spans on exit)
 #pragma once
 
 #include <cstdint>

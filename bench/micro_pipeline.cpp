@@ -8,15 +8,22 @@
 //                          per-stage stats_json report to stdout
 //   REPRO_STATS_JSON=path  also collect those reports and write them as
 //                          one JSON array to `path` on exit (CI artifact)
+//   REPRO_TRACE_JSON=path  enable pipeline tracing and write the spans of
+//                          every timed run as one Chrome trace-event file
+//                          to `path` on exit (open in Perfetto; also a CI
+//                          artifact)
 // Producing the report costs one stats_json serialization per timed
-// iteration, so leave both unset for clean timing runs.
+// iteration, and tracing buffers every span, so leave all three unset for
+// clean timing runs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/compiler.h"
 #include "icm/workload.h"
 
@@ -153,4 +160,24 @@ BENCHMARK(BM_MultiSeedPipeline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the harness can honor REPRO_TRACE_JSON:
+// tracing is enabled before any benchmark runs and the accumulated spans
+// are written as one Chrome trace-event file after the last one.
+int main(int argc, char** argv) {
+  const char* trace_path = std::getenv("REPRO_TRACE_JSON");
+  if (trace_path != nullptr && trace_path[0] != '\0')
+    tqec::trace::set_enabled(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    if (!tqec::trace::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu span events)\n", trace_path,
+                 tqec::trace::event_count());
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 // These track the per-stage throughput that the table harnesses aggregate.
 #include <benchmark/benchmark.h>
 
+#include "common/trace.h"
 #include "compress/dual_bridging.h"
 #include "compress/flipping.h"
 #include "compress/ishape.h"
@@ -104,6 +105,30 @@ void BM_LinkingNumber(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinkingNumber)->Arg(2)->Arg(8)->Arg(32);
+
+// Tracing-overhead guard: a disabled span must cost one relaxed atomic
+// load (low single-digit ns), which is what lets TQEC_TRACE_SPAN live in
+// hot paths permanently. The enabled variant bounds the recording cost.
+void BM_SpanDisabled(benchmark::State& state) {
+  trace::set_enabled(false);
+  for (auto _ : state) {
+    TQEC_TRACE_SPAN("bench.span_disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  trace::set_enabled(true);
+  trace::reset_events();
+  for (auto _ : state) {
+    TQEC_TRACE_SPAN("bench.span_enabled");
+    benchmark::ClobberMemory();
+  }
+  trace::set_enabled(false);
+  trace::reset_events();
+}
+BENCHMARK(BM_SpanEnabled);
 
 }  // namespace
 

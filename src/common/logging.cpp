@@ -1,9 +1,12 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+
+#include "common/trace.h"
 
 namespace tqec {
 namespace {
@@ -15,6 +18,12 @@ LogLevel parse_env_level() {
   if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
   if (std::strcmp(env, "info") == 0) return LogLevel::Info;
   if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  // One-time by construction: this only runs from threshold_storage's
+  // static initializer. A single fprintf keeps the line atomic.
+  std::fprintf(stderr,
+               "[tqec WARN ] unrecognized TQEC_LOG value '%s' "
+               "(valid: error, warn, info, debug); defaulting to warn\n",
+               env);
   return LogLevel::Warn;
 }
 
@@ -47,7 +56,21 @@ bool log_enabled(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-  std::cerr << "[tqec " << level_tag(level) << "] " << message << '\n';
+  // Format the whole line up front and emit it with a single stream
+  // insertion: under jobs>1 the per-insertion interleaving of the old
+  // multi-<< form scrambled concurrent lines. The prefix carries elapsed
+  // time since the process trace epoch and the dense thread id shared
+  // with the tracer's tid rows.
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[tqec %9.3fs T%d %s] ",
+                static_cast<double>(trace::now_ns()) / 1e9,
+                trace::thread_id(), level_tag(level));
+  std::string line;
+  line.reserve(std::strlen(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  std::cerr << line;
 }
 
 }  // namespace tqec

@@ -2,7 +2,10 @@
 //
 // Verbosity is controlled by the TQEC_LOG environment variable
 // ("error" | "warn" | "info" | "debug"); default is "warn" so library
-// consumers, tests, and benches stay quiet unless asked.
+// consumers, tests, and benches stay quiet unless asked. Each line is
+// formatted whole and written with one stream insertion (no interleaving
+// under jobs>1) and carries an elapsed-seconds + thread-id prefix:
+//   [tqec     1.234s T0 INFO ] message
 #pragma once
 
 #include <sstream>

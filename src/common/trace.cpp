@@ -1,0 +1,267 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace tqec::trace {
+
+namespace {
+
+/// Hard per-thread cap so a runaway loop cannot exhaust memory; beyond it
+/// events are counted as dropped instead of stored.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+struct TraceEvent {
+  const char* name;  // string literal, stored by pointer
+  std::string detail;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// One buffer per recording thread. Only the owning thread appends, but the
+/// per-buffer mutex lets export/reset run safely while other threads trace
+/// (each append takes its own uncontended lock — nanoseconds, far below
+/// span granularity).
+struct ThreadBuffer {
+  int tid = 0;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex mutex;  // guards the buffer list and tid assignment
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: usable during exit
+  return *c;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    c.buffers.push_back(std::make_unique<ThreadBuffer>());
+    c.buffers.back()->tid = c.next_tid++;
+    return c.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+struct Registry {
+  std::mutex mutex;
+  // std::map: snapshots come out name-sorted with no extra work.
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      series;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+bool env_enabled() {
+  const char* env = std::getenv("TQEC_TRACE");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+/// JSON string escaping for the chrome export (control characters become
+/// \uXXXX so multi-line details survive a round-trip).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{env_enabled()};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if (on) epoch();  // pin the epoch before the first event
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+int thread_id() { return thread_buffer().tid; }
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+void Span::arm(const char* name) {
+  name_ = name;
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+void Span::finish() {
+  armed_ = false;
+  const std::uint64_t end_ns = now_ns();
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    collector().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(
+      {name_, std::move(detail_), start_ns_, end_ns - start_ns_});
+}
+
+std::size_t event_count() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::uint64_t dropped_events() {
+  return collector().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_events() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  c.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n"
+     << "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"tqec\"}}";
+  for (const auto& buffer : c.buffers) {
+    os << ",\n  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+       << "\"tid\": " << buffer->tid << ", \"args\": {\"name\": \"tqec-thread-"
+       << buffer->tid << "\"}}";
+  }
+  char num[32];
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& e : buffer->events) {
+      os << ",\n  {\"name\": \"" << json_escape(e.name)
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << buffer->tid;
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(e.start_ns) / 1000.0);
+      os << ", \"ts\": " << num;
+      std::snprintf(num, sizeof num, "%.3f",
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      os << ", \"dur\": " << num;
+      if (!e.detail.empty())
+        os << ", \"args\": {\"detail\": \"" << json_escape(e.detail) << "\"}";
+      os << "}";
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void counter_add(const char* name, long long delta) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters[name] += delta;
+}
+
+void gauge_set(const char* name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.gauges[name] = value;
+}
+
+void series_append(const char* name, double x, double y) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto& channel = r.series[name];
+  channel.first.push_back(x);
+  channel.second.push_back(y);
+}
+
+void series_put(const char* name, std::vector<double> x,
+                std::vector<double> y) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.series[name] = {std::move(x), std::move(y)};
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters.assign(r.counters.begin(), r.counters.end());
+  snap.gauges.assign(r.gauges.begin(), r.gauges.end());
+  snap.series.reserve(r.series.size());
+  for (const auto& [name, xy] : r.series)
+    snap.series.push_back({name, xy.first, xy.second});
+  return snap;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters.clear();
+  r.gauges.clear();
+  r.series.clear();
+}
+
+}  // namespace tqec::trace

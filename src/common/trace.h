@@ -1,0 +1,161 @@
+// Pipeline tracing and metrics: scoped spans, a named counter/gauge/series
+// registry, and Chrome trace-event export.
+//
+// Everything is off by default and compiles down to one relaxed atomic load
+// per call site when disabled, so instrumentation can stay in hot paths
+// permanently. Enable with trace::set_enabled(true) (the CLI's --trace-json
+// / --stats-json flags and the bench harnesses' REPRO_TRACE_JSON knob do
+// this) or by setting TQEC_TRACE=1 in the environment.
+//
+// Three collection surfaces:
+//
+//   Spans    — RAII scopes recorded per thread (own lock-free-in-practice
+//              buffer per thread, so worker threads of the parallel stages
+//              never contend). TQEC_TRACE_SPAN("route.pathfinder") at the
+//              top of a scope records one complete event; names must be
+//              string literals (they are stored by pointer). Export the
+//              accumulated events with chrome_trace_json() /
+//              write_chrome_trace_file() and open the file in Perfetto or
+//              chrome://tracing; each recording thread appears as its own
+//              tid row, so the jobs>1 place+route attempts separate.
+//
+//   Counters — named monotonic totals (trace::counter_add). Adds are
+//              commutative, so concurrent attempts publishing to the same
+//              counter still yield a deterministic final value.
+//
+//   Gauges / series — last-write named values and sampled (x, y) curves
+//              (SA cost per batch, overused cells per PathFinder
+//              iteration). Published from the sequential reduction in
+//              core::compile so their content never depends on thread
+//              scheduling.
+//
+// Tracing is observational only: enabling it must never change any
+// algorithmic result (core_test pins this down), and a compile's metrics
+// are snapshotted into its CompileResult so stats_json stays a pure
+// function of the result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tqec::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Whether collection is on (one relaxed load; the fast path of every
+/// instrumentation site).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on or off. Thread-safe; spans already open keep
+/// recording to their buffer so the exported file stays well-formed.
+void set_enabled(bool on);
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order).
+/// Shared by the tracer's tid rows and the log-line prefix.
+int thread_id();
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+std::uint64_t now_ns();
+
+// ---------------------------------------------------------------------------
+// Spans
+
+/// RAII scoped span. Prefer the TQEC_TRACE_SPAN macro; use the class
+/// directly (with end()) when a span must close before scope exit.
+/// `name` must be a string literal (stored by pointer, never copied).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) arm(name);
+  }
+  /// Variant with a free-form detail string, shown in the trace viewer's
+  /// args pane. The detail is built by the caller even when tracing is
+  /// off, so keep this overload out of per-iteration hot paths.
+  Span(const char* name, std::string detail) {
+    if (enabled()) {
+      arm(name);
+      detail_ = std::move(detail);
+    }
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close the span now (idempotent; the destructor becomes a no-op).
+  void end() {
+    if (armed_) finish();
+  }
+
+ private:
+  void arm(const char* name);
+  void finish();
+
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+#define TQEC_TRACE_CAT2(a, b) a##b
+#define TQEC_TRACE_CAT(a, b) TQEC_TRACE_CAT2(a, b)
+/// TQEC_TRACE_SPAN("stage.name") or TQEC_TRACE_SPAN("stage.name", detail).
+#define TQEC_TRACE_SPAN(...) \
+  ::tqec::trace::Span TQEC_TRACE_CAT(tqec_trace_span_, __LINE__)(__VA_ARGS__)
+
+/// Number of span events currently buffered across all threads.
+std::size_t event_count();
+/// Events discarded because a thread buffer hit its cap (runaway guard).
+std::uint64_t dropped_events();
+/// Drop all buffered span events (thread ids are retained).
+void reset_events();
+
+/// Serialize every buffered span as Chrome trace-event JSON
+/// ({"traceEvents": [...]}, complete "X" events in microseconds, pid 1,
+/// tid = thread_id() of the recording thread, plus thread_name metadata).
+std::string chrome_trace_json();
+/// Write chrome_trace_json() to `path`; false on I/O error.
+bool write_chrome_trace_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+/// Add `delta` to the named counter (no-op when disabled).
+void counter_add(const char* name, long long delta);
+/// Set the named gauge (last write wins; no-op when disabled).
+void gauge_set(const char* name, double value);
+/// Append one (x, y) sample to the named series (no-op when disabled).
+void series_append(const char* name, double x, double y);
+/// Replace the named series wholesale (no-op when disabled; x and y must
+/// be the same length).
+void series_put(const char* name, std::vector<double> x,
+                std::vector<double> y);
+
+struct SeriesChannel {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Point-in-time copy of the registry, sorted by name (deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<SeriesChannel> series;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && series.empty();
+  }
+};
+
+MetricsSnapshot snapshot_metrics();
+/// Clear every counter, gauge, and series (core::compile does this at
+/// entry so each result snapshots only its own run).
+void reset_metrics();
+
+}  // namespace tqec::trace

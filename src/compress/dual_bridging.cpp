@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace tqec::compress {
 
 using pdgraph::ModuleId;
@@ -91,10 +93,12 @@ DualBridging run_bridging(const PdGraph& graph,
 }  // namespace
 
 DualBridging bridge_dual(const PdGraph& graph, const IshapeResult& ishape) {
+  TQEC_TRACE_SPAN("compress.dual_bridge");
   return run_bridging(graph, ishape.zone_nets());
 }
 
 DualBridging bridge_dual_without_ishape(const PdGraph& graph) {
+  TQEC_TRACE_SPAN("compress.dual_bridge");
   std::vector<std::vector<NetId>> zones;
   zones.reserve(static_cast<std::size_t>(graph.module_count()));
   for (const pdgraph::PrimalModule& m : graph.modules())

@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace tqec::compress {
 
@@ -22,6 +23,7 @@ int PrimalBridging::bridge_count() const {
 
 PrimalBridging bridge_primal(const PdGraph& graph, const IshapeResult& ishape,
                              std::uint64_t seed) {
+  TQEC_TRACE_SPAN("compress.primal_bridge");
   PrimalBridging out;
   out.point_of_module.assign(static_cast<std::size_t>(graph.module_count()),
                              -1);
@@ -168,6 +170,7 @@ PrimalBridging bridge_primal_best(const PdGraph& graph,
                                   const IshapeResult& ishape,
                                   std::uint64_t seed, int restarts, int jobs,
                                   RestartReport* report) {
+  TQEC_TRACE_SPAN("compress.primal_best");
   TQEC_REQUIRE(restarts >= 1, "need at least one restart");
   // Restart 0 reuses the base seed (single-restart calls stay identical to
   // bridge_primal); the rest draw derived seeds up front so every restart

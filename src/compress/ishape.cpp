@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace tqec::compress {
 
 using pdgraph::ModuleId;
@@ -28,6 +30,7 @@ std::vector<std::vector<ModuleId>> IshapeResult::group_members() const {
 }
 
 IshapeResult simplify_ishape(const PdGraph& graph) {
+  TQEC_TRACE_SPAN("compress.ishape");
   IshapeResult result(graph);
 
   auto remove_net = [&](ModuleId m, NetId n) {

@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <sstream>
 #include <tuple>
+#include <type_traits>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "geom/canonical.h"
 
 namespace tqec::core {
@@ -50,6 +52,7 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
                                     const place::Placement& placement,
                                     const route::RoutingResult& routing,
                                     const std::string& name) {
+  TQEC_TRACE_SPAN("core.emit_geometry");
   geom::GeomDescription g(name);
 
   // Primal structures: one defect per placement node of bridged modules
@@ -120,6 +123,11 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
 
 CompileResult compile(const icm::IcmCircuit& circuit,
                       const CompileOptions& options) {
+  // Each compile snapshots its own metrics: wipe whatever a previous
+  // compile left in the registry. (Concurrent compile() calls would share
+  // one registry; the pipeline's own parallelism lives *inside* compile.)
+  if (trace::enabled()) trace::reset_metrics();
+  TQEC_TRACE_SPAN("core.compile", circuit.name());
   const auto t_start = std::chrono::steady_clock::now();
   CompileResult result;
   result.name = circuit.name();
@@ -179,10 +187,12 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   // layers (congestion-driven whitespace insertion). The winner is picked
   // sequentially under the total order (legal first, volume, attempt
   // index), so the result is bit-identical for any thread count.
+  trace::Span build_nodes_span("place.build_nodes");
   place::NodeSet nodes =
       use_primal ? place::build_nodes(graph, ishape, bridging, dual,
                                       options.plan_flips)
                  : place::build_nodes_dual_only(graph, dual);
+  build_nodes_span.end();
   result.nodes = nodes.node_count();
 
   const std::size_t attempts =
@@ -199,7 +209,9 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   };
   std::vector<Attempt> outcomes(attempts);
   t = std::chrono::steady_clock::now();
+  trace::Span place_route_span("pipeline.place_route");
   parallel_for(attempts, jobs, [&](std::size_t k) {
+    TQEC_TRACE_SPAN("place_route.attempt", "attempt " + std::to_string(k));
     Attempt& a = outcomes[k];
     a.stats.seed = seeds[k];
     for (const int y_gap : {0, 1}) {
@@ -235,7 +247,10 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.route_queue_pops = a.routing.queue_pops;
     a.stats.route_repair_awarded = a.routing.repair_awarded;
     a.stats.route_repair_failed = a.routing.repair_failed;
+    a.stats.sa_curve = a.placement.sa_curve;
+    a.stats.route_overused_per_iter = a.routing.overused_per_iter;
   });
+  place_route_span.end();
   result.timings.place_route_wall_s = seconds_since(t);
 
   // Deterministic reduction: strict-less scan keeps the earliest attempt
@@ -267,6 +282,60 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   }
 
   result.timings.total_s = seconds_since(t_start);
+
+  // Publish the run's gauges and the selected attempt's convergence curves
+  // to the metrics registry, then snapshot it into the result. This runs
+  // on the calling thread after the parallel join, so snapshot content is
+  // independent of thread scheduling (counter totals are commutative sums
+  // published by the stages themselves).
+  if (trace::enabled()) {
+    const PlaceAttemptStats& sel = outcomes[best].stats;
+    trace::gauge_set("compile.volume", static_cast<double>(result.volume));
+    trace::gauge_set("compile.modules", result.modules);
+    trace::gauge_set("compile.nodes", result.nodes);
+    trace::gauge_set("compile.attempts", static_cast<double>(attempts));
+    trace::gauge_set("stage.pd_graph_s", result.timings.pd_graph_s);
+    trace::gauge_set("stage.ishape_s", result.timings.ishape_s);
+    trace::gauge_set("stage.primal_bridge_s",
+                     result.timings.primal_bridge_s);
+    trace::gauge_set("stage.dual_bridge_s", result.timings.dual_bridge_s);
+    trace::gauge_set("stage.place_s", result.timings.place_s);
+    trace::gauge_set("stage.route_s", result.timings.route_s);
+    trace::gauge_set("stage.place_route_wall_s",
+                     result.timings.place_route_wall_s);
+    auto iota_x = [](std::size_t n) {
+      std::vector<double> x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
+      return x;
+    };
+    // The x vector is built before each call: argument evaluation order is
+    // unspecified, so iota_x(v.size()) inside the call could see v already
+    // moved from.
+    auto put_indexed = [&](const char* name, std::vector<double> y) {
+      std::vector<double> x = iota_x(y.size());
+      trace::series_put(name, std::move(x), std::move(y));
+    };
+    std::vector<double> cost, temp, rate;
+    for (const place::SaSample& s : sel.sa_curve) {
+      cost.push_back(s.cost);
+      temp.push_back(s.temperature);
+      rate.push_back(s.accept_rate);
+    }
+    put_indexed("place.sa_cost", std::move(cost));
+    put_indexed("place.sa_temperature", std::move(temp));
+    put_indexed("place.sa_accept_rate", std::move(rate));
+    put_indexed("route.overused",
+                {sel.route_overused_per_iter.begin(),
+                 sel.route_overused_per_iter.end()});
+    put_indexed("route.reroutes",
+                {sel.route_reroutes_per_iter.begin(),
+                 sel.route_reroutes_per_iter.end()});
+    put_indexed("route.congestion_hist",
+                {result.routing.congestion_histogram.begin(),
+                 result.routing.congestion_histogram.end()});
+    result.metrics = trace::snapshot_metrics();
+  }
+
   TQEC_LOG_INFO("compile '" << circuit.name() << "': modules="
                             << result.modules << " nodes=" << result.nodes
                             << " volume=" << result.volume << " ("
@@ -280,9 +349,22 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }
@@ -293,12 +375,24 @@ std::string json_double(double v) {
   return buf;
 }
 
+template <typename T>
+void emit_number_array(std::ostringstream& os, const std::vector<T>& values) {
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    if constexpr (std::is_floating_point_v<T>) os << json_double(values[i]);
+    else os << values[i];
+  }
+  os << "]";
+}
+
 }  // namespace
 
 std::string stats_json(const CompileResult& result) {
   const StageTimings& t = result.timings;
   std::ostringstream os;
   os << "{\n"
+     << "  \"stats_version\": 2,\n"
      << "  \"name\": \"" << json_escape(result.name) << "\",\n"
      << "  \"volume\": " << result.volume << ",\n"
      << "  \"canonical_volume\": " << result.canonical_volume << ",\n"
@@ -350,15 +444,85 @@ std::string stats_json(const CompileResult& result) {
        << ", \"route_queue_pops\": " << a.route_queue_pops
        << ", \"route_repair_awarded\": " << a.route_repair_awarded
        << ", \"route_repair_failed\": " << a.route_repair_failed
-       << ", \"route_reroutes_per_iter\": [";
-    for (std::size_t r = 0; r < a.route_reroutes_per_iter.size(); ++r) {
-      if (r > 0) os << ", ";
-      os << a.route_reroutes_per_iter[r];
+       << ", \"route_reroutes_per_iter\": ";
+    emit_number_array(os, a.route_reroutes_per_iter);
+    os << ", \"route_overused_per_iter\": ";
+    emit_number_array(os, a.route_overused_per_iter);
+    std::vector<double> cost, temperature, accept_rate;
+    cost.reserve(a.sa_curve.size());
+    temperature.reserve(a.sa_curve.size());
+    accept_rate.reserve(a.sa_curve.size());
+    for (const place::SaSample& s : a.sa_curve) {
+      cost.push_back(s.cost);
+      temperature.push_back(s.temperature);
+      accept_rate.push_back(s.accept_rate);
     }
-    os << "]}";
+    os << ", \"sa_curve\": {\"cost\": ";
+    emit_number_array(os, cost);
+    os << ", \"temperature\": ";
+    emit_number_array(os, temperature);
+    os << ", \"accept_rate\": ";
+    emit_number_array(os, accept_rate);
+    os << "}}";
   }
   if (!t.attempts.empty()) os << "\n  ";
-  os << "]\n}\n";
+  os << "],\n";
+
+  // Congestion census of the selected attempt's final routing.
+  const route::RoutingResult& routing = result.routing;
+  os << "  \"route\": {\"iterations\": " << routing.iterations
+     << ", \"overused_cells\": " << routing.overused_cells
+     << ", \"total_wire\": " << routing.total_wire
+     << ", \"present_factor_final\": "
+     << json_double(routing.present_factor_final)
+     << ", \"overused_per_iter\": ";
+  emit_number_array(os, routing.overused_per_iter);
+  os << ", \"congestion_histogram\": ";
+  emit_number_array(os, routing.congestion_histogram);
+  os << ", \"hottest_cells\": [";
+  for (std::size_t i = 0; i < routing.hottest_cells.size(); ++i) {
+    const route::RoutingResult::HotCell& h = routing.hottest_cells[i];
+    if (i > 0) os << ", ";
+    os << "{\"x\": " << h.cell.x << ", \"y\": " << h.cell.y
+       << ", \"z\": " << h.cell.z << ", \"usage\": " << h.usage
+       << ", \"capacity\": " << h.capacity << "}";
+  }
+  os << "], \"heatmap\": \"" << json_escape(routing.congestion_heatmap)
+     << "\"},\n";
+
+  // Trace metrics registry snapshot (empty object unless tracing was on).
+  os << "  \"metrics\": {\"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, value] : result.metrics.counters) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(name) << "\": " << value;
+    }
+  }
+  os << "}, \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, value] : result.metrics.gauges) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(name) << "\": " << json_double(value);
+    }
+  }
+  os << "}, \"series\": {";
+  {
+    bool first = true;
+    for (const trace::SeriesChannel& s : result.metrics.series) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(s.name) << "\": {\"x\": ";
+      emit_number_array(os, s.x);
+      os << ", \"y\": ";
+      emit_number_array(os, s.y);
+      os << "}";
+    }
+  }
+  os << "}}\n}\n";
   return os.str();
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "compress/dual_bridging.h"
 #include "compress/flipping.h"
 #include "compress/ishape.h"
@@ -95,6 +96,11 @@ struct PlaceAttemptStats {
   std::int64_t route_queue_pops = 0;
   int route_repair_awarded = 0;
   int route_repair_failed = 0;
+  /// SA convergence curve of the attempt's (final) placement, one sample
+  /// per temperature batch.
+  std::vector<place::SaSample> sa_curve;
+  /// Overused-cell count after each PathFinder negotiation iteration.
+  std::vector<int> route_overused_per_iter;
 };
 
 /// Per-stage observability report. The scalar *_s fields time the pipeline
@@ -151,6 +157,12 @@ struct CompileResult {
   std::shared_ptr<PipelineInternals> internals;
 
   StageTimings timings;
+
+  /// Snapshot of the trace metrics registry taken at the end of this
+  /// compile (empty unless tracing was enabled — see common/trace.h).
+  /// Embedded in stats_json so the report is a pure function of the
+  /// result.
+  trace::MetricsSnapshot metrics;
 };
 
 /// Run the compression pipeline on an ICM circuit.
@@ -169,7 +181,11 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
 void emit_cell_runs(geom::Defect& defect, std::vector<Vec3> cells);
 
 /// Serialize a compile result's statistics and per-stage observability
-/// report (timings, per-restart breakdowns, SA/router counters) as JSON.
+/// report as JSON (format v2): scalar stats and stage timings, the
+/// per-restart and per-attempt breakdowns with their SA convergence and
+/// PathFinder time-series, the selected attempt's congestion census
+/// (histogram, top-K hottest cells, text heatmap), and the trace metrics
+/// registry snapshot. tools/tqec_report renders this into a run report.
 std::string stats_json(const CompileResult& result);
 
 }  // namespace tqec::core

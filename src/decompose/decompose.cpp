@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace tqec::decompose {
 
 using qcir::Circuit;
@@ -115,6 +117,7 @@ Circuit lower_to_clifford_t(const Circuit& circuit) {
 }
 
 Circuit decompose(const Circuit& circuit) {
+  TQEC_TRACE_SPAN("decompose.clifford_t");
   return lower_to_clifford_t(lower_to_toffoli(circuit));
 }
 

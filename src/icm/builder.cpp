@@ -2,12 +2,15 @@
 
 #include <array>
 
+#include "common/trace.h"
+
 namespace tqec::icm {
 
 using qcir::Gate;
 using qcir::GateKind;
 
 IcmCircuit from_clifford_t(const qcir::Circuit& circuit) {
+  TQEC_TRACE_SPAN("icm.build");
   TQEC_REQUIRE(circuit.is_clifford_t(),
                "from_clifford_t: circuit not in Clifford+T basis");
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "icm/ordering.h"
 
 namespace tqec::pdgraph {
 
 PdGraph build_pd_graph(const icm::IcmCircuit& circuit) {
+  TQEC_TRACE_SPAN("pdgraph.build");
   PdGraph g;
   g.name_ = circuit.name();
   const int lines = circuit.num_lines();

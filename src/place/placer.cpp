@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "geom/steiner.h"
 
 namespace tqec::place {
@@ -198,6 +199,7 @@ void Annealer::build_initial(int layer_count) {
 }
 
 Placement Annealer::run() {
+  TQEC_TRACE_SPAN("place.sa");
   const int node_count = nodes_.node_count();
   TQEC_REQUIRE(node_count > 0, "nothing to place");
 
@@ -238,6 +240,9 @@ Placement Annealer::run() {
   double temperature = std::max(1.0, opt_.t0_fraction * cost);
   int accepted = 0;
   int rejected = 0;
+  int accepted_at_batch_start = 0;
+  std::vector<SaSample> sa_curve;
+  sa_curve.reserve(static_cast<std::size_t>(iterations / batch) + 1);
 
   for (int iter = 0; iter < iterations; ++iter) {
     enum class Move { Rotate, Swap, Relocate };
@@ -353,6 +358,7 @@ Placement Annealer::run() {
     }
 
     if ((iter + 1) % batch == 0) {
+      const double batch_temperature = temperature;
       temperature *= opt_.cooling;
       // The incremental total accumulates floating-point drift across
       // thousands of subtract/re-add updates, so late accept/reject
@@ -369,6 +375,11 @@ Placement Annealer::run() {
                       1e-6 * std::max(1.0, std::abs(total_wire_)),
                   "incremental wirelength drifted from full recompute");
 #endif
+      sa_curve.push_back({cost, batch_temperature,
+                          static_cast<double>(accepted -
+                                              accepted_at_batch_start) /
+                              batch});
+      accepted_at_batch_start = accepted;
     }
   }
 
@@ -412,6 +423,10 @@ Placement Annealer::run() {
   placement.iterations_run = iterations;
   placement.moves_accepted = accepted;
   placement.moves_rejected = rejected;
+  placement.sa_curve = std::move(sa_curve);
+  trace::counter_add("place.sa_iterations", iterations);
+  trace::counter_add("place.sa_accepted", accepted);
+  trace::counter_add("place.sa_rejected", rejected);
   TQEC_LOG_INFO("placement: nodes=" << nodes_.node_count()
                                     << " layers=" << placement.layers
                                     << " volume=" << placement.volume

@@ -52,6 +52,16 @@ struct PlaceOptions {
   int layer_y_gap = 0;
 };
 
+/// One SA convergence sample, taken at every temperature-batch boundary
+/// (after the batch's full cost resync, before cooling).
+struct SaSample {
+  double cost = 0;
+  double temperature = 0;
+  /// Accepted fraction of the batch's iterations (move-less iterations
+  /// count toward the denominator, mirroring iterations_run).
+  double accept_rate = 0;
+};
+
 struct Placement {
   /// Absolute origin cell of each node (y = its layer's base).
   std::vector<Vec3> node_origin;
@@ -73,6 +83,9 @@ struct Placement {
   int iterations_run = 0;
   int moves_accepted = 0;
   int moves_rejected = 0;
+  /// SA convergence curve, one sample per temperature batch (always
+  /// collected — a push_back per batch is free next to the batch itself).
+  std::vector<SaSample> sa_curve;
 };
 
 /// Place a node set. Deterministic for a fixed seed.

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace tqec::route {
 
@@ -383,6 +384,7 @@ bool Router::route_component(int component, RoutedNet& out,
 }
 
 RoutingResult Router::run() {
+  TQEC_TRACE_SPAN("route.pathfinder");
   RoutingResult result;
   const int components = static_cast<int>(nodes_.net_pins.size());
   result.nets.assign(static_cast<std::size_t>(components), RoutedNet{});
@@ -430,6 +432,7 @@ RoutingResult Router::run() {
   double present_factor = opt_.present_base;
   int stall = 0;
   int prev_overused = -1;
+  trace::Span negotiation_span("route.negotiate");
   // Nets to rip up and reroute this iteration; iteration 1 routes all.
   std::vector<std::uint8_t> dirty(static_cast<std::size_t>(components), 1);
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
@@ -462,6 +465,7 @@ RoutingResult Router::run() {
       }
     }
     result.overused_cells = overused;
+    result.overused_per_iter.push_back(overused);
     if (overused == 0) {
       result.legal = true;
       break;
@@ -482,6 +486,8 @@ RoutingResult Router::run() {
                                       << " nets rerouted");
   }
   result.present_factor_final = present_factor;
+  negotiation_span.end();
+  trace::Span repair_span("route.repair");
 
   // Hard-block repair: when negotiation leaves a handful of contested
   // cells, award each to the net with the most pins (hardest to detour)
@@ -561,6 +567,7 @@ RoutingResult Router::run() {
     }
     if (!progressed) break;  // genuine cut: stays honestly illegal
   }
+  repair_span.end();
 
   // Invariant: after negotiation and repair (including every repair
   // rollback), usage counters and the occupancy index must both agree with
@@ -578,8 +585,60 @@ RoutingResult Router::run() {
     }
   }
 
+  // Final congestion census: usage histogram, top-K hottest cells, and a
+  // top-down text heatmap (one O(cells) pass, same cost class as the
+  // invariant check above).
+  {
+    int max_usage = 0;
+    for (std::size_t i = 0; i < fabric_.cell_count(); ++i)
+      max_usage = std::max(max_usage, fabric_.usage(i));
+    result.congestion_histogram.assign(
+        static_cast<std::size_t>(max_usage) + 1, 0);
+    std::vector<std::size_t> used_cells;
+    for (std::size_t i = 0; i < fabric_.cell_count(); ++i) {
+      ++result.congestion_histogram[static_cast<std::size_t>(
+          fabric_.usage(i))];
+      if (fabric_.usage(i) > 0) used_cells.push_back(i);
+    }
+    constexpr std::size_t kTopK = 16;
+    std::sort(used_cells.begin(), used_cells.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::pair(-fabric_.usage(a), a) <
+                       std::pair(-fabric_.usage(b), b);
+              });
+    if (used_cells.size() > kTopK) used_cells.resize(kTopK);
+    for (std::size_t i : used_cells)
+      result.hottest_cells.push_back(
+          {fabric_.cell_at(i), fabric_.usage(i), fabric_.capacity(i)});
+
+    const Vec3 dims = fabric_.box().dims();
+    if (dims.x <= 160 && dims.z <= 100) {
+      std::string& map = result.congestion_heatmap;
+      map.reserve(static_cast<std::size_t>(dims.z) * (dims.x + 1));
+      for (int z = 0; z < dims.z; ++z) {
+        for (int x = 0; x < dims.x; ++x) {
+          int column_max = 0;
+          for (int y = 0; y < dims.y; ++y)
+            column_max = std::max(
+                column_max,
+                fabric_.usage(fabric_.index(fabric_.box().lo + Vec3{x, y, z})));
+          map.push_back(column_max == 0   ? '.'
+                        : column_max <= 9 ? static_cast<char>('0' + column_max)
+                                          : '#');
+        }
+        map.push_back('\n');
+      }
+    }
+  }
+
   result.queue_pushes = queue_pushes_;
   result.queue_pops = queue_pops_;
+  trace::counter_add("route.queue_pushes", queue_pushes_);
+  trace::counter_add("route.queue_pops", queue_pops_);
+  trace::counter_add("route.reroutes", result.reroutes_total);
+  trace::counter_add("route.iterations", result.iterations);
+  trace::counter_add("route.repair_awarded", result.repair_awarded);
+  trace::counter_add("route.repair_failed", result.repair_failed);
   result.bounding = placement_.core;
   result.total_wire = 0;
   for (const RoutedNet& net : result.nets) {

@@ -100,6 +100,28 @@ struct RoutingResult {
   /// Present-congestion factor after the last negotiation iteration
   /// (clamped at RouteOptions::present_max, hence always finite).
   double present_factor_final = 0;
+
+  // Congestion observability (always computed; one O(cells) pass at the
+  // end of routing, serialized via core::stats_json and rendered by
+  // tools/tqec_report).
+  /// Overused-cell count after each negotiation iteration (same indexing
+  /// as reroutes_per_iter; the last entry of a legal route is 0).
+  std::vector<int> overused_per_iter;
+  /// congestion_histogram[u] = number of fabric cells with final usage u
+  /// (index 0 counts the free cells).
+  std::vector<std::int64_t> congestion_histogram;
+  /// The most-used fabric cells (highest usage first, ties by cell index),
+  /// capped at 16 — the report tool's "congestion top-K".
+  struct HotCell {
+    Vec3 cell;
+    int usage = 0;
+    int capacity = 0;
+  };
+  std::vector<HotCell> hottest_cells;
+  /// Top-down text heatmap: one row per z, one column per x, each char the
+  /// max usage over y ('.' free, '1'-'9', '#' above 9). Empty when the
+  /// fabric footprint exceeds 160x100 cells.
+  std::string congestion_heatmap;
 };
 
 /// Route all merged dual-net components of a placed design.

@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/error.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/union_find.h"
@@ -204,6 +206,60 @@ TEST(StringUtilTest, MiscHelpers) {
   EXPECT_EQ(with_commas(1000), "1,000");
   EXPECT_EQ(with_commas(111335928), "111,335,928");
   EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  const json::Value doc = json::parse(
+      R"({"int": 42, "neg": -3.5, "exp": 1e3, "flag": true, "off": false,
+          "none": null, "text": "hi", "list": [1, 2, 3], "nested": {"k": 0}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("int").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("neg").as_double(), -3.5);
+  EXPECT_DOUBLE_EQ(doc.at("exp").as_double(), 1000.0);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_FALSE(doc.at("off").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_EQ(doc.at("text").as_string(), "hi");
+  ASSERT_EQ(doc.at("list").array.size(), 3u);
+  EXPECT_EQ(doc.at("list").array[2].as_int(), 3);
+  EXPECT_EQ(doc.at("nested").at("k").as_int(), 0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  const json::Value doc = json::parse(
+      R"(["a\"b", "tab\there", "line\nbreak", "back\\slash", "\u00e9", "é"])");
+  ASSERT_EQ(doc.array.size(), 6u);
+  EXPECT_EQ(doc.array[0].as_string(), "a\"b");
+  EXPECT_EQ(doc.array[1].as_string(), "tab\there");
+  EXPECT_EQ(doc.array[2].as_string(), "line\nbreak");
+  EXPECT_EQ(doc.array[3].as_string(), "back\\slash");
+  EXPECT_EQ(doc.array[4].as_string(), "\xc3\xa9");  // é decoded to UTF-8
+  EXPECT_EQ(doc.array[5].as_string(), "\xc3\xa9");  // raw UTF-8 passes through
+}
+
+TEST(JsonTest, PreservesObjectInsertionOrder) {
+  const json::Value doc = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.object[2].first, "m");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), TqecError);
+  EXPECT_THROW(json::parse("{"), TqecError);
+  EXPECT_THROW(json::parse("[1, 2,]"), TqecError);
+  EXPECT_THROW(json::parse("{\"a\": 1} trailing"), TqecError);
+  EXPECT_THROW(json::parse("'single'"), TqecError);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), TqecError);
+}
+
+TEST(JsonTest, TypedAccessorsThrowOnMismatch) {
+  const json::Value doc = json::parse(R"({"n": 1})");
+  EXPECT_THROW(doc.at("n").as_string(), TqecError);
+  EXPECT_THROW(doc.at("n").as_bool(), TqecError);
+  EXPECT_THROW(doc.at("missing"), TqecError);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/json.h"
+#include "common/trace.h"
 #include "compress/dual_bridging.h"
 #include "core/compiler.h"
 #include "core/paper_tables.h"
@@ -159,6 +161,172 @@ TEST(CompileTest, StatsJsonReportsAttemptsAndRestarts) {
   EXPECT_NE(json.find("\"route_iterations\""), std::string::npos);
   EXPECT_NE(json.find("\"primal_restarts\""), std::string::npos);
   EXPECT_NE(json.find("\"selected\": true"), std::string::npos);
+}
+
+TEST(CompileTest, StatsJsonV2RoundTrips) {
+  CompileOptions opt;
+  opt.place_restarts = 2;
+  const CompileResult r = compile(three_cnot_example(), opt);
+  const json::Value doc = json::parse(stats_json(r));
+
+  // Documented scalar fields with their types.
+  EXPECT_EQ(doc.at("stats_version").as_int(), 2);
+  EXPECT_TRUE(doc.at("name").is_string());
+  EXPECT_EQ(doc.at("volume").as_int(), r.volume);
+  EXPECT_EQ(doc.at("canonical_volume").as_int(), r.canonical_volume);
+  EXPECT_EQ(doc.at("legal").as_bool(), r.routed_legal);
+  EXPECT_EQ(doc.at("modules").as_int(), r.modules);
+  EXPECT_EQ(doc.at("nodes").as_int(), r.nodes);
+  EXPECT_EQ(doc.at("ishape_merges").as_int(), r.ishape_merges);
+  EXPECT_EQ(doc.at("primal_bridges").as_int(), r.primal_bridges);
+  EXPECT_EQ(doc.at("dual_bridges").as_int(), r.dual_bridges);
+  EXPECT_EQ(doc.at("net_components").as_int(), r.net_components);
+
+  const json::Value& timings = doc.at("timings");
+  for (const char* key : {"pd_graph_s", "ishape_s", "primal_bridge_s",
+                          "dual_bridge_s", "place_s", "route_s",
+                          "place_route_wall_s", "total_s"})
+    EXPECT_TRUE(timings.at(key).is_number()) << key;
+
+  const json::Value& restarts = doc.at("primal_restarts");
+  EXPECT_TRUE(restarts.at("selected").is_number());
+  EXPECT_TRUE(restarts.at("restarts").is_array());
+
+  // Per-attempt records round-trip with correct types and vector content.
+  const json::Value& attempts = doc.at("attempts");
+  ASSERT_EQ(attempts.array.size(), 2u);
+  for (std::size_t k = 0; k < attempts.array.size(); ++k) {
+    const json::Value& a = attempts.array[k];
+    const PlaceAttemptStats& stats = r.timings.attempts[k];
+    // Derived attempt seeds use the full 64-bit range; the reader stores
+    // numbers as double, so compare at double precision.
+    EXPECT_EQ(a.at("seed").as_double(), static_cast<double>(stats.seed));
+    EXPECT_EQ(a.at("volume").as_int(), stats.volume);
+    EXPECT_EQ(a.at("legal").as_bool(), stats.legal);
+    EXPECT_EQ(a.at("selected").as_bool(), stats.selected);
+    EXPECT_EQ(a.at("y_gap").as_int(), stats.y_gap);
+    EXPECT_TRUE(a.at("place_s").is_number());
+    EXPECT_TRUE(a.at("route_s").is_number());
+    EXPECT_EQ(a.at("sa_iterations").as_int(), stats.sa_iterations);
+    EXPECT_EQ(a.at("sa_accepted").as_int(), stats.sa_accepted);
+    EXPECT_EQ(a.at("sa_rejected").as_int(), stats.sa_rejected);
+    EXPECT_EQ(a.at("route_iterations").as_int(), stats.route_iterations);
+    EXPECT_EQ(a.at("route_overused").as_int(), stats.route_overused);
+    EXPECT_EQ(a.at("route_reroutes").as_int(), stats.route_reroutes);
+    EXPECT_EQ(a.at("route_full_sweeps").as_int(), stats.route_full_sweeps);
+    EXPECT_EQ(a.at("route_queue_pushes").as_int(), stats.route_queue_pushes);
+    EXPECT_EQ(a.at("route_queue_pops").as_int(), stats.route_queue_pops);
+    EXPECT_EQ(a.at("route_repair_awarded").as_int(),
+              stats.route_repair_awarded);
+    EXPECT_EQ(a.at("route_repair_failed").as_int(),
+              stats.route_repair_failed);
+
+    const json::Value& reroutes = a.at("route_reroutes_per_iter");
+    ASSERT_EQ(reroutes.array.size(), stats.route_reroutes_per_iter.size());
+    for (std::size_t i = 0; i < reroutes.array.size(); ++i)
+      EXPECT_EQ(reroutes.array[i].as_int(),
+                stats.route_reroutes_per_iter[i]);
+    const json::Value& overused = a.at("route_overused_per_iter");
+    ASSERT_EQ(overused.array.size(), stats.route_overused_per_iter.size());
+
+    // SA convergence curve: three equal-length numeric columns.
+    const json::Value& curve = a.at("sa_curve");
+    const json::Value& cost = curve.at("cost");
+    const json::Value& temperature = curve.at("temperature");
+    const json::Value& accept_rate = curve.at("accept_rate");
+    ASSERT_EQ(cost.array.size(), stats.sa_curve.size());
+    ASSERT_EQ(temperature.array.size(), stats.sa_curve.size());
+    ASSERT_EQ(accept_rate.array.size(), stats.sa_curve.size());
+    EXPECT_FALSE(stats.sa_curve.empty());
+    for (std::size_t i = 0; i < stats.sa_curve.size(); ++i) {
+      EXPECT_NEAR(cost.array[i].as_double(), stats.sa_curve[i].cost, 1e-5);
+      EXPECT_NEAR(temperature.array[i].as_double(),
+                  stats.sa_curve[i].temperature, 1e-5);
+      EXPECT_NEAR(accept_rate.array[i].as_double(),
+                  stats.sa_curve[i].accept_rate, 1e-5);
+    }
+  }
+
+  // Selected attempt's congestion census.
+  const json::Value& route = doc.at("route");
+  EXPECT_EQ(route.at("iterations").as_int(), r.routing.iterations);
+  EXPECT_EQ(route.at("total_wire").as_int(), r.routing.total_wire);
+  EXPECT_EQ(route.at("overused_per_iter").array.size(),
+            r.routing.overused_per_iter.size());
+  const json::Value& hist = route.at("congestion_histogram");
+  ASSERT_EQ(hist.array.size(), r.routing.congestion_histogram.size());
+  for (std::size_t i = 0; i < hist.array.size(); ++i)
+    EXPECT_EQ(hist.array[i].as_int(), r.routing.congestion_histogram[i]);
+  const json::Value& hot = route.at("hottest_cells");
+  ASSERT_EQ(hot.array.size(), r.routing.hottest_cells.size());
+  for (std::size_t i = 0; i < hot.array.size(); ++i) {
+    EXPECT_EQ(hot.array[i].at("x").as_int(), r.routing.hottest_cells[i].cell.x);
+    EXPECT_EQ(hot.array[i].at("usage").as_int(),
+              r.routing.hottest_cells[i].usage);
+    EXPECT_TRUE(hot.array[i].at("capacity").is_number());
+  }
+  // The multi-line heatmap must survive the JSON round trip byte-for-byte.
+  EXPECT_EQ(route.at("heatmap").as_string(), r.routing.congestion_heatmap);
+  EXPECT_FALSE(r.routing.congestion_heatmap.empty());
+
+  // Metrics section always present; empty without tracing.
+  const json::Value& metrics = doc.at("metrics");
+  EXPECT_TRUE(metrics.at("counters").is_object());
+  EXPECT_TRUE(metrics.at("gauges").is_object());
+  EXPECT_TRUE(metrics.at("series").is_object());
+}
+
+TEST(CompileTest, StatsJsonV2EmbedsMetricsWhenTracingEnabled) {
+  trace::set_enabled(true);
+  trace::reset_metrics();
+  trace::reset_events();
+  const CompileResult r =
+      compile_mode(three_cnot_example(), PipelineMode::Full);
+  trace::set_enabled(false);
+  EXPECT_FALSE(r.metrics.empty());
+
+  const json::Value doc = json::parse(stats_json(r));
+  const json::Value& metrics = doc.at("metrics");
+  EXPECT_FALSE(metrics.at("counters").object.empty());
+  EXPECT_TRUE(metrics.at("gauges").find("compile.volume") != nullptr);
+  const json::Value& series = metrics.at("series");
+  for (const char* name : {"place.sa_cost", "place.sa_temperature",
+                           "place.sa_accept_rate", "route.overused",
+                           "route.congestion_hist"}) {
+    const json::Value* channel = series.find(name);
+    ASSERT_NE(channel, nullptr) << name;
+    EXPECT_EQ(channel->at("x").array.size(), channel->at("y").array.size())
+        << name;
+  }
+  trace::reset_metrics();
+  trace::reset_events();
+}
+
+TEST(CompileTest, TracingDoesNotChangeResults) {
+  const icm::IcmCircuit circuit = three_cnot_example();
+  CompileOptions opt;
+  opt.place_restarts = 2;
+  const CompileResult off = compile(circuit, opt);
+
+  trace::set_enabled(true);
+  trace::reset_metrics();
+  trace::reset_events();
+  const CompileResult on = compile(circuit, opt);
+  trace::set_enabled(false);
+  trace::reset_metrics();
+  trace::reset_events();
+
+  // Tracing is observational only: bit-identical pipeline outcome.
+  EXPECT_EQ(on.volume, off.volume);
+  EXPECT_EQ(on.canonical_volume, off.canonical_volume);
+  EXPECT_EQ(on.routed_legal, off.routed_legal);
+  EXPECT_EQ(on.nodes, off.nodes);
+  EXPECT_EQ(on.routing.total_wire, off.routing.total_wire);
+  EXPECT_EQ(on.routing.bounding.lo, off.routing.bounding.lo);
+  EXPECT_EQ(on.routing.bounding.hi, off.routing.bounding.hi);
+  ASSERT_EQ(on.placement.module_cell.size(), off.placement.module_cell.size());
+  for (std::size_t i = 0; i < on.placement.module_cell.size(); ++i)
+    EXPECT_EQ(on.placement.module_cell[i], off.placement.module_cell[i]);
 }
 
 class EndToEndTest : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,157 @@
+// Unit tests for the tracing/metrics subsystem (common/trace.h): disabled
+// spans stay near-free, enabled spans export well-formed Chrome trace JSON
+// with one tid row per recording thread, and the counter/gauge/series
+// registry snapshots deterministically.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/json.h"
+#include "common/trace.h"
+
+namespace tqec {
+namespace {
+
+/// Every test starts from a clean, disabled tracer (the suite shares one
+/// process-wide collector).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::reset_events();
+    trace::reset_metrics();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::reset_events();
+    trace::reset_metrics();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothingAndAreCheap) {
+  const std::size_t before = trace::event_count();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1'000'000; ++i) {
+    TQEC_TRACE_SPAN("trace_test.disabled");
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(trace::event_count(), before);
+  // One relaxed atomic load per span; even a sanitizer build does a million
+  // of those well under a second.
+  EXPECT_LT(elapsed_s, 1.0);
+}
+
+TEST_F(TraceTest, EnabledSpansAreRecordedAndNest) {
+  trace::set_enabled(true);
+  {
+    TQEC_TRACE_SPAN("trace_test.outer");
+    {
+      TQEC_TRACE_SPAN("trace_test.inner");
+    }
+  }
+  EXPECT_EQ(trace::event_count(), 2u);
+  trace::reset_events();
+  EXPECT_EQ(trace::event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanEndIsIdempotent) {
+  trace::set_enabled(true);
+  trace::Span span("trace_test.manual");
+  span.end();
+  span.end();  // destructor will be the third close; still one event
+  EXPECT_EQ(trace::event_count(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  trace::set_enabled(true);
+  {
+    TQEC_TRACE_SPAN("trace_test.export", "detail \"quoted\"\n");
+  }
+  const json::Value doc = json::parse(trace::chrome_trace_json());
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool found = false;
+  for (const json::Value& e : events.array) {
+    if (e.at("ph").as_string() != "X") continue;
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+    EXPECT_TRUE(e.at("tid").is_number());
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    if (e.at("name").as_string() == "trace_test.export") {
+      found = true;
+      EXPECT_EQ(e.at("args").at("detail").as_string(), "detail \"quoted\"\n");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTidRows) {
+  trace::set_enabled(true);
+  auto record = [] { TQEC_TRACE_SPAN("trace_test.worker"); };
+  std::thread a(record), b(record);
+  a.join();
+  b.join();
+  const json::Value doc = json::parse(trace::chrome_trace_json());
+  std::set<std::int64_t> tids;
+  for (const json::Value& e : doc.at("traceEvents").array)
+    if (e.at("ph").as_string() == "X" &&
+        e.at("name").as_string() == "trace_test.worker")
+      tids.insert(e.at("tid").as_int());
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST_F(TraceTest, RegistrySnapshotsSortedAndResets) {
+  trace::set_enabled(true);
+  trace::counter_add("b.counter", 2);
+  trace::counter_add("a.counter", 1);
+  trace::counter_add("b.counter", 3);
+  trace::gauge_set("z.gauge", 1.0);
+  trace::gauge_set("z.gauge", 2.5);
+  trace::series_append("curve", 0, 10);
+  trace::series_append("curve", 1, 20);
+  trace::series_put("replaced", {0, 1}, {5, 6});
+
+  const trace::MetricsSnapshot snap = trace::snapshot_metrics();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.counter");  // sorted by name
+  EXPECT_EQ(snap.counters[0].second, 1);
+  EXPECT_EQ(snap.counters[1].first, "b.counter");
+  EXPECT_EQ(snap.counters[1].second, 5);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);  // last write wins
+  ASSERT_EQ(snap.series.size(), 2u);
+  EXPECT_EQ(snap.series[0].name, "curve");
+  EXPECT_EQ(snap.series[0].y, (std::vector<double>{10, 20}));
+  EXPECT_EQ(snap.series[1].name, "replaced");
+  EXPECT_EQ(snap.series[1].x, (std::vector<double>{0, 1}));
+
+  trace::reset_metrics();
+  EXPECT_TRUE(trace::snapshot_metrics().empty());
+}
+
+TEST_F(TraceTest, DisabledMetricsAreNoops) {
+  trace::counter_add("ignored", 7);
+  trace::gauge_set("ignored", 7);
+  trace::series_append("ignored", 0, 7);
+  EXPECT_TRUE(trace::snapshot_metrics().empty());
+}
+
+TEST_F(TraceTest, CounterAddsFromThreadsSumDeterministically) {
+  trace::set_enabled(true);
+  auto work = [] {
+    for (int i = 0; i < 1000; ++i) trace::counter_add("threaded", 1);
+  };
+  std::thread a(work), b(work);
+  a.join();
+  b.join();
+  const trace::MetricsSnapshot snap = trace::snapshot_metrics();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 2000);
+}
+
+}  // namespace
+}  // namespace tqec

@@ -14,7 +14,12 @@
 //   --place-restarts=<k>       independent place+route attempts with
 //                              derived seeds, best legal wins (default 1)
 //   --stats-json=<path>        write the per-stage observability report
-//                              as JSON ("-" = stdout)
+//                              as JSON v2 ("-" = stdout); enables tracing
+//                              so the report embeds the metrics registry
+//   --trace-json=<path>        enable tracing and write a Chrome
+//                              trace-event file (open in Perfetto or
+//                              chrome://tracing; with --jobs=N each worker
+//                              thread gets its own tid row)
 //   --route-full-sweep         disable incremental PathFinder rerouting
 //                              (rip up every net on every iteration; for
 //                              A/B comparisons against the incremental
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/compiler.h"
 #include "core/paper_tables.h"
 #include "decompose/decompose.h"
@@ -57,6 +63,7 @@ struct CliOptions {
   std::optional<std::string> svg_path;
   std::optional<std::string> icm_path;
   std::optional<std::string> stats_json_path;
+  std::optional<std::string> trace_json_path;
 };
 
 int usage() {
@@ -67,7 +74,8 @@ int usage() {
       "       tqec_compress list\n"
       "options: --mode=full|dual|modular --seed=N --effort=F\n"
       "         --jobs=N --place-restarts=K --stats-json=PATH|-\n"
-      "         --route-full-sweep --no-optimize --no-plan --verify\n"
+      "         --trace-json=PATH --route-full-sweep\n"
+      "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
 }
@@ -103,6 +111,7 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     return true;
   }
   if (auto v = value_of("--stats-json=")) return opt.stats_json_path = *v, true;
+  if (auto v = value_of("--trace-json=")) return opt.trace_json_path = *v, true;
   if (arg == "--route-full-sweep")
     return opt.compile.route.incremental = false, true;
   if (arg == "--no-optimize") return opt.optimize = false, true;
@@ -143,6 +152,11 @@ int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
   }
 
   opt.compile.keep_internals = opt.verify;
+  // Observability requested: turn collection on so the stats report embeds
+  // the metrics registry and the trace file has spans to export. Tracing
+  // never changes results (pinned by core_test).
+  if (opt.trace_json_path || opt.stats_json_path)
+    trace::set_enabled(true);
   const core::CompileResult result = core::compile(circuit, opt.compile);
   const Vec3 dims = result.routing.bounding.dims();
   std::printf("modules %d -> nodes %d; volume %lld (%dx%dx%d), %s; "
@@ -176,6 +190,14 @@ int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
       std::fclose(f);
       std::printf("wrote %s\n", opt.stats_json_path->c_str());
     }
+  }
+  if (opt.trace_json_path) {
+    if (!trace::write_chrome_trace_file(*opt.trace_json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu span events)\n", opt.trace_json_path->c_str(),
+                trace::event_count());
   }
   if (opt.json_path) {
     std::FILE* f = std::fopen(opt.json_path->c_str(), "w");
