@@ -226,6 +226,14 @@ CompileResult compile(const icm::IcmCircuit& circuit,
       t_stage = std::chrono::steady_clock::now();
       route::RouteOptions route_opt = options.route;
       route_opt.seed = seeds[k];
+      // Split the jobs budget between concurrent attempts and each
+      // attempt's routing workers (an explicit --route-threads wins).
+      // Thread counts never change results, so the split is a pure
+      // wall-clock heuristic.
+      if (route_opt.threads == 0)
+        route_opt.threads = std::max(
+            1, jobs / static_cast<int>(
+                          std::min(attempts, static_cast<std::size_t>(jobs))));
       a.routing = route::route_nets(nodes, a.placement, route_opt);
       a.stats.route_s += seconds_since(t_stage);
       a.stats.y_gap = y_gap;
@@ -247,6 +255,9 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.route_queue_pops = a.routing.queue_pops;
     a.stats.route_repair_awarded = a.routing.repair_awarded;
     a.stats.route_repair_failed = a.routing.repair_failed;
+    a.stats.route_batches = a.routing.batches;
+    a.stats.route_conflicts_requeued = a.routing.conflicts_requeued;
+    a.stats.route_parallel_efficiency = a.routing.parallel_efficiency;
     a.stats.sa_curve = a.placement.sa_curve;
     a.stats.route_overused_per_iter = a.routing.overused_per_iter;
   });
@@ -303,6 +314,8 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     trace::gauge_set("stage.route_s", result.timings.route_s);
     trace::gauge_set("stage.place_route_wall_s",
                      result.timings.place_route_wall_s);
+    trace::gauge_set("route.parallel_efficiency",
+                     sel.route_parallel_efficiency);
     auto iota_x = [](std::size_t n) {
       std::vector<double> x(n);
       for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
@@ -444,6 +457,10 @@ std::string stats_json(const CompileResult& result) {
        << ", \"route_queue_pops\": " << a.route_queue_pops
        << ", \"route_repair_awarded\": " << a.route_repair_awarded
        << ", \"route_repair_failed\": " << a.route_repair_failed
+       << ", \"route_batches\": " << a.route_batches
+       << ", \"route_conflicts_requeued\": " << a.route_conflicts_requeued
+       << ", \"route_parallel_efficiency\": "
+       << json_double(a.route_parallel_efficiency)
        << ", \"route_reroutes_per_iter\": ";
     emit_number_array(os, a.route_reroutes_per_iter);
     os << ", \"route_overused_per_iter\": ";
@@ -475,6 +492,10 @@ std::string stats_json(const CompileResult& result) {
      << ", \"total_wire\": " << routing.total_wire
      << ", \"present_factor_final\": "
      << json_double(routing.present_factor_final)
+     << ", \"batches\": " << routing.batches
+     << ", \"conflicts_requeued\": " << routing.conflicts_requeued
+     << ", \"parallel_efficiency\": "
+     << json_double(routing.parallel_efficiency)
      << ", \"overused_per_iter\": ";
   emit_number_array(os, routing.overused_per_iter);
   os << ", \"congestion_histogram\": ";

@@ -96,6 +96,12 @@ struct PlaceAttemptStats {
   std::int64_t route_queue_pops = 0;
   int route_repair_awarded = 0;
   int route_repair_failed = 0;
+  /// Batched-negotiation schedule observability: disjoint-region batches
+  /// committed, conflict requeues, and mean nets per batch (all pure
+  /// functions of the schedule, identical for any --route-threads value).
+  int route_batches = 0;
+  int route_conflicts_requeued = 0;
+  double route_parallel_efficiency = 0;
   /// SA convergence curve of the attempt's (final) placement, one sample
   /// per temperature batch.
   std::vector<place::SaSample> sa_curve;

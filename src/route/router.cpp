@@ -3,190 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
-#include <queue>
-#include <unordered_map>
+#include <tuple>
+#include <vector>
 
 #include "common/logging.h"
-#include "common/rng.h"
+#include "common/parallel.h"
 #include "common/trace.h"
+#include "route/net_batcher.h"
+#include "route/search_kernel.h"
 
 namespace tqec::route {
 
 namespace {
 
-constexpr std::array<Vec3, 6> kNeighbours{Vec3{1, 0, 0},  Vec3{-1, 0, 0},
-                                          Vec3{0, 1, 0},  Vec3{0, -1, 0},
-                                          Vec3{0, 0, 1},  Vec3{0, 0, -1}};
-
-/// Advance a stamp epoch. Epochs turn per-search clears into O(1) (a cell is
-/// "set" iff its stamp equals the current epoch); on the (astronomically
-/// rare) wrap the backing array is cleared so stale stamps can never alias a
-/// fresh epoch.
-inline void bump_epoch(int& epoch, std::vector<int>& stamps) {
-  if (epoch == std::numeric_limits<int>::max()) {
-    std::fill(stamps.begin(), stamps.end(), 0);
-    epoch = 0;
-  }
-  ++epoch;
-}
-
-class RoutingFabric {
- public:
-  RoutingFabric(const place::NodeSet& nodes,
-                const place::Placement& placement, int margin)
-      : box_(placement.core.inflated(margin)) {
-    dims_ = box_.dims();
-    const std::size_t n = cell_count();
-    blocked_.assign(n, 0);
-    module_at_.assign(n, -1);
-    usage_.assign(n, 0);
-    capacity_.assign(n, 1);
-    history_.assign(n, 0.0f);
-    nets_at_.assign(n, {});
-    g_.assign(n, 0.0f);
-    g_version_.assign(n, 0);
-    parent_.assign(n, -1);
-    tree_version_.assign(n, 0);
-
-    for (const geom::DistillBox& b : placement.boxes) {
-      const Box3 e = b.extent();
-      for (int x = e.lo.x; x <= e.hi.x; ++x)
-        for (int y = e.lo.y; y <= e.hi.y; ++y)
-          for (int z = e.lo.z; z <= e.hi.z; ++z)
-            blocked_[index({x, y, z})] = 1;
-    }
-    for (std::size_t m = 0; m < placement.module_cell.size(); ++m)
-      module_at_[index(placement.module_cell[m])] = static_cast<int>(m);
-
-    // Pin capacity: a module loop accommodates one crossing per component
-    // pinned to it (the loop is spatially extended in the paper's geometry;
-    // our cell model charges it one unit per threading net).
-    for (const auto& pins : nodes.net_pins)
-      for (pdgraph::ModuleId m : pins)
-        ++capacity_[index(
-            placement.module_cell[static_cast<std::size_t>(m)])];
-    for (std::size_t i = 0; i < n; ++i)
-      if (module_at_[i] >= 0)  // base 1 was counted on top
-        capacity_[i] = detail::counter_add(capacity_[i], -1);
-  }
-
-  std::size_t cell_count() const {
-    return static_cast<std::size_t>(dims_.x) * dims_.y * dims_.z;
-  }
-  const Box3& box() const { return box_; }
-  bool inside(Vec3 p) const { return box_.contains(p); }
-
-  std::size_t index(Vec3 p) const {
-    TQEC_ASSERT(inside(p), "cell outside routing fabric");
-    const Vec3 rel = p - box_.lo;
-    return (static_cast<std::size_t>(rel.y) * dims_.z + rel.z) * dims_.x +
-           rel.x;
-  }
-  Vec3 cell_at(std::size_t i) const {
-    const int x = static_cast<int>(i % static_cast<std::size_t>(dims_.x));
-    const std::size_t rest = i / static_cast<std::size_t>(dims_.x);
-    const int z = static_cast<int>(rest % static_cast<std::size_t>(dims_.z));
-    const int y = static_cast<int>(rest / static_cast<std::size_t>(dims_.z));
-    return box_.lo + Vec3{x, y, z};
-  }
-
-  bool blocked(std::size_t i) const { return blocked_[i] != 0; }
-  void hard_block(std::size_t i) { blocked_[i] = 1; }
-  /// Lift a hard block placed by the repair pass (never a box cell).
-  void unblock(std::size_t i) { blocked_[i] = 0; }
-  int module_at(std::size_t i) const { return module_at_[i]; }
-  int usage(std::size_t i) const { return usage_[i]; }
-  int capacity(std::size_t i) const { return capacity_[i]; }
-  void add_capacity(std::size_t i, int d) {
-    capacity_[i] = detail::counter_add(capacity_[i], d);
-  }
-  float& history(std::size_t i) { return history_[i]; }
-
-  // Cell -> net occupancy index, kept in lockstep with the usage counters:
-  // every cell lists the components currently routed through it. Powers the
-  // incremental reroute schedule (which nets sit on an overused cell) and
-  // the hard-block repair phase (who contests a cell) without scanning
-  // every net's route.
-  void occupy(std::size_t i, int component) {
-    usage_[i] = detail::counter_add(usage_[i], +1);
-    nets_at_[i].push_back(component);
-  }
-  void vacate(std::size_t i, int component) {
-    usage_[i] = detail::counter_add(usage_[i], -1);
-    auto& nets = nets_at_[i];
-    const auto it = std::find(nets.begin(), nets.end(), component);
-    TQEC_ASSERT(it != nets.end(), "occupancy index missing a routed net");
-    nets.erase(it);
-  }
-  const std::vector<int>& nets_at(std::size_t i) const { return nets_at_[i]; }
-
-  // Versioned per-search scratch (O(1) reset per search).
-  void begin_search() { bump_epoch(search_epoch_, g_version_); }
-  bool seen(std::size_t i) const { return g_version_[i] == search_epoch_; }
-  float g(std::size_t i) const { return g_[i]; }
-  void set_g(std::size_t i, float v, int parent_dir) {
-    g_[i] = v;
-    g_version_[i] = search_epoch_;
-    parent_[i] = static_cast<std::int8_t>(parent_dir);
-  }
-  int parent_dir(std::size_t i) const { return parent_[i]; }
-
-  void begin_tree() { bump_epoch(tree_epoch_, tree_version_); }
-  bool on_tree(std::size_t i) const { return tree_version_[i] == tree_epoch_; }
-  void mark_tree(std::size_t i) { tree_version_[i] = tree_epoch_; }
-
- private:
-  Box3 box_;
-  Vec3 dims_;
-  std::vector<std::uint8_t> blocked_;
-  std::vector<int> module_at_;
-  std::vector<std::uint16_t> usage_;
-  std::vector<std::uint16_t> capacity_;
-  std::vector<float> history_;
-  std::vector<std::vector<int>> nets_at_;
-  std::vector<float> g_;
-  std::vector<int> g_version_;
-  std::vector<std::int8_t> parent_;
-  std::vector<int> tree_version_;
-  int search_epoch_ = 0;
-  int tree_epoch_ = 0;
-};
-
-struct QueueEntry {
-  float f;
-  float g;
-  std::size_t cell;
-  bool operator>(const QueueEntry& o) const { return f > o.f; }
-};
-
+// Negotiation orchestrator. The per-net A* kernel lives in
+// search_kernel.{h,cpp}; the disjoint-region partitioner in
+// net_batcher.{h,cpp}. This class owns the PathFinder outer loop:
+//
+//   per iteration: pending nets (deterministic order) -> batches of
+//   disjoint declared regions -> per batch: rip up members, search them
+//   concurrently against the now-frozen fabric, then commit serially in
+//   net order with collision detection (a net whose path lands on a cell
+//   an earlier commit of the same batch just filled to capacity is
+//   requeued and rerouted serially at the end of the iteration).
+//
+// Every decision (batch composition, commit order, conflict verdicts,
+// requeue order) is a pure function of the deterministic net order and
+// the fabric state at batch boundaries — never of the worker count — so
+// --route-threads=1 and --route-threads=N are bit-identical, and
+// --route-serial (singleton batches) reproduces the classic one-net-at-a-
+// time PathFinder schedule exactly.
 class Router {
  public:
   Router(const place::NodeSet& nodes, const place::Placement& placement,
          const RouteOptions& opt)
       : nodes_(nodes), placement_(placement), opt_(opt),
-        fabric_(nodes, placement, opt.margin), rng_(opt.seed) {}
+        fabric_(nodes, placement, opt.margin),
+        threads_(std::max(1, opt.threads)) {}
 
   RoutingResult run();
 
  private:
-  /// Admissible heuristic: Manhattan distance to the tree bounding box.
-  static float heuristic(Vec3 p, const Box3& tree_box) {
-    auto axis = [](int v, int lo, int hi) {
-      if (v < lo) return lo - v;
-      if (v > hi) return v - hi;
-      return 0;
-    };
-    return static_cast<float>(axis(p.x, tree_box.lo.x, tree_box.hi.x) +
-                              axis(p.y, tree_box.lo.y, tree_box.hi.y) +
-                              axis(p.z, tree_box.lo.z, tree_box.hi.z));
-  }
-
-  bool route_component(int component, RoutedNet& out, double present_factor);
-  bool connect(int component, Vec3 source, Box3& tree_box,
-               std::vector<std::size_t>& tree_cells, double present_factor,
-               int region_margin);
-
   /// Remove / install a net's route, keeping usage counters and the
   /// occupancy index in lockstep. Every rip-up and (re)install in the
   /// negotiation loop and the repair phase goes through this pair.
@@ -199,196 +56,52 @@ class Router {
       fabric_.occupy(fabric_.index(cell), net.component);
   }
 
-  bool own_pin(std::size_t i) const {
-    return own_pin_version_[i] == own_pin_epoch_;
+  /// A component's declared region: its pins' bounding box inflated by
+  /// twice the restricted-search margin (the extra margin absorbs the
+  /// tree-box growth of multi-pin connects; escapes beyond it are caught
+  /// at commit). Access cells sit face-adjacent to their pin, inside the
+  /// inflation.
+  Box3 declared_region(int component) const {
+    Box3 box;
+    for (pdgraph::ModuleId m :
+         nodes_.net_pins[static_cast<std::size_t>(component)])
+      box = box.expanded(
+          placement_.module_cell[static_cast<std::size_t>(m)]);
+    return box.inflated(2 * opt_.region_margin);
   }
 
-  /// The f-value planning (Fig. 15) assigns each chain module its access
-  /// cells: the free cells through which its dual segments exit. Rotated
-  /// nodes rotate the side; a cell claimed by a neighbouring structure
-  /// drops that constraint rather than failing.
-  std::vector<Vec3> access_cells_of(pdgraph::ModuleId m) const {
-    std::vector<Vec3> cells;
-    for (Vec3 off : nodes_.access_offsets[static_cast<std::size_t>(m)]) {
-      const int node = nodes_.node_of_module[static_cast<std::size_t>(m)];
-      if (!placement_.node_rotated.empty() &&
-          placement_.node_rotated[static_cast<std::size_t>(node)])
-        off = {off.z, off.y, off.x};
-      const Vec3 cell =
-          placement_.module_cell[static_cast<std::size_t>(m)] + off;
-      if (!fabric_.inside(cell)) continue;
-      const std::size_t i = fabric_.index(cell);
-      if (fabric_.blocked(i) || fabric_.module_at(i) >= 0) continue;
-      cells.push_back(cell);
-    }
-    return cells;
+  bool route_component(int component, RoutedNet& out, double present_factor) {
+    SearchStats stats;
+    const bool ok = route_one_net(fabric_, scratch_[0], nodes_, placement_,
+                                  opt_, component, present_factor, out, stats);
+    net_stats_[static_cast<std::size_t>(component)] += stats;
+    return ok;
   }
 
   const place::NodeSet& nodes_;
   const place::Placement& placement_;
   RouteOptions opt_;
-  RoutingFabric fabric_;
-  Rng rng_;
-  /// Stamped per-component pin marks (unblocks the component's own module
-  /// cells); an epoch bump replaces the per-component clear.
-  std::vector<int> own_pin_version_;
-  int own_pin_epoch_ = 0;
-  std::int64_t queue_pushes_ = 0;
-  std::int64_t queue_pops_ = 0;
+  Fabric fabric_;
+  int threads_;
+  /// One search scratch per worker slot; slot 0 doubles as the serial
+  /// (requeue-tail and repair-phase) scratch.
+  std::vector<SearchScratch> scratch_;
+  /// Per-component A*-queue tallies, summed into the result in component
+  /// order after routing — identical totals for any worker count.
+  std::vector<SearchStats> net_stats_;
+  /// Cells installed by commits of the current batch (epoch-stamped).
+  std::vector<int> batch_stamp_;
+  int batch_epoch_ = 0;
 };
-
-bool Router::connect(int component, Vec3 source, Box3& tree_box,
-                     std::vector<std::size_t>& tree_cells,
-                     double present_factor, int region_margin) {
-  const std::size_t source_idx = fabric_.index(source);
-  if (fabric_.on_tree(source_idx)) return true;
-
-  const Box3 region =
-      tree_box.expanded(source).inflated(region_margin);
-
-  fabric_.begin_search();
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>> open;
-  fabric_.set_g(source_idx, 0.0f, -1);
-  open.push({heuristic(source, tree_box), 0.0f, source_idx});
-  ++queue_pushes_;
-
-  std::size_t goal = static_cast<std::size_t>(-1);
-  while (!open.empty()) {
-    const QueueEntry top = open.top();
-    open.pop();
-    ++queue_pops_;
-    if (top.g > fabric_.g(top.cell)) continue;  // stale entry
-    if (fabric_.on_tree(top.cell)) {
-      goal = top.cell;
-      break;
-    }
-    const Vec3 p = fabric_.cell_at(top.cell);
-    for (int dir = 0; dir < 6; ++dir) {
-      const Vec3 q = p + kNeighbours[static_cast<std::size_t>(dir)];
-      if (!fabric_.inside(q) || !region.contains(q)) continue;
-      const std::size_t qi = fabric_.index(q);
-      if (fabric_.blocked(qi)) continue;
-      const int mod = fabric_.module_at(qi);
-      if (mod >= 0 && !own_pin(qi))
-        continue;  // unrelated primal module: spurious braid
-      double cost = 1.0 + fabric_.history(qi);
-      const int over = fabric_.usage(qi) - (fabric_.capacity(qi) - 1);
-      if (over > 0) cost += present_factor * over;
-      const float ng = top.g + static_cast<float>(cost);
-      if (!fabric_.seen(qi) || ng < fabric_.g(qi)) {
-        fabric_.set_g(qi, ng, dir);
-        open.push({ng + heuristic(q, tree_box), ng, qi});
-        ++queue_pushes_;
-      }
-    }
-  }
-  if (goal == static_cast<std::size_t>(-1)) return false;
-
-  // Backtrack from goal to source, adding the path to the tree.
-  std::size_t cur = goal;
-  for (;;) {
-    if (!fabric_.on_tree(cur)) {
-      fabric_.mark_tree(cur);
-      tree_cells.push_back(cur);
-      tree_box = tree_box.expanded(fabric_.cell_at(cur));
-    }
-    const int dir = fabric_.parent_dir(cur);
-    if (cur == source_idx || dir < 0) break;
-    // parent = cell we came FROM: step back against the stored direction.
-    const Vec3 p = fabric_.cell_at(cur) -
-                   kNeighbours[static_cast<std::size_t>(dir)];
-    cur = fabric_.index(p);
-  }
-  (void)component;
-  return true;
-}
-
-bool Router::route_component(int component, RoutedNet& out,
-                             double present_factor) {
-  const auto& pins = nodes_.net_pins[static_cast<std::size_t>(component)];
-  out.component = component;
-  out.cells.clear();
-  if (pins.empty()) return true;
-
-  // Mark own pins (unblocks this component's module cells).
-  bump_epoch(own_pin_epoch_, own_pin_version_);
-  for (pdgraph::ModuleId m : pins)
-    own_pin_version_[fabric_.index(
-        placement_.module_cell[static_cast<std::size_t>(m)])] =
-        own_pin_epoch_;
-
-  // Access-cell constraints only bind components that span several
-  // placement nodes: the f-value planning (Fig. 15) governs the dual
-  // segments *leaving* a primal-bridging super-module, while a net wholly
-  // inside one chain threads its module loops directly (Fig. 1(e)).
-  bool spans_nodes = false;
-  for (pdgraph::ModuleId m : pins)
-    if (nodes_.node_of_module[static_cast<std::size_t>(m)] !=
-        nodes_.node_of_module[static_cast<std::size_t>(pins.front())])
-      spans_nodes = true;
-
-  // Seed the tree at the first pin, then connect remaining pins nearest-
-  // to-seed first; each pin's access cells join the tree right after it.
-  struct PinEntry {
-    Vec3 cell;
-    std::vector<Vec3> access;
-  };
-  std::vector<PinEntry> entries;
-  entries.reserve(pins.size());
-  for (pdgraph::ModuleId m : pins)
-    entries.push_back(
-        {placement_.module_cell[static_cast<std::size_t>(m)],
-         spans_nodes ? access_cells_of(m) : std::vector<Vec3>{}});
-  std::sort(entries.begin() + 1, entries.end(),
-            [&](const PinEntry& a, const PinEntry& b) {
-              return manhattan(a.cell, entries[0].cell) <
-                     manhattan(b.cell, entries[0].cell);
-            });
-
-  fabric_.begin_tree();
-  std::vector<std::size_t> tree_cells;
-  const std::size_t seed_idx = fabric_.index(entries[0].cell);
-  fabric_.mark_tree(seed_idx);
-  tree_cells.push_back(seed_idx);
-  Box3 tree_box{entries[0].cell, entries[0].cell};
-
-  auto connect_with_retries = [&](Vec3 target) {
-    int margin = opt_.region_margin;
-    for (int attempt = 0; attempt < 4; ++attempt) {
-      if (connect(component, target, tree_box, tree_cells, present_factor,
-                  margin))
-        return true;
-      margin *= 4;
-    }
-    // Last resort: unrestricted search over the whole fabric.
-    return connect(component, target, tree_box, tree_cells, present_factor,
-                   1 << 24);
-  };
-
-  // Ports connect before their pin: the pin then attaches to the tree
-  // through its (capacity-boosted) port instead of squeezing past a
-  // neighbouring structure on the unboosted side.
-  bool ok = true;
-  for (const Vec3& cell : entries[0].access)
-    ok = ok && connect_with_retries(cell);
-  for (std::size_t i = 1; ok && i < entries.size(); ++i) {
-    for (const Vec3& cell : entries[i].access)
-      ok = ok && connect_with_retries(cell);
-    ok = ok && connect_with_retries(entries[i].cell);
-  }
-
-  out.cells.reserve(tree_cells.size());
-  for (std::size_t i : tree_cells) out.cells.push_back(fabric_.cell_at(i));
-  return ok;
-}
 
 RoutingResult Router::run() {
   TQEC_TRACE_SPAN("route.pathfinder");
   RoutingResult result;
   const int components = static_cast<int>(nodes_.net_pins.size());
   result.nets.assign(static_cast<std::size_t>(components), RoutedNet{});
-  own_pin_version_.assign(fabric_.cell_count(), 0);
+  scratch_.resize(static_cast<std::size_t>(threads_));
+  net_stats_.assign(static_cast<std::size_t>(components), SearchStats{});
+  batch_stamp_.assign(fabric_.cell_count(), 0);
 
   // Port-region capacity: a module loop pinned by several components must
   // admit one crossing per component not just on its own cell but through
@@ -429,24 +142,103 @@ RoutingResult Router::run() {
                       b);
   });
 
+  // Declared regions are a function of the (fixed) pin placement only:
+  // compute them once for the whole negotiation.
+  std::vector<Box3> regions(static_cast<std::size_t>(components));
+  for (int c = 0; c < components; ++c)
+    regions[static_cast<std::size_t>(c)] = declared_region(c);
+
   double present_factor = opt_.present_base;
   int stall = 0;
   int prev_overused = -1;
   trace::Span negotiation_span("route.negotiate");
   // Nets to rip up and reroute this iteration; iteration 1 routes all.
   std::vector<std::uint8_t> dirty(static_cast<std::size_t>(components), 1);
+  std::vector<int> pending;
+  std::vector<RoutedNet> candidates;
+  std::vector<SearchStats> candidate_stats;
+  std::vector<std::uint8_t> candidate_ok;
+  std::vector<int> requeued;
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    int reroutes = 0;
-    for (int c : order) {
-      if (!dirty[static_cast<std::size_t>(c)]) continue;
+    pending.clear();
+    for (int c : order)
+      if (dirty[static_cast<std::size_t>(c)]) pending.push_back(c);
+    const BatchPlan plan =
+        plan_batches(pending, regions, opt_.serial_schedule);
+
+    requeued.clear();
+    for (const std::vector<int>& batch : plan.batches) {
+      {
+        TQEC_TRACE_SPAN("route.batch");
+        for (const int c : batch)
+          rip_up(result.nets[static_cast<std::size_t>(c)]);
+        candidates.resize(batch.size());
+        candidate_stats.assign(batch.size(), SearchStats{});
+        candidate_ok.assign(batch.size(), 0);
+        // Search phase: the fabric is frozen; each worker slot owns a
+        // scratch, so concurrent searches never share mutable state.
+        auto search_one = [&](std::size_t slot, std::size_t i) {
+          candidate_ok[i] =
+              route_one_net(fabric_, scratch_[slot], nodes_, placement_,
+                            opt_, batch[i], present_factor, candidates[i],
+                            candidate_stats[i])
+                  ? 1
+                  : 0;
+        };
+        if (threads_ == 1 || batch.size() == 1) {
+          for (std::size_t i = 0; i < batch.size(); ++i) search_one(0, i);
+        } else {
+          parallel_for_slots(batch.size(), threads_, search_one);
+        }
+      }
+      {
+        TQEC_TRACE_SPAN("route.commit");
+        detail::bump_epoch(batch_epoch_, batch_stamp_);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const int c = batch[i];
+          net_stats_[static_cast<std::size_t>(c)] += candidate_stats[i];
+          TQEC_REQUIRE(candidate_ok[i] != 0,
+                       "router failed to connect a net component");
+          // Collision: a search that escaped its declared region may have
+          // priced a cell an earlier commit of this batch just filled to
+          // capacity. Installing would create snapshot-artifact overuse,
+          // so the net reroutes serially below instead.
+          bool conflict = false;
+          for (const Vec3& cell : candidates[i].cells) {
+            const std::size_t idx = fabric_.index(cell);
+            if (batch_stamp_[idx] == batch_epoch_ &&
+                fabric_.usage(idx) >= fabric_.capacity(idx)) {
+              conflict = true;
+              break;
+            }
+          }
+          if (conflict) {
+            requeued.push_back(c);
+            ++result.conflicts_requeued;
+            continue;
+          }
+          RoutedNet& net = result.nets[static_cast<std::size_t>(c)];
+          net = std::move(candidates[i]);
+          install(net);
+          for (const Vec3& cell : net.cells)
+            batch_stamp_[fabric_.index(cell)] = batch_epoch_;
+        }
+        ++result.batches;
+      }
+    }
+    // Requeue tail: conflicted nets (already ripped up by their batch)
+    // reroute one at a time against the fully up-to-date fabric, in net
+    // order — each is its own singleton batch, so no further conflicts.
+    for (const int c : requeued) {
       RoutedNet& net = result.nets[static_cast<std::size_t>(c)];
-      rip_up(net);  // previous route (no-op on iteration 1)
       const bool ok = route_component(c, net, present_factor);
       TQEC_REQUIRE(ok, "router failed to connect a net component");
       install(net);
-      ++reroutes;
+      ++result.batches;
     }
+
+    const int reroutes = static_cast<int>(pending.size());
     result.reroutes_per_iter.push_back(reroutes);
     result.reroutes_total += reroutes;
     if (reroutes == components) ++result.full_sweeps;
@@ -486,6 +278,10 @@ RoutingResult Router::run() {
                                       << " nets rerouted");
   }
   result.present_factor_final = present_factor;
+  result.parallel_efficiency =
+      result.batches > 0 ? static_cast<double>(result.reroutes_total) /
+                               static_cast<double>(result.batches)
+                         : 0.0;
   negotiation_span.end();
   trace::Span repair_span("route.repair");
 
@@ -631,14 +427,20 @@ RoutingResult Router::run() {
     }
   }
 
-  result.queue_pushes = queue_pushes_;
-  result.queue_pops = queue_pops_;
-  trace::counter_add("route.queue_pushes", queue_pushes_);
-  trace::counter_add("route.queue_pops", queue_pops_);
+  // A*-queue totals: per-component tallies summed in component order, so
+  // the totals never depend on which worker ran which search.
+  for (const SearchStats& s : net_stats_) {
+    result.queue_pushes += s.queue_pushes;
+    result.queue_pops += s.queue_pops;
+  }
+  trace::counter_add("route.queue_pushes", result.queue_pushes);
+  trace::counter_add("route.queue_pops", result.queue_pops);
   trace::counter_add("route.reroutes", result.reroutes_total);
   trace::counter_add("route.iterations", result.iterations);
   trace::counter_add("route.repair_awarded", result.repair_awarded);
   trace::counter_add("route.repair_failed", result.repair_failed);
+  trace::counter_add("route.batches", result.batches);
+  trace::counter_add("route.conflicts_requeued", result.conflicts_requeued);
   result.bounding = placement_.core;
   result.total_wire = 0;
   for (const RoutedNet& net : result.nets) {
@@ -651,6 +453,8 @@ RoutingResult Router::run() {
                             << result.legal << " iters=" << result.iterations
                             << " wire=" << result.total_wire
                             << " reroutes=" << result.reroutes_total
+                            << " batches=" << result.batches
+                            << " conflicts=" << result.conflicts_requeued
                             << " volume=" << result.volume);
   return result;
 }

@@ -66,6 +66,23 @@ struct RouteOptions {
   /// Initial half-width of the restricted search region around a
   /// connection's bounding box; grows when a connection fails.
   int region_margin = 6;
+  /// Worker threads for the batched negotiation schedule (CLI
+  /// `--route-threads`). Results are bit-identical for any value: batch
+  /// composition, commit order, and conflict decisions are pure functions
+  /// of the deterministic net order, never of the worker count. 0 = let
+  /// the caller decide (core::compile divides its `--jobs` budget across
+  /// concurrent place+route attempts; plain route_nets treats 0 as 1).
+  int threads = 0;
+  /// Classic serial PathFinder schedule (CLI `--route-serial`): every net
+  /// rips up and reroutes one at a time against the fully up-to-date
+  /// fabric — i.e. the batched schedule degenerated to singleton batches.
+  /// Escape hatch for A/B against the disjoint-region batched schedule.
+  bool serial_schedule = false;
+  /// Monotone bucket (Dial) open list in the A* kernel; disable to fall
+  /// back to the binary-heap open list (identical pop order to the
+  /// original std::priority_queue router — bench/micro_route_kernel.cpp
+  /// A/Bs the two).
+  bool bucket_queue = true;
 };
 
 struct RoutedNet {
@@ -100,6 +117,23 @@ struct RoutingResult {
   /// Present-congestion factor after the last negotiation iteration
   /// (clamped at RouteOptions::present_max, hence always finite).
   double present_factor_final = 0;
+
+  // Batched-negotiation observability (see net_batcher.h). All three are
+  // pure functions of the schedule, not of the worker count, so they are
+  // identical for any --route-threads value.
+  /// Disjoint-region batches committed across all negotiation iterations
+  /// (== reroutes_total under --route-serial, where every batch is one
+  /// net).
+  int batches = 0;
+  /// Nets requeued because their committed path collided with a cell an
+  /// earlier commit of the same batch had just filled to capacity (a
+  /// search that escaped its declared region through the failure-inflated
+  /// retries).
+  int conflicts_requeued = 0;
+  /// Mean nets per batch: the spatial parallelism the batcher exposed, an
+  /// upper bound on the speedup any worker count can realize. 1.0 under
+  /// --route-serial.
+  double parallel_efficiency = 0;
 
   // Congestion observability (always computed; one O(cells) pass at the
   // end of routing, serialized via core::stats_json and rendered by

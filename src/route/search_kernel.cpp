@@ -1,0 +1,278 @@
+#include "route/search_kernel.h"
+
+#include <cmath>
+
+namespace tqec::route {
+
+Fabric::Fabric(const place::NodeSet& nodes, const place::Placement& placement,
+               int margin)
+    : box_(placement.core.inflated(margin)) {
+  dims_ = box_.dims();
+  const std::size_t n = cell_count();
+  blocked_.assign(n, 0);
+  module_at_.assign(n, -1);
+  usage_.assign(n, 0);
+  capacity_.assign(n, 1);
+  history_.assign(n, 0.0f);
+  nets_at_.assign(n, {});
+
+  for (const geom::DistillBox& b : placement.boxes) {
+    const Box3 e = b.extent();
+    for (int x = e.lo.x; x <= e.hi.x; ++x)
+      for (int y = e.lo.y; y <= e.hi.y; ++y)
+        for (int z = e.lo.z; z <= e.hi.z; ++z)
+          blocked_[index({x, y, z})] = 1;
+  }
+  for (std::size_t m = 0; m < placement.module_cell.size(); ++m)
+    module_at_[index(placement.module_cell[m])] = static_cast<int>(m);
+
+  // Pin capacity: a module loop accommodates one crossing per component
+  // pinned to it (the loop is spatially extended in the paper's geometry;
+  // our cell model charges it one unit per threading net).
+  for (const auto& pins : nodes.net_pins)
+    for (pdgraph::ModuleId m : pins)
+      ++capacity_[index(placement.module_cell[static_cast<std::size_t>(m)])];
+  for (std::size_t i = 0; i < n; ++i)
+    if (module_at_[i] >= 0)  // base 1 was counted on top
+      capacity_[i] = detail::counter_add(capacity_[i], -1);
+}
+
+void BucketQueue::rebase() {
+  TQEC_ASSERT(!overflow_.empty(), "bucket queue drained with live entries");
+  std::int64_t min_key = overflow_.front().key;
+  for (const OverflowEntry& e : overflow_)
+    min_key = std::min(min_key, e.key);
+  base_ = min_key;
+  cursor_ = min_key;
+  std::size_t kept = 0;
+  for (OverflowEntry& e : overflow_) {
+    if (e.key < base_ + static_cast<std::int64_t>(kWindow)) {
+      const std::size_t b = static_cast<std::size_t>(e.key - base_);
+      if (buckets_[b].empty()) dirty_.push_back(b);
+      buckets_[b].push_back({e.g, e.cell});
+    } else {
+      overflow_[kept++] = e;
+    }
+  }
+  overflow_.resize(kept);
+}
+
+namespace {
+
+/// Admissible (and consistent) heuristic: Manhattan distance to the tree
+/// bounding box.
+float heuristic(Vec3 p, const Box3& tree_box) {
+  auto axis = [](int v, int lo, int hi) {
+    if (v < lo) return lo - v;
+    if (v > hi) return v - hi;
+    return 0;
+  };
+  return static_cast<float>(axis(p.x, tree_box.lo.x, tree_box.hi.x) +
+                            axis(p.y, tree_box.lo.y, tree_box.hi.y) +
+                            axis(p.z, tree_box.lo.z, tree_box.hi.z));
+}
+
+struct BucketOpenList {
+  BucketQueue& q;
+  void push(float f, float g, std::uint32_t cell) {
+    q.push(static_cast<std::int64_t>(f), g, cell);
+  }
+  bool empty() const { return q.empty(); }
+  BucketQueue::Entry pop() { return q.pop(); }
+};
+
+struct HeapOpenList {
+  HeapQueue& q;
+  void push(float f, float g, std::uint32_t cell) { q.push(f, g, cell); }
+  bool empty() const { return q.empty(); }
+  HeapQueue::Entry pop() { return q.pop(); }
+};
+
+/// Connect `source` to the partially built tree by A* restricted to
+/// `region`. On success the backtracked path joins the tree (cells, box,
+/// tree marks). The open-list policy is the only templated piece: the
+/// bucket queue pops an integer-keyed lower bound (ties LIFO), the heap
+/// pops exact f order (ties in std::priority_queue's order).
+template <typename OpenList>
+bool connect(const Fabric& fabric, SearchScratch& scratch, OpenList open,
+             Vec3 source, Box3& tree_box, double present_factor,
+             int region_margin, SearchStats& stats) {
+  const std::size_t source_idx = fabric.index(source);
+  if (scratch.on_tree(source_idx)) return true;
+
+  const Box3 region = tree_box.expanded(source).inflated(region_margin);
+
+  scratch.begin_search();
+  scratch.set_g(source_idx, 0.0f, -1);
+  open.push(heuristic(source, tree_box), 0.0f,
+            static_cast<std::uint32_t>(source_idx));
+  ++stats.queue_pushes;
+
+  std::size_t goal = static_cast<std::size_t>(-1);
+  while (!open.empty()) {
+    const auto top = open.pop();
+    ++stats.queue_pops;
+    if (top.g > scratch.g[top.cell]) continue;  // stale entry
+    if (scratch.on_tree(top.cell)) {
+      goal = top.cell;
+      break;
+    }
+    const Vec3 p = fabric.cell_at(top.cell);
+    for (int dir = 0; dir < 6; ++dir) {
+      const Vec3 q = p + kNeighbours[static_cast<std::size_t>(dir)];
+      if (!fabric.inside(q) || !region.contains(q)) continue;
+      const std::size_t qi = fabric.index(q);
+      if (fabric.blocked(qi)) continue;
+      const int mod = fabric.module_at(qi);
+      if (mod >= 0 && !scratch.own_pin(qi))
+        continue;  // unrelated primal module: spurious braid
+      double cost = 1.0 + fabric.history(qi);
+      const int over = fabric.usage(qi) - (fabric.capacity(qi) - 1);
+      if (over > 0) cost += present_factor * over;
+      const float ng = top.g + static_cast<float>(cost);
+      if (!scratch.seen(qi) || ng < scratch.g[qi]) {
+        scratch.set_g(qi, ng, dir);
+        open.push(ng + heuristic(q, tree_box), ng,
+                  static_cast<std::uint32_t>(qi));
+        ++stats.queue_pushes;
+      }
+    }
+  }
+  if (goal == static_cast<std::size_t>(-1)) return false;
+
+  // Backtrack from goal to source, adding the path to the tree.
+  std::size_t cur = goal;
+  for (;;) {
+    if (!scratch.on_tree(cur)) {
+      scratch.mark_tree(cur);
+      scratch.tree_cells.push_back(cur);
+      tree_box = tree_box.expanded(fabric.cell_at(cur));
+    }
+    const int dir = scratch.parent[cur];
+    if (cur == source_idx || dir < 0) break;
+    // parent = cell we came FROM: step back against the stored direction.
+    const Vec3 p =
+        fabric.cell_at(cur) - kNeighbours[static_cast<std::size_t>(dir)];
+    cur = fabric.index(p);
+  }
+  return true;
+}
+
+/// The f-value planning (Fig. 15) assigns each chain module its access
+/// cells: the free cells through which its dual segments exit. Rotated
+/// nodes rotate the side; a cell claimed by a neighbouring structure drops
+/// that constraint rather than failing.
+std::vector<Vec3> access_cells_of(const Fabric& fabric,
+                                  const place::NodeSet& nodes,
+                                  const place::Placement& placement,
+                                  pdgraph::ModuleId m) {
+  std::vector<Vec3> cells;
+  for (Vec3 off : nodes.access_offsets[static_cast<std::size_t>(m)]) {
+    const int node = nodes.node_of_module[static_cast<std::size_t>(m)];
+    if (!placement.node_rotated.empty() &&
+        placement.node_rotated[static_cast<std::size_t>(node)])
+      off = {off.z, off.y, off.x};
+    const Vec3 cell = placement.module_cell[static_cast<std::size_t>(m)] + off;
+    if (!fabric.inside(cell)) continue;
+    const std::size_t i = fabric.index(cell);
+    if (fabric.blocked(i) || fabric.module_at(i) >= 0) continue;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace
+
+bool route_one_net(const Fabric& fabric, SearchScratch& scratch,
+                   const place::NodeSet& nodes,
+                   const place::Placement& placement,
+                   const RouteOptions& options, int component,
+                   double present_factor, RoutedNet& out, SearchStats& stats) {
+  const auto& pins = nodes.net_pins[static_cast<std::size_t>(component)];
+  out.component = component;
+  out.cells.clear();
+  if (pins.empty()) return true;
+  scratch.ensure(fabric.cell_count());
+
+  // Mark own pins (unblocks this component's module cells).
+  detail::bump_epoch(scratch.own_pin_epoch, scratch.own_pin_version);
+  for (pdgraph::ModuleId m : pins)
+    scratch.own_pin_version[fabric.index(
+        placement.module_cell[static_cast<std::size_t>(m)])] =
+        scratch.own_pin_epoch;
+
+  // Access-cell constraints only bind components that span several
+  // placement nodes: the f-value planning (Fig. 15) governs the dual
+  // segments *leaving* a primal-bridging super-module, while a net wholly
+  // inside one chain threads its module loops directly (Fig. 1(e)).
+  bool spans_nodes = false;
+  for (pdgraph::ModuleId m : pins)
+    if (nodes.node_of_module[static_cast<std::size_t>(m)] !=
+        nodes.node_of_module[static_cast<std::size_t>(pins.front())])
+      spans_nodes = true;
+
+  // Seed the tree at the first pin, then connect remaining pins nearest-
+  // to-seed first; each pin's access cells join the tree right after it.
+  struct PinEntry {
+    Vec3 cell;
+    std::vector<Vec3> access;
+  };
+  std::vector<PinEntry> entries;
+  entries.reserve(pins.size());
+  for (pdgraph::ModuleId m : pins)
+    entries.push_back(
+        {placement.module_cell[static_cast<std::size_t>(m)],
+         spans_nodes ? access_cells_of(fabric, nodes, placement, m)
+                     : std::vector<Vec3>{}});
+  std::sort(entries.begin() + 1, entries.end(),
+            [&](const PinEntry& a, const PinEntry& b) {
+              return manhattan(a.cell, entries[0].cell) <
+                     manhattan(b.cell, entries[0].cell);
+            });
+
+  scratch.begin_tree();
+  scratch.tree_cells.clear();
+  const std::size_t seed_idx = fabric.index(entries[0].cell);
+  scratch.mark_tree(seed_idx);
+  scratch.tree_cells.push_back(seed_idx);
+  Box3 tree_box{entries[0].cell, entries[0].cell};
+
+  auto connect_once = [&](Vec3 target, int margin) {
+    if (options.bucket_queue) {
+      scratch.bucket_queue.reset();
+      return connect(fabric, scratch, BucketOpenList{scratch.bucket_queue},
+                     target, tree_box, present_factor, margin, stats);
+    }
+    scratch.heap_queue.reset();
+    return connect(fabric, scratch, HeapOpenList{scratch.heap_queue}, target,
+                   tree_box, present_factor, margin, stats);
+  };
+  auto connect_with_retries = [&](Vec3 target) {
+    int margin = options.region_margin;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (connect_once(target, margin)) return true;
+      margin *= 4;
+    }
+    // Last resort: unrestricted search over the whole fabric.
+    return connect_once(target, 1 << 24);
+  };
+
+  // Ports connect before their pin: the pin then attaches to the tree
+  // through its (capacity-boosted) port instead of squeezing past a
+  // neighbouring structure on the unboosted side.
+  bool ok = true;
+  for (const Vec3& cell : entries[0].access)
+    ok = ok && connect_with_retries(cell);
+  for (std::size_t i = 1; ok && i < entries.size(); ++i) {
+    for (const Vec3& cell : entries[i].access)
+      ok = ok && connect_with_retries(cell);
+    ok = ok && connect_with_retries(entries[i].cell);
+  }
+
+  out.cells.reserve(scratch.tree_cells.size());
+  for (std::size_t i : scratch.tree_cells)
+    out.cells.push_back(fabric.cell_at(i));
+  return ok;
+}
+
+}  // namespace tqec::route

@@ -1,0 +1,322 @@
+// Per-net A* search kernel for the dual-defect router, factored out of the
+// PathFinder negotiation loop so that
+//   (a) the shared routing fabric (occupancy, history, capacities) is
+//       cleanly separated from per-search scratch — a prerequisite for
+//       routing spatially disjoint nets concurrently against a read
+//       snapshot of the fabric (see net_batcher.h and DESIGN.md §Routing);
+//   (b) all per-search state (open queue storage, g/parent/tree stamp
+//       arrays) lives in a reusable per-worker SearchScratch, so the hot
+//       loop performs zero heap allocations after warm-up;
+//   (c) the open list is a monotone bucket (Dial) queue keyed on the
+//       integer lower bound of f — O(1) push/pop against the
+//       std::priority_queue's O(log n) — with the classic binary heap kept
+//       behind RouteOptions::bucket_queue for A/B benchmarking
+//       (bench/micro_route_kernel.cpp).
+//
+// Thread-safety contract: during a batch's search phase every worker holds
+// a distinct SearchScratch and treats the Fabric as read-only; all fabric
+// mutation (occupy/vacate/history/hard blocks) happens on the negotiation
+// thread between search phases. Searches are pure functions of
+// (fabric snapshot, net, options), which is what makes the batched
+// schedule's results independent of the worker count.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "place/nodes.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace tqec::route {
+
+inline constexpr std::array<Vec3, 6> kNeighbours{
+    Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
+    Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}};
+
+namespace detail {
+
+/// Advance a stamp epoch. Epochs turn per-search clears into O(1) (a cell
+/// is "set" iff its stamp equals the current epoch); on the
+/// (astronomically rare) wrap the backing array is cleared so stale stamps
+/// can never alias a fresh epoch.
+inline void bump_epoch(int& epoch, std::vector<int>& stamps) {
+  if (epoch == std::numeric_limits<int>::max()) {
+    std::fill(stamps.begin(), stamps.end(), 0);
+    epoch = 0;
+  }
+  ++epoch;
+}
+
+}  // namespace detail
+
+/// Shared routing fabric: the lattice-cell grid spanning the placement
+/// core plus a margin, with per-cell obstacle, capacity, usage, history,
+/// and occupancy-index state laid out as parallel SoA arrays (the search
+/// hot loop touches blocked/module/usage/capacity/history; keeping each in
+/// its own dense array maximizes cache-line utility for the 6-neighbour
+/// scans). Per-search state deliberately lives elsewhere (SearchScratch).
+class Fabric {
+ public:
+  Fabric(const place::NodeSet& nodes, const place::Placement& placement,
+         int margin);
+
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(dims_.x) * dims_.y * dims_.z;
+  }
+  const Box3& box() const { return box_; }
+  bool inside(Vec3 p) const { return box_.contains(p); }
+
+  std::size_t index(Vec3 p) const {
+    TQEC_ASSERT(inside(p), "cell outside routing fabric");
+    const Vec3 rel = p - box_.lo;
+    return (static_cast<std::size_t>(rel.y) * dims_.z + rel.z) * dims_.x +
+           rel.x;
+  }
+  Vec3 cell_at(std::size_t i) const {
+    const int x = static_cast<int>(i % static_cast<std::size_t>(dims_.x));
+    const std::size_t rest = i / static_cast<std::size_t>(dims_.x);
+    const int z = static_cast<int>(rest % static_cast<std::size_t>(dims_.z));
+    const int y = static_cast<int>(rest / static_cast<std::size_t>(dims_.z));
+    return box_.lo + Vec3{x, y, z};
+  }
+
+  bool blocked(std::size_t i) const { return blocked_[i] != 0; }
+  void hard_block(std::size_t i) { blocked_[i] = 1; }
+  /// Lift a hard block placed by the repair pass (never a box cell).
+  void unblock(std::size_t i) { blocked_[i] = 0; }
+  int module_at(std::size_t i) const { return module_at_[i]; }
+  int usage(std::size_t i) const { return usage_[i]; }
+  int capacity(std::size_t i) const { return capacity_[i]; }
+  void add_capacity(std::size_t i, int d) {
+    capacity_[i] = detail::counter_add(capacity_[i], d);
+  }
+  float& history(std::size_t i) { return history_[i]; }
+  float history(std::size_t i) const { return history_[i]; }
+
+  // Cell -> net occupancy index, kept in lockstep with the usage counters:
+  // every cell lists the components currently routed through it. Powers
+  // the incremental reroute schedule (which nets sit on an overused cell)
+  // and the hard-block repair phase (who contests a cell) without scanning
+  // every net's route. Mutation is negotiation-thread-only.
+  void occupy(std::size_t i, int component) {
+    usage_[i] = detail::counter_add(usage_[i], +1);
+    nets_at_[i].push_back(component);
+  }
+  void vacate(std::size_t i, int component) {
+    usage_[i] = detail::counter_add(usage_[i], -1);
+    auto& nets = nets_at_[i];
+    const auto it = std::find(nets.begin(), nets.end(), component);
+    TQEC_ASSERT(it != nets.end(), "occupancy index missing a routed net");
+    nets.erase(it);
+  }
+  const std::vector<int>& nets_at(std::size_t i) const { return nets_at_[i]; }
+
+ private:
+  Box3 box_;
+  Vec3 dims_;
+  std::vector<std::uint8_t> blocked_;
+  std::vector<int> module_at_;
+  std::vector<std::uint16_t> usage_;
+  std::vector<std::uint16_t> capacity_;
+  std::vector<float> history_;
+  std::vector<std::vector<int>> nets_at_;
+};
+
+/// Monotone bucket (Dial) queue: entries are keyed on the integer lower
+/// bound of their f-value, popped lowest-bucket-first, LIFO within a
+/// bucket (deterministic, and ties broken toward larger g reach the goal
+/// sooner). Pop keys never decrease — guaranteed by the consistent
+/// heuristic (every edge costs >= 1 while h drops by <= 1 per step); a
+/// push below the current pop front is clamped to it as float-rounding
+/// defense. Keys more than kWindow above the current base park in an
+/// overflow tier (PathFinder present-costs reach 1e9, far beyond any
+/// dense array) and are redistributed when the window drains. All storage
+/// is retained across reset() so steady-state searches allocate nothing.
+class BucketQueue {
+ public:
+  struct Entry {
+    float g;
+    std::uint32_t cell;
+  };
+
+  void reset() {
+    for (const std::size_t b : dirty_) buckets_[b].clear();
+    dirty_.clear();
+    overflow_.clear();
+    live_ = 0;
+    base_ = 0;
+    cursor_ = 0;
+    primed_ = false;
+  }
+
+  void push(std::int64_t key, float g, std::uint32_t cell) {
+    if (!primed_) {
+      base_ = key;
+      cursor_ = key;
+      primed_ = true;
+    }
+    if (key < cursor_) key = cursor_;  // float-rounding defense
+    ++live_;
+    if (key >= base_ + static_cast<std::int64_t>(kWindow)) {
+      overflow_.push_back({key, g, cell});
+      return;
+    }
+    const std::size_t b = static_cast<std::size_t>(key - base_);
+    if (buckets_[b].empty()) dirty_.push_back(b);
+    buckets_[b].push_back({g, cell});
+  }
+
+  bool empty() const { return live_ == 0; }
+
+  Entry pop() {
+    --live_;
+    for (;;) {
+      while (cursor_ < base_ + static_cast<std::int64_t>(kWindow)) {
+        auto& bucket = buckets_[static_cast<std::size_t>(cursor_ - base_)];
+        if (!bucket.empty()) {
+          const Entry e = bucket.back();
+          bucket.pop_back();
+          return e;
+        }
+        ++cursor_;
+      }
+      rebase();
+    }
+  }
+
+ private:
+  /// The dense window drained into the overflow tier: rebase the window at
+  /// the smallest parked key and redistribute what now fits. Entries keep
+  /// their relative order (stable partition), so results do not depend on
+  /// how often rebasing happens.
+  void rebase();
+
+  static constexpr std::size_t kWindow = 2048;
+  struct OverflowEntry {
+    std::int64_t key;
+    float g;
+    std::uint32_t cell;
+  };
+  std::vector<std::vector<Entry>> buckets_ =
+      std::vector<std::vector<Entry>>(kWindow);
+  std::vector<std::size_t> dirty_;
+  std::vector<OverflowEntry> overflow_;
+  std::size_t live_ = 0;
+  std::int64_t base_ = 0;
+  std::int64_t cursor_ = 0;
+  bool primed_ = false;
+};
+
+/// Classic binary-heap open list over a reused backing vector. Push/pop
+/// use std::push_heap/std::pop_heap with the same f-only comparator the
+/// original std::priority_queue had, so pop order (ties included) matches
+/// the pre-bucket-queue router exactly; only the allocation churn is gone.
+class HeapQueue {
+ public:
+  struct Entry {
+    float f;
+    float g;
+    std::uint32_t cell;
+  };
+
+  void reset() { heap_.clear(); }
+
+  void push(float f, float g, std::uint32_t cell) {
+    heap_.push_back({f, g, cell});
+    std::push_heap(heap_.begin(), heap_.end(), Greater{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  Entry pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+ private:
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const { return a.f > b.f; }
+  };
+  std::vector<Entry> heap_;
+};
+
+/// A*-queue traffic of one or more searches; summed into the routing
+/// result on the negotiation thread in deterministic net order, so the
+/// totals are identical for any worker count.
+struct SearchStats {
+  std::int64_t queue_pushes = 0;
+  std::int64_t queue_pops = 0;
+
+  SearchStats& operator+=(const SearchStats& o) {
+    queue_pushes += o.queue_pushes;
+    queue_pops += o.queue_pops;
+    return *this;
+  }
+};
+
+/// Per-worker search scratch: open queues plus the g/parent/tree/own-pin
+/// stamp arrays. One instance per routing worker, reused across every
+/// search that worker runs; epoch stamps make per-search clears O(1) and
+/// the retained capacity makes them allocation-free.
+struct SearchScratch {
+  BucketQueue bucket_queue;
+  HeapQueue heap_queue;
+  std::vector<float> g;
+  std::vector<int> g_version;
+  std::vector<std::int8_t> parent;
+  std::vector<int> tree_version;
+  std::vector<int> own_pin_version;
+  int search_epoch = 0;
+  int tree_epoch = 0;
+  int own_pin_epoch = 0;
+  /// Tree cells of the net currently being routed (fabric indices).
+  std::vector<std::size_t> tree_cells;
+
+  /// Size the arrays for a fabric of `cells` cells (idempotent).
+  void ensure(std::size_t cells) {
+    if (g.size() == cells) return;
+    g.assign(cells, 0.0f);
+    g_version.assign(cells, 0);
+    parent.assign(cells, -1);
+    tree_version.assign(cells, 0);
+    own_pin_version.assign(cells, 0);
+    search_epoch = tree_epoch = own_pin_epoch = 0;
+  }
+
+  void begin_search() { detail::bump_epoch(search_epoch, g_version); }
+  bool seen(std::size_t i) const { return g_version[i] == search_epoch; }
+  void set_g(std::size_t i, float v, int parent_dir) {
+    g[i] = v;
+    g_version[i] = search_epoch;
+    parent[i] = static_cast<std::int8_t>(parent_dir);
+  }
+
+  void begin_tree() { detail::bump_epoch(tree_epoch, tree_version); }
+  bool on_tree(std::size_t i) const { return tree_version[i] == tree_epoch; }
+  void mark_tree(std::size_t i) { tree_version[i] = tree_epoch; }
+
+  bool own_pin(std::size_t i) const {
+    return own_pin_version[i] == own_pin_epoch;
+  }
+};
+
+/// Route one merged net component as a Steiner tree over the fabric
+/// snapshot: pins join the partially built tree one at a time by A* within
+/// a restricted (failure-inflated) region. Pure function of
+/// (fabric, nodes, placement, options, component, present_factor) — the
+/// fabric is only read. Returns false when some pin could not be connected
+/// even by an unrestricted search; `out.cells` then holds the partial
+/// tree. Queue traffic is accumulated into `stats`.
+bool route_one_net(const Fabric& fabric, SearchScratch& scratch,
+                   const place::NodeSet& nodes,
+                   const place::Placement& placement,
+                   const RouteOptions& options, int component,
+                   double present_factor, RoutedNet& out, SearchStats& stats);
+
+}  // namespace tqec::route

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Release timing gate for the route search kernel (CI job timing-gate).
+
+Reads a google-benchmark JSON file produced by bench/micro_route_kernel
+and checks the *self-relative* ratios
+
+    bucket_over_heap     = time(bucket kernel) / time(heap kernel)
+    batched_over_serial  = time(batched schedule) / time(serial schedule)
+
+against the committed baseline (bench/route_timing_baseline.json). Ratios
+measured on the same machine in the same process cancel out host speed, so
+the gate is stable across runner generations where absolute wall-clock
+thresholds would flake. The gate fails when a measured ratio exceeds
+baseline * tolerance — i.e. when the optimized kernel or schedule
+regressed by more than (tolerance - 1) relative to its reference
+implementation.
+
+Usage: check_route_timing.py <benchmark.json> <baseline.json>
+"""
+import json
+import sys
+
+
+def min_time(benchmarks, name):
+    times = [
+        b["real_time"]
+        for b in benchmarks
+        if b["name"] == name and b.get("run_type", "iteration") == "iteration"
+    ]
+    if not times:
+        raise SystemExit(f"timing gate: no benchmark entry named {name!r}")
+    return min(times)
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        benchmarks = json.load(f)["benchmarks"]
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    measured = {
+        "bucket_over_heap": min_time(benchmarks, "BM_RouteKernel/bucket:1")
+        / min_time(benchmarks, "BM_RouteKernel/bucket:0"),
+        "batched_over_serial": min_time(benchmarks, "BM_RouteSchedule/batched:1")
+        / min_time(benchmarks, "BM_RouteSchedule/batched:0"),
+    }
+
+    tolerance = baseline["tolerance"]
+    failed = False
+    for name, ratio in measured.items():
+        limit = baseline["ratios"][name] * tolerance
+        verdict = "FAIL" if ratio > limit else "ok"
+        if ratio > limit:
+            failed = True
+        print(
+            f"timing gate: {name} = {ratio:.3f} "
+            f"(baseline {baseline['ratios'][name]:.3f}, limit {limit:.3f}) "
+            f"{verdict}"
+        )
+    if failed:
+        raise SystemExit(
+            "timing gate: route stage regressed more than "
+            f"{(tolerance - 1) * 100:.0f}% vs the committed baseline"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,16 @@
 //                              (rip up every net on every iteration; for
 //                              A/B comparisons against the incremental
 //                              schedule, which is the default)
+//   --route-threads=<n>        worker threads for the batched PathFinder
+//                              negotiation (default: divide the --jobs
+//                              budget across concurrent attempts; never
+//                              changes results)
+//   --route-serial             classic one-net-at-a-time negotiation
+//                              schedule (singleton batches; A/B escape
+//                              hatch for the disjoint-region batching)
+//   --route-heap               binary-heap A* open list instead of the
+//                              monotone bucket queue (A/B escape hatch
+//                              for the search-kernel swap)
 //   --no-optimize              skip the reversible peephole pass
 //   --no-plan                  disable f-value dual-segment planning
 //   --verify                   run the end-to-end braiding verifier
@@ -75,6 +85,7 @@ int usage() {
       "options: --mode=full|dual|modular --seed=N --effort=F\n"
       "         --jobs=N --place-restarts=K --stats-json=PATH|-\n"
       "         --trace-json=PATH --route-full-sweep\n"
+      "         --route-threads=N --route-serial --route-heap\n"
       "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
@@ -114,6 +125,14 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
   if (auto v = value_of("--trace-json=")) return opt.trace_json_path = *v, true;
   if (arg == "--route-full-sweep")
     return opt.compile.route.incremental = false, true;
+  if (auto v = value_of("--route-threads=")) {
+    opt.compile.route.threads = std::stoi(*v);
+    return true;
+  }
+  if (arg == "--route-serial")
+    return opt.compile.route.serial_schedule = true, true;
+  if (arg == "--route-heap")
+    return opt.compile.route.bucket_queue = false, true;
   if (arg == "--no-optimize") return opt.optimize = false, true;
   if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
   if (arg == "--verify") return opt.verify = true, true;

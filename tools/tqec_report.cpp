@@ -152,6 +152,15 @@ void render_attempts(const Value& stats) {
 void render_route(const Value& stats) {
   const Value* route = stats.find("route");
   if (route == nullptr || !route->is_object()) return;
+  if (route->find("batches") != nullptr) {
+    std::printf("\n  negotiation schedule (selected attempt)\n");
+    std::printf("    batches %-24.0f conflicts requeued %.0f\n",
+                num_or(*route, "batches", 0),
+                num_or(*route, "conflicts_requeued", 0));
+    std::printf("    mean nets per batch %.2f  (spatial parallelism exposed "
+                "to --route-threads)\n",
+                num_or(*route, "parallel_efficiency", 0));
+  }
   const Value* hot = route->find("hottest_cells");
   if (hot != nullptr && hot->is_array() && !hot->array.empty()) {
     std::printf("\n  congestion top-%zu (final routing)\n", hot->array.size());
