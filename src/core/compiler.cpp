@@ -220,6 +220,14 @@ CompileResult compile(const icm::IcmCircuit& circuit,
       place_opt.seed = seeds[k];
       place_opt.effort *= options.effort;
       place_opt.layer_y_gap = std::max(place_opt.layer_y_gap, y_gap);
+      // Split the jobs budget between concurrent attempts and each
+      // attempt's SA replicas (an explicit --place-threads wins). Thread
+      // counts never change results, so the split is a pure wall-clock
+      // heuristic — same contract as the routing split below.
+      if (place_opt.threads == 0)
+        place_opt.threads = std::max(
+            1, jobs / static_cast<int>(
+                          std::min(attempts, static_cast<std::size_t>(jobs))));
       a.placement = place_modules(nodes, place_opt);
       a.stats.place_s += seconds_since(t_stage);
 
@@ -246,6 +254,16 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.sa_iterations = a.placement.iterations_run;
     a.stats.sa_accepted = a.placement.moves_accepted;
     a.stats.sa_rejected = a.placement.moves_rejected;
+    a.stats.sa_replicas = a.placement.replicas;
+    a.stats.sa_selected_replica = a.placement.selected_replica;
+    a.stats.sa_repacked_nodes = a.placement.repacked_nodes;
+    a.stats.sa_exchanges_attempted = a.placement.exchanges_attempted;
+    a.stats.sa_exchanges_accepted = a.placement.exchanges_accepted;
+    // Moves/sec covers the attempt's final (selected-y-gap) placement over
+    // its total place time; purely diagnostic, never affects results.
+    if (a.stats.place_s > 0)
+      a.stats.sa_moves_per_sec =
+          static_cast<double>(a.placement.iterations_run) / a.stats.place_s;
     a.stats.route_iterations = a.routing.iterations;
     a.stats.route_overused = a.routing.overused_cells;
     a.stats.route_reroutes_per_iter = a.routing.reroutes_per_iter;
@@ -259,6 +277,7 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.route_conflicts_requeued = a.routing.conflicts_requeued;
     a.stats.route_parallel_efficiency = a.routing.parallel_efficiency;
     a.stats.sa_curve = a.placement.sa_curve;
+    a.stats.sa_replica_curves = a.placement.replica_curves;
     a.stats.route_overused_per_iter = a.routing.overused_per_iter;
   });
   place_route_span.end();
@@ -316,6 +335,12 @@ CompileResult compile(const icm::IcmCircuit& circuit,
                      result.timings.place_route_wall_s);
     trace::gauge_set("route.parallel_efficiency",
                      sel.route_parallel_efficiency);
+    trace::gauge_set("place.sa_replicas", sel.sa_replicas);
+    trace::gauge_set("place.sa_moves_per_sec", sel.sa_moves_per_sec);
+    trace::gauge_set(
+        "place.sa_repacked_per_move",
+        static_cast<double>(sel.sa_repacked_nodes) /
+            static_cast<double>(std::max(1, sel.sa_accepted + sel.sa_rejected)));
     auto iota_x = [](std::size_t n) {
       std::vector<double> x(n);
       for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
@@ -399,6 +424,26 @@ void emit_number_array(std::ostringstream& os, const std::vector<T>& values) {
   os << "]";
 }
 
+void emit_sa_curve(std::ostringstream& os,
+                   const std::vector<place::SaSample>& curve) {
+  std::vector<double> cost, temperature, accept_rate;
+  cost.reserve(curve.size());
+  temperature.reserve(curve.size());
+  accept_rate.reserve(curve.size());
+  for (const place::SaSample& s : curve) {
+    cost.push_back(s.cost);
+    temperature.push_back(s.temperature);
+    accept_rate.push_back(s.accept_rate);
+  }
+  os << "{\"cost\": ";
+  emit_number_array(os, cost);
+  os << ", \"temperature\": ";
+  emit_number_array(os, temperature);
+  os << ", \"accept_rate\": ";
+  emit_number_array(os, accept_rate);
+  os << "}";
+}
+
 }  // namespace
 
 std::string stats_json(const CompileResult& result) {
@@ -449,6 +494,16 @@ std::string stats_json(const CompileResult& result) {
        << ", \"sa_iterations\": " << a.sa_iterations
        << ", \"sa_accepted\": " << a.sa_accepted
        << ", \"sa_rejected\": " << a.sa_rejected
+       << ", \"sa_replicas\": " << a.sa_replicas
+       << ", \"sa_selected_replica\": " << a.sa_selected_replica
+       << ", \"sa_repacked_nodes\": " << a.sa_repacked_nodes
+       << ", \"sa_repacked_per_move\": "
+       << json_double(static_cast<double>(a.sa_repacked_nodes) /
+                      static_cast<double>(
+                          std::max(1, a.sa_accepted + a.sa_rejected)))
+       << ", \"sa_moves_per_sec\": " << json_double(a.sa_moves_per_sec)
+       << ", \"sa_exchanges_attempted\": " << a.sa_exchanges_attempted
+       << ", \"sa_exchanges_accepted\": " << a.sa_exchanges_accepted
        << ", \"route_iterations\": " << a.route_iterations
        << ", \"route_overused\": " << a.route_overused
        << ", \"route_reroutes\": " << a.route_reroutes
@@ -465,22 +520,14 @@ std::string stats_json(const CompileResult& result) {
     emit_number_array(os, a.route_reroutes_per_iter);
     os << ", \"route_overused_per_iter\": ";
     emit_number_array(os, a.route_overused_per_iter);
-    std::vector<double> cost, temperature, accept_rate;
-    cost.reserve(a.sa_curve.size());
-    temperature.reserve(a.sa_curve.size());
-    accept_rate.reserve(a.sa_curve.size());
-    for (const place::SaSample& s : a.sa_curve) {
-      cost.push_back(s.cost);
-      temperature.push_back(s.temperature);
-      accept_rate.push_back(s.accept_rate);
+    os << ", \"sa_curve\": ";
+    emit_sa_curve(os, a.sa_curve);
+    os << ", \"sa_replica_curves\": [";
+    for (std::size_t r = 0; r < a.sa_replica_curves.size(); ++r) {
+      if (r > 0) os << ", ";
+      emit_sa_curve(os, a.sa_replica_curves[r]);
     }
-    os << ", \"sa_curve\": {\"cost\": ";
-    emit_number_array(os, cost);
-    os << ", \"temperature\": ";
-    emit_number_array(os, temperature);
-    os << ", \"accept_rate\": ";
-    emit_number_array(os, accept_rate);
-    os << "}}";
+    os << "]}";
   }
   if (!t.attempts.empty()) os << "\n  ";
   os << "],\n";

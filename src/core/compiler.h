@@ -84,6 +84,16 @@ struct PlaceAttemptStats {
   int sa_iterations = 0;
   int sa_accepted = 0;
   int sa_rejected = 0;
+  /// SA engine observability (see place::Placement): parallel-tempering
+  /// schedule counters and the incremental-packing work metric. The
+  /// moves/sec rate is timing-derived (not deterministic); everything else
+  /// is bit-reproducible.
+  int sa_replicas = 1;
+  int sa_selected_replica = 0;
+  std::int64_t sa_repacked_nodes = 0;
+  std::int64_t sa_exchanges_attempted = 0;
+  std::int64_t sa_exchanges_accepted = 0;
+  double sa_moves_per_sec = 0;
   int route_iterations = 0;
   int route_overused = 0;
   /// PathFinder observability (final routing of the attempt): nets ripped
@@ -105,6 +115,9 @@ struct PlaceAttemptStats {
   /// SA convergence curve of the attempt's (final) placement, one sample
   /// per temperature batch.
   std::vector<place::SaSample> sa_curve;
+  /// Convergence curves of every tempering replica, indexed by ladder
+  /// position (sa_replica_curves[sa_selected_replica] == sa_curve).
+  std::vector<std::vector<place::SaSample>> sa_replica_curves;
   /// Overused-cell count after each PathFinder negotiation iteration.
   std::vector<int> route_overused_per_iter;
 };

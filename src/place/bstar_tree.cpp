@@ -2,6 +2,41 @@
 
 namespace tqec::place {
 
+BStarTree::BStarTree(const BStarTree& other)
+    : slots_(other.slots_),
+      item_list_(other.item_list_),
+      slot_of_item_(other.slot_of_item_),
+      root_(other.root_),
+      last_inserted_(other.last_inserted_),
+      packed_(other.packed_),
+      pos_(other.pos_),
+      stamp_(other.stamp_),
+      order_(other.order_),
+      pack_epoch_(other.pack_epoch_),
+      width_(other.width_),
+      depth_(other.depth_),
+      dirty_from_(other.dirty_from_),
+      pack_valid_(other.pack_valid_) {}
+
+BStarTree& BStarTree::operator=(const BStarTree& other) {
+  if (this == &other) return *this;
+  slots_ = other.slots_;
+  item_list_ = other.item_list_;
+  slot_of_item_ = other.slot_of_item_;
+  root_ = other.root_;
+  last_inserted_ = other.last_inserted_;
+  packed_ = other.packed_;
+  pos_ = other.pos_;
+  stamp_ = other.stamp_;
+  order_ = other.order_;
+  pack_epoch_ = other.pack_epoch_;
+  width_ = other.width_;
+  depth_ = other.depth_;
+  dirty_from_ = other.dirty_from_;
+  pack_valid_ = other.pack_valid_;
+  return *this;
+}
+
 bool BStarTree::contains(int item) const {
   return item >= 0 && item < static_cast<int>(slot_of_item_.size()) &&
          slot_of_item_[static_cast<std::size_t>(item)] >= 0;
@@ -12,6 +47,14 @@ int BStarTree::slot_of(int item) const {
   return slot_of_item_[static_cast<std::size_t>(item)];
 }
 
+void BStarTree::grow_cache_for_new_slot() {
+  packed_.push_back({});
+  // A fresh slot has no packed position yet; the sentinel keeps it in the
+  // dirty suffix no matter where the watermark sits.
+  pos_.push_back(kClean);
+  stamp_.push_back(0);
+}
+
 void BStarTree::insert(int item, Rng& rng) {
   TQEC_REQUIRE(!contains(item), "item already in tree");
   if (item >= static_cast<int>(slot_of_item_.size()))
@@ -19,12 +62,14 @@ void BStarTree::insert(int item, Rng& rng) {
 
   const int slot = static_cast<int>(slots_.size());
   slots_.push_back({item, -1, -1, -1});
+  grow_cache_for_new_slot();
   slot_of_item_[static_cast<std::size_t>(item)] = slot;
   item_list_.push_back(item);
   last_inserted_ = item;
 
   if (root_ < 0) {
     root_ = slot;
+    if (pack_valid_) mark_dirty_at(0);
     return;
   }
   // Walk random child pointers until a free slot is found; expected
@@ -37,6 +82,10 @@ void BStarTree::insert(int item, Rng& rng) {
     if (child < 0) {
       child = slot;
       slots_[static_cast<std::size_t>(slot)].parent = cur;
+      // The new leaf lands somewhere inside the parent's subtree; its
+      // preorder position is at least parent's + 1, so that is a sound
+      // (conservative) watermark.
+      mark_dirty_below(cur);
       return;
     }
     cur = child;
@@ -49,16 +98,19 @@ void BStarTree::insert_chain(int item) {
     slot_of_item_.resize(static_cast<std::size_t>(item) + 1, -1);
   const int slot = static_cast<int>(slots_.size());
   slots_.push_back({item, -1, -1, -1});
+  grow_cache_for_new_slot();
   slot_of_item_[static_cast<std::size_t>(item)] = slot;
   item_list_.push_back(item);
   if (root_ < 0) {
     root_ = slot;
+    if (pack_valid_) mark_dirty_at(0);
   } else {
     const int parent = slot_of(last_inserted_);
     TQEC_ASSERT(slots_[static_cast<std::size_t>(parent)].left < 0,
                 "chain insertion point occupied");
     slots_[static_cast<std::size_t>(parent)].left = slot;
     slots_[static_cast<std::size_t>(slot)].parent = parent;
+    mark_dirty_below(parent);
   }
   last_inserted_ = item;
 }
@@ -96,12 +148,30 @@ void BStarTree::erase_slot(int slot) {
     if (moved.left >= 0) slots_[static_cast<std::size_t>(moved.left)].parent = slot;
     if (moved.right >= 0)
       slots_[static_cast<std::size_t>(moved.right)].parent = slot;
+    // Carry the packing cache along with the renamed slot; if it is a
+    // clean-prefix slot, the preorder index must keep pointing at it.
+    packed_[static_cast<std::size_t>(slot)] =
+        packed_[static_cast<std::size_t>(last)];
+    stamp_[static_cast<std::size_t>(slot)] =
+        stamp_[static_cast<std::size_t>(last)];
+    const int moved_pos = pos_[static_cast<std::size_t>(last)];
+    pos_[static_cast<std::size_t>(slot)] = moved_pos;
+    if (moved_pos >= 0 && moved_pos < static_cast<int>(order_.size()) &&
+        order_[static_cast<std::size_t>(moved_pos)] == last)
+      order_[static_cast<std::size_t>(moved_pos)] = slot;
   }
   slots_.pop_back();
+  packed_.pop_back();
+  pos_.pop_back();
+  stamp_.pop_back();
 }
 
 void BStarTree::remove(int item, Rng& rng) {
   int slot = slot_of(item);
+  // Everything at or after the detached slot's preorder position can move;
+  // the bubble-down below only swaps items within its subtree (all deeper
+  // positions), so this single mark covers the whole operation.
+  mark_dirty_slot(slot);
   // Bubble the item down by swapping with a random child until it has at
   // most one child, then splice it out. Swapping items (not slots) keeps
   // all structural pointers intact.
@@ -131,13 +201,40 @@ void BStarTree::remove(int item, Rng& rng) {
 void BStarTree::swap_items(int a, int b) {
   const int sa = slot_of(a);
   const int sb = slot_of(b);
+  mark_dirty_slot(sa);
+  mark_dirty_slot(sb);
   std::swap(slots_[static_cast<std::size_t>(sa)].item,
             slots_[static_cast<std::size_t>(sb)].item);
   slot_of_item_[static_cast<std::size_t>(a)] = sb;
   slot_of_item_[static_cast<std::size_t>(b)] = sa;
 }
 
+void BStarTree::mark_item_dirty(int item) { mark_dirty_slot(slot_of(item)); }
+
+int BStarTree::packed_x(int item) const {
+  TQEC_ASSERT(pack_cache_clean(), "packed_x on an unpacked tree");
+  return packed_[static_cast<std::size_t>(slot_of(item))].x;
+}
+
+int BStarTree::packed_z(int item) const {
+  TQEC_ASSERT(pack_cache_clean(), "packed_z on an unpacked tree");
+  return packed_[static_cast<std::size_t>(slot_of(item))].z;
+}
+
+int BStarTree::packed_width() const {
+  TQEC_ASSERT(pack_cache_clean(), "packed_width on an unpacked tree");
+  return width_;
+}
+
+int BStarTree::packed_depth() const {
+  TQEC_ASSERT(pack_cache_clean(), "packed_depth on an unpacked tree");
+  return depth_;
+}
+
 void BStarTree::check_invariants() const {
+  TQEC_ASSERT(packed_.size() == slots_.size() && pos_.size() == slots_.size() &&
+                  stamp_.size() == slots_.size(),
+              "packing cache out of sync with slots");
   if (root_ < 0) {
     TQEC_ASSERT(slots_.empty(), "rootless tree with slots");
     return;

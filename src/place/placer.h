@@ -14,6 +14,22 @@
 // chain nodes, the SA search space shrinks drastically versus the
 // dual-only baseline — the effect the paper credits for both the better
 // initial solution and the better final volume on large benchmarks.
+//
+// The inner loop is incremental end to end: every perturbation repacks
+// only the dirty suffix of its layer's B*-tree (BStarTree::pack_update)
+// and re-evaluates only the nets of nodes whose cells actually moved. All
+// wirelength bookkeeping is exact integer arithmetic, so the tracked cost
+// never drifts from a full recompute (checked builds assert this at every
+// temperature-batch boundary).
+//
+// Optional parallel tempering: `replicas` > 1 anneals R temperature-
+// staggered chains and swaps their configurations at temperature-batch
+// boundaries (replica exchange). Chains run concurrently on up to
+// `threads` workers, but every cross-chain decision is made serially from
+// a dedicated RNG stream, so results are bit-identical for any thread
+// count — the same determinism contract as `--route-threads`. With
+// `replicas` == 1 the engine is move-for-move identical to the classic
+// single-chain annealer.
 #pragma once
 
 #include <cstdint>
@@ -38,8 +54,8 @@ struct PlaceOptions {
   double alpha_volume = 1.0;
   double beta_wire = 0.5;
   WireModel wire_model = WireModel::Hpwl;
-  /// SA iteration budget; 0 = automatic from the node count. The budget
-  /// scales multiplicatively with `effort`.
+  /// SA iteration budget per replica; 0 = automatic from the node count.
+  /// The budget scales multiplicatively with `effort`.
   int iterations = 0;
   double effort = 1.0;
   /// Initial acceptance temperature as a fraction of the initial cost.
@@ -50,10 +66,24 @@ struct PlaceOptions {
   /// Free routing plane inserted above every layer (congestion-driven
   /// whitespace; the compiler escalates to 1 when routing cannot legalize).
   int layer_y_gap = 0;
+  /// Parallel-tempering chain count. 1 (default) reproduces the classic
+  /// single-chain annealer exactly; R > 1 adds R-1 hotter chains and
+  /// replica exchange. The *result* depends only on this, never on
+  /// `threads`.
+  int replicas = 1;
+  /// Temperature ratio between adjacent chains of the tempering ladder.
+  double replica_stagger = 1.6;
+  /// Worker threads for running replicas concurrently; 0 = let the caller
+  /// decide (the compiler splits --jobs across attempts; plain
+  /// place_modules treats 0 as 1). Bit-identical results for any value.
+  int threads = 0;
+  /// Escape hatch: repack whole layers on every move instead of the dirty
+  /// suffix (A/B reference; results are bit-identical either way).
+  bool full_pack = false;
 };
 
 /// One SA convergence sample, taken at every temperature-batch boundary
-/// (after the batch's full cost resync, before cooling).
+/// (after the batch's debug cost cross-check, before cooling).
 struct SaSample {
   double cost = 0;
   double temperature = 0;
@@ -76,19 +106,32 @@ struct Placement {
   std::int64_t volume = 0;
   double wirelength = 0;
   int layers = 0;
-  /// SA statistics. Accepted + rejected can fall short of iterations_run:
-  /// some iterations propose no applicable move (e.g. rotating a
-  /// non-rotatable node) and count as neither.
+  /// SA statistics, summed over all replicas. Accepted + rejected can fall
+  /// short of iterations_run: some iterations propose no applicable move
+  /// (e.g. rotating a non-rotatable node) and count as neither.
   std::int64_t initial_volume = 0;
   int iterations_run = 0;
   int moves_accepted = 0;
   int moves_rejected = 0;
-  /// SA convergence curve, one sample per temperature batch (always
-  /// collected — a push_back per batch is free next to the batch itself).
+  /// Nodes repacked by pack_update across all moves and replicas
+  /// (numerator of the repacked-nodes-per-move diagnostic).
+  std::int64_t repacked_nodes = 0;
+  /// Parallel-tempering schedule statistics (zero when replicas == 1).
+  int replicas = 1;
+  int selected_replica = 0;
+  std::int64_t exchanges_attempted = 0;
+  std::int64_t exchanges_accepted = 0;
+  /// SA convergence curve of the selected replica, one sample per
+  /// temperature batch (always collected — a push_back per batch is free
+  /// next to the batch itself).
   std::vector<SaSample> sa_curve;
+  /// Convergence curves of every replica, indexed by ladder position
+  /// (replica_curves[selected_replica] == sa_curve).
+  std::vector<std::vector<SaSample>> replica_curves;
 };
 
-/// Place a node set. Deterministic for a fixed seed.
+/// Place a node set. Deterministic for a fixed seed and replica count,
+/// independent of `threads`.
 Placement place_modules(const NodeSet& nodes, const PlaceOptions& options);
 
 }  // namespace tqec::place

@@ -20,6 +20,17 @@
 //                              trace-event file (open in Perfetto or
 //                              chrome://tracing; with --jobs=N each worker
 //                              thread gets its own tid row)
+//   --place-replicas=<r>       parallel-tempering chain count for the SA
+//                              placer (default 1 = classic single chain;
+//                              changes results, unlike thread knobs)
+//   --place-threads=<n>        worker threads for running SA replicas
+//                              concurrently (default: divide the --jobs
+//                              budget across concurrent attempts; never
+//                              changes results)
+//   --place-full-pack          repack whole layers on every SA move
+//                              instead of the dirty contour suffix (A/B
+//                              escape hatch for the incremental packer;
+//                              bit-identical results either way)
 //   --route-full-sweep         disable incremental PathFinder rerouting
 //                              (rip up every net on every iteration; for
 //                              A/B comparisons against the incremental
@@ -85,6 +96,7 @@ int usage() {
       "options: --mode=full|dual|modular --seed=N --effort=F\n"
       "         --jobs=N --place-restarts=K --stats-json=PATH|-\n"
       "         --trace-json=PATH --route-full-sweep\n"
+      "         --place-replicas=R --place-threads=N --place-full-pack\n"
       "         --route-threads=N --route-serial --route-heap\n"
       "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
@@ -121,6 +133,16 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     opt.compile.place_restarts = std::stoi(*v);
     return true;
   }
+  if (auto v = value_of("--place-replicas=")) {
+    opt.compile.place.replicas = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value_of("--place-threads=")) {
+    opt.compile.place.threads = std::stoi(*v);
+    return true;
+  }
+  if (arg == "--place-full-pack")
+    return opt.compile.place.full_pack = true, true;
   if (auto v = value_of("--stats-json=")) return opt.stats_json_path = *v, true;
   if (auto v = value_of("--trace-json=")) return opt.trace_json_path = *v, true;
   if (arg == "--route-full-sweep")
