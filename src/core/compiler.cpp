@@ -210,10 +210,30 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   std::vector<Attempt> outcomes(attempts);
   t = std::chrono::steady_clock::now();
   trace::Span place_route_span("pipeline.place_route");
-  parallel_for(attempts, jobs, [&](std::size_t k) {
+  // Warm-start chaining (--route-warm-start): the NegotiationMemory
+  // exported by each attempt's final routing seeds the NEXT attempt's
+  // first routing with decayed history and remembered windows, so later
+  // attempts skip part of the negotiation-convergence price. Each attempt
+  // snapshots the incoming memory once: its internal y-gap escalation
+  // re-consumes that same snapshot rather than its own y-gap-0 export, so
+  // every attempt in isolation routes exactly as it would without
+  // chaining. Chaining imposes a sequential attempt order (each attempt
+  // then gets the whole jobs budget for its internal parallelism); the
+  // order is a fixed function of the attempt index, so results stay
+  // bit-identical for any jobs value. Attempt 0 consumes an invalid
+  // (empty) memory, preserving single-attempt == attempt-0 equivalence —
+  // and making the default place_restarts=1 pipeline bit-identical to
+  // --route-warm-start=0.
+  const bool warm_chain = options.route.warm_start;
+  route::NegotiationMemory chained_memory;
+  auto run_attempt = [&](std::size_t k) {
     TQEC_TRACE_SPAN("place_route.attempt", "attempt " + std::to_string(k));
     Attempt& a = outcomes[k];
     a.stats.seed = seeds[k];
+    const route::NegotiationMemory attempt_in = chained_memory;
+    const int thread_split = std::max(
+        1, jobs / static_cast<int>(
+                      std::min(attempts, static_cast<std::size_t>(jobs))));
     for (const int y_gap : {0, 1}) {
       auto t_stage = std::chrono::steady_clock::now();
       place::PlaceOptions place_opt = options.place;
@@ -221,13 +241,13 @@ CompileResult compile(const icm::IcmCircuit& circuit,
       place_opt.effort *= options.effort;
       place_opt.layer_y_gap = std::max(place_opt.layer_y_gap, y_gap);
       // Split the jobs budget between concurrent attempts and each
-      // attempt's SA replicas (an explicit --place-threads wins). Thread
-      // counts never change results, so the split is a pure wall-clock
-      // heuristic — same contract as the routing split below.
+      // attempt's SA replicas (an explicit --place-threads wins); under
+      // warm-start chaining attempts run one at a time, so each gets the
+      // whole budget. Thread counts never change results, so the split is
+      // a pure wall-clock heuristic — same contract as the routing split
+      // below.
       if (place_opt.threads == 0)
-        place_opt.threads = std::max(
-            1, jobs / static_cast<int>(
-                          std::min(attempts, static_cast<std::size_t>(jobs))));
+        place_opt.threads = warm_chain ? jobs : thread_split;
       a.placement = place_modules(nodes, place_opt);
       a.stats.place_s += seconds_since(t_stage);
 
@@ -239,10 +259,11 @@ CompileResult compile(const icm::IcmCircuit& circuit,
       // Thread counts never change results, so the split is a pure
       // wall-clock heuristic.
       if (route_opt.threads == 0)
-        route_opt.threads = std::max(
-            1, jobs / static_cast<int>(
-                          std::min(attempts, static_cast<std::size_t>(jobs))));
-      a.routing = route::route_nets(nodes, a.placement, route_opt);
+        route_opt.threads = warm_chain ? jobs : thread_split;
+      a.routing = warm_chain
+                      ? route::route_nets(nodes, a.placement, route_opt,
+                                          &attempt_in, &chained_memory)
+                      : route::route_nets(nodes, a.placement, route_opt);
       a.stats.route_s += seconds_since(t_stage);
       a.stats.y_gap = y_gap;
       if (a.routing.legal) break;
@@ -276,10 +297,19 @@ CompileResult compile(const icm::IcmCircuit& circuit,
     a.stats.route_batches = a.routing.batches;
     a.stats.route_conflicts_requeued = a.routing.conflicts_requeued;
     a.stats.route_parallel_efficiency = a.routing.parallel_efficiency;
+    a.stats.route_lookahead_nets = a.routing.lookahead_nets;
+    a.stats.route_window_hits = a.routing.window_hits;
+    a.stats.route_window_misses = a.routing.window_misses;
+    a.stats.route_warm_started = a.routing.warm_started;
     a.stats.sa_curve = a.placement.sa_curve;
     a.stats.sa_replica_curves = a.placement.replica_curves;
     a.stats.route_overused_per_iter = a.routing.overused_per_iter;
-  });
+  };
+  if (warm_chain) {
+    for (std::size_t k = 0; k < attempts; ++k) run_attempt(k);
+  } else {
+    parallel_for(attempts, jobs, run_attempt);
+  }
   place_route_span.end();
   result.timings.place_route_wall_s = seconds_since(t);
 
@@ -516,6 +546,11 @@ std::string stats_json(const CompileResult& result) {
        << ", \"route_conflicts_requeued\": " << a.route_conflicts_requeued
        << ", \"route_parallel_efficiency\": "
        << json_double(a.route_parallel_efficiency)
+       << ", \"route_lookahead_nets\": " << a.route_lookahead_nets
+       << ", \"route_window_hits\": " << a.route_window_hits
+       << ", \"route_window_misses\": " << a.route_window_misses
+       << ", \"route_warm_started\": "
+       << (a.route_warm_started ? "true" : "false")
        << ", \"route_reroutes_per_iter\": ";
     emit_number_array(os, a.route_reroutes_per_iter);
     os << ", \"route_overused_per_iter\": ";
@@ -543,6 +578,10 @@ std::string stats_json(const CompileResult& result) {
      << ", \"conflicts_requeued\": " << routing.conflicts_requeued
      << ", \"parallel_efficiency\": "
      << json_double(routing.parallel_efficiency)
+     << ", \"lookahead_nets\": " << routing.lookahead_nets
+     << ", \"window_hits\": " << routing.window_hits
+     << ", \"window_misses\": " << routing.window_misses
+     << ", \"warm_started\": " << (routing.warm_started ? "true" : "false")
      << ", \"overused_per_iter\": ";
   emit_number_array(os, routing.overused_per_iter);
   os << ", \"congestion_histogram\": ";

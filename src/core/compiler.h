@@ -112,6 +112,14 @@ struct PlaceAttemptStats {
   int route_batches = 0;
   int route_conflicts_requeued = 0;
   double route_parallel_efficiency = 0;
+  /// Lookahead / warm-window / warm-start observability: components whose
+  /// searches used the obstacle-aware lookahead, warm-window first-attempt
+  /// hits vs. ladder fallbacks, and whether this attempt consumed the
+  /// previous attempt's NegotiationMemory (--route-warm-start).
+  int route_lookahead_nets = 0;
+  std::int64_t route_window_hits = 0;
+  std::int64_t route_window_misses = 0;
+  bool route_warm_started = false;
   /// SA convergence curve of the attempt's (final) placement, one sample
   /// per temperature batch.
   std::vector<place::SaSample> sa_curve;

@@ -4,7 +4,10 @@
 // Within one negotiation iteration the pending nets are partitioned into
 // batches such that any two nets of a batch have disjoint *declared
 // regions* (the net's pin bounding box inflated by the restricted-search
-// margin). Nets of a batch route concurrently against a read snapshot of
+// margin, widened to cover its warm search window when --route-windows is
+// on — the declared region always contains the cells the net's first
+// connect attempts may search). Nets of a batch route concurrently
+// against a read snapshot of
 // the fabric: because their searches are confined to disjoint cell sets,
 // each net's result is independent of its batch-mates and therefore equal
 // to what a serial execution of the same batch sequence would produce —

@@ -36,10 +36,12 @@ namespace {
 class Router {
  public:
   Router(const place::NodeSet& nodes, const place::Placement& placement,
-         const RouteOptions& opt)
+         const RouteOptions& opt, const NegotiationMemory* warm,
+         NegotiationMemory* memory_out)
       : nodes_(nodes), placement_(placement), opt_(opt),
         fabric_(nodes, placement, opt.margin),
-        threads_(std::max(1, opt.threads)) {}
+        threads_(std::max(1, opt.threads)), warm_(warm),
+        memory_out_(memory_out) {}
 
   RoutingResult run();
 
@@ -56,27 +58,65 @@ class Router {
       fabric_.occupy(fabric_.index(cell), net.component);
   }
 
-  /// A component's declared region: its pins' bounding box inflated by
-  /// twice the restricted-search margin (the extra margin absorbs the
-  /// tree-box growth of multi-pin connects; escapes beyond it are caught
-  /// at commit). Access cells sit face-adjacent to their pin, inside the
-  /// inflation.
-  Box3 declared_region(int component) const {
+  /// A component's pin bounding box.
+  Box3 pin_box(int component) const {
     Box3 box;
     for (pdgraph::ModuleId m :
          nodes_.net_pins[static_cast<std::size_t>(component)])
       box = box.expanded(
           placement_.module_cell[static_cast<std::size_t>(m)]);
-    return box.inflated(2 * opt_.region_margin);
+    return box;
+  }
+
+  /// A component's base declared region: its pin bounding box inflated by
+  /// twice the restricted-search margin (the extra margin absorbs the
+  /// tree-box growth of multi-pin connects; escapes beyond it are caught
+  /// at commit). Access cells sit face-adjacent to their pin, inside the
+  /// inflation. Under --route-windows the per-iteration declared region
+  /// additionally covers the net's current warm window.
+  Box3 declared_region(int component) const {
+    return pin_box(component).inflated(2 * opt_.region_margin);
+  }
+
+  /// The warm search window of a component: the bounding box of its
+  /// current route (its cells survive rip_up, which only touches the
+  /// fabric), falling back to the window imported from NegotiationMemory
+  /// for a net that has not been routed in this run yet. Empty = cold.
+  Box3 window_of(int component, const RoutedNet& current) const {
+    Box3 w;
+    for (const Vec3& cell : current.cells) w = w.expanded(cell);
+    if (w.empty() && !warm_window_.empty())
+      w = warm_window_[static_cast<std::size_t>(component)];
+    return w;
+  }
+
+  /// Per-search context: the component's lookahead (shared reach map +
+  /// label set) and its warm window. Reads only negotiation-thread state
+  /// that is frozen during a batch's search phase.
+  NetContext context_of(int component, const RoutedNet& current) const {
+    NetContext ctx;
+    if (reach_map_.valid() &&
+        lookahead_maps_[static_cast<std::size_t>(component)].valid()) {
+      ctx.reach = &reach_map_;
+      ctx.lookahead = &lookahead_maps_[static_cast<std::size_t>(component)];
+    }
+    if (opt_.windows) ctx.window = window_of(component, current);
+    return ctx;
   }
 
   bool route_component(int component, RoutedNet& out, double present_factor) {
+    const NetContext ctx = context_of(component, out);
     SearchStats stats;
-    const bool ok = route_one_net(fabric_, scratch_[0], nodes_, placement_,
-                                  opt_, component, present_factor, out, stats);
+    const bool ok =
+        route_one_net(fabric_, scratch_[0], nodes_, placement_, opt_,
+                      component, present_factor, ctx, out, stats);
     net_stats_[static_cast<std::size_t>(component)] += stats;
     return ok;
   }
+
+  void import_memory(RoutingResult& result, int components);
+  void export_memory(const RoutingResult& result, int components) const;
+  void build_lookahead_maps(int components);
 
   const place::NodeSet& nodes_;
   const place::Placement& placement_;
@@ -92,7 +132,106 @@ class Router {
   /// Cells installed by commits of the current batch (epoch-stamped).
   std::vector<int> batch_stamp_;
   int batch_epoch_ = 0;
+  const NegotiationMemory* warm_;
+  NegotiationMemory* memory_out_;
+  /// Shared build-time free-space labeling (empty when --route-lookahead=0)
+  /// plus each component's reachable-label set.
+  ReachMap reach_map_;
+  std::vector<LookaheadMap> lookahead_maps_;
+  /// Initial warm windows imported from NegotiationMemory (empty when cold
+  /// or --route-windows=0).
+  std::vector<Box3> warm_window_;
 };
+
+/// Label the fabric's free space once, then derive every component's
+/// reachable-label set (O(pins) each). Both read only build-time fabric
+/// state — this must run before the first repair hard block — so the
+/// per-component builds run freely in parallel.
+void Router::build_lookahead_maps(int components) {
+  if (!opt_.lookahead) return;
+  reach_map_ = build_reach_map(fabric_);
+  lookahead_maps_.assign(static_cast<std::size_t>(components), LookaheadMap{});
+  parallel_for(static_cast<std::size_t>(components), threads_,
+               [&](std::size_t c) {
+                 lookahead_maps_[c] = build_lookahead(
+                     fabric_, reach_map_, nodes_, placement_,
+                     static_cast<int>(c));
+               });
+}
+
+/// Seed this run from a previous attempt's negotiation state: history
+/// costs are replayed by absolute coordinate over the fabric-box overlap
+/// with a 0.5 decay (stale congestion should suggest, not dictate), and
+/// each component's final route window is reconstituted by growing its new
+/// pin bounding box with the remembered per-face slack.
+void Router::import_memory(RoutingResult& result, int components) {
+  if (warm_ == nullptr || !warm_->valid || !opt_.warm_start) return;
+  if (warm_->window_slack.size() != static_cast<std::size_t>(components))
+    return;
+  result.warm_started = true;
+
+  const Box3& old_box = warm_->fabric_box;
+  const Vec3 old_dims = old_box.dims();
+  const auto old_index = [&](Vec3 p) {
+    const Vec3 rel = p - old_box.lo;
+    return (static_cast<std::size_t>(rel.y) * old_dims.z + rel.z) *
+               old_dims.x +
+           rel.x;
+  };
+  for (std::size_t i = 0; i < fabric_.cell_count(); ++i) {
+    const Vec3 p = fabric_.cell_at(i);
+    if (!old_box.contains(p)) continue;
+    fabric_.history(i) = 0.5f * warm_->history[old_index(p)];
+  }
+
+  if (opt_.windows) {
+    warm_window_.assign(static_cast<std::size_t>(components), Box3{});
+    for (int c = 0; c < components; ++c) {
+      const auto& slack = warm_->window_slack[static_cast<std::size_t>(c)];
+      if (slack[0] < 0) continue;  // component was unrouted last time
+      const Box3 pins = pin_box(c);
+      if (pins.empty()) continue;
+      Box3 w{{pins.lo.x - slack[1], pins.lo.y - slack[3], pins.lo.z - slack[5]},
+             {pins.hi.x + slack[0], pins.hi.y + slack[2],
+              pins.hi.z + slack[4]}};
+      w.lo = {std::max(w.lo.x, fabric_.box().lo.x),
+              std::max(w.lo.y, fabric_.box().lo.y),
+              std::max(w.lo.z, fabric_.box().lo.z)};
+      w.hi = {std::min(w.hi.x, fabric_.box().hi.x),
+              std::min(w.hi.y, fabric_.box().hi.y),
+              std::min(w.hi.z, fabric_.box().hi.z)};
+      warm_window_[static_cast<std::size_t>(c)] = w;
+    }
+  }
+}
+
+/// Export this run's final negotiation state for the next attempt.
+void Router::export_memory(const RoutingResult& result,
+                           int components) const {
+  if (memory_out_ == nullptr) return;
+  NegotiationMemory& mem = *memory_out_;
+  mem.valid = true;
+  mem.fabric_box = fabric_.box();
+  mem.history.resize(fabric_.cell_count());
+  for (std::size_t i = 0; i < fabric_.cell_count(); ++i)
+    mem.history[i] = fabric_.history(i);
+  mem.window_slack.assign(static_cast<std::size_t>(components),
+                          {-1, 0, 0, 0, 0, 0});
+  for (int c = 0; c < components; ++c) {
+    const RoutedNet& net = result.nets[static_cast<std::size_t>(c)];
+    if (net.cells.empty()) continue;
+    Box3 route;
+    for (const Vec3& cell : net.cells) route = route.expanded(cell);
+    const Box3 pins = pin_box(c);
+    // Per-face slack in kNeighbours face order (+x,-x,+y,-y,+z,-z); routes
+    // contain their pins, so every entry is >= 0 — slack[0] == -1 is free
+    // as the unrouted sentinel.
+    mem.window_slack[static_cast<std::size_t>(c)] = {
+        route.hi.x - pins.hi.x, pins.lo.x - route.lo.x,
+        route.hi.y - pins.hi.y, pins.lo.y - route.lo.y,
+        route.hi.z - pins.hi.z, pins.lo.z - route.lo.z};
+  }
+}
 
 RoutingResult Router::run() {
   TQEC_TRACE_SPAN("route.pathfinder");
@@ -142,15 +281,28 @@ RoutingResult Router::run() {
                       b);
   });
 
-  // Declared regions are a function of the (fixed) pin placement only:
-  // compute them once for the whole negotiation.
-  std::vector<Box3> regions(static_cast<std::size_t>(components));
+  // Warm-start import (history + windows) and lookahead maps come before
+  // the first iteration so even iteration 1's searches benefit.
+  import_memory(result, components);
+  {
+    TQEC_TRACE_SPAN("route.lookahead");
+    build_lookahead_maps(components);
+  }
+
+  // Base declared regions are a function of the (fixed) pin placement
+  // only: compute them once. Under --route-windows the effective region
+  // additionally covers the net's current warm window (recomputed per
+  // iteration below), since that is where its warm first attempt may
+  // search.
+  std::vector<Box3> base_regions(static_cast<std::size_t>(components));
   for (int c = 0; c < components; ++c)
-    regions[static_cast<std::size_t>(c)] = declared_region(c);
+    base_regions[static_cast<std::size_t>(c)] = declared_region(c);
+  std::vector<Box3> regions = base_regions;
 
   double present_factor = opt_.present_base;
   int stall = 0;
   int prev_overused = -1;
+  int stall_sweeps_left = opt_.stall_sweeps;
   trace::Span negotiation_span("route.negotiate");
   // Nets to rip up and reroute this iteration; iteration 1 routes all.
   std::vector<std::uint8_t> dirty(static_cast<std::size_t>(components), 1);
@@ -164,6 +316,18 @@ RoutingResult Router::run() {
     pending.clear();
     for (int c : order)
       if (dirty[static_cast<std::size_t>(c)]) pending.push_back(c);
+    if (opt_.windows) {
+      // A pending net's warm first attempt searches within its window:
+      // declare that box too so batch-mates stay disjoint from it.
+      for (const int c : pending) {
+        const Box3 w =
+            window_of(c, result.nets[static_cast<std::size_t>(c)]);
+        regions[static_cast<std::size_t>(c)] =
+            w.empty() ? base_regions[static_cast<std::size_t>(c)]
+                      : base_regions[static_cast<std::size_t>(c)].merged(
+                            w.inflated(1));
+      }
+    }
     const BatchPlan plan =
         plan_batches(pending, regions, opt_.serial_schedule);
 
@@ -177,12 +341,16 @@ RoutingResult Router::run() {
         candidate_stats.assign(batch.size(), SearchStats{});
         candidate_ok.assign(batch.size(), 0);
         // Search phase: the fabric is frozen; each worker slot owns a
-        // scratch, so concurrent searches never share mutable state.
+        // scratch, so concurrent searches never share mutable state. The
+        // context reads the net's pre-rip-up route (rip_up only touches
+        // the fabric) and the shared lookahead maps, both frozen here.
         auto search_one = [&](std::size_t slot, std::size_t i) {
+          const NetContext ctx = context_of(
+              batch[i], result.nets[static_cast<std::size_t>(batch[i])]);
           candidate_ok[i] =
               route_one_net(fabric_, scratch_[slot], nodes_, placement_,
-                            opt_, batch[i], present_factor, candidates[i],
-                            candidate_stats[i])
+                            opt_, batch[i], present_factor, ctx,
+                            candidates[i], candidate_stats[i])
                   ? 1
                   : 0;
         };
@@ -270,9 +438,15 @@ RoutingResult Router::run() {
     prev_overused = overused;
     if (stall >= 5) break;
     // Full-sweep fallback: rerouting only the contested nets stopped
-    // making progress, so give every net a chance to move out of the way.
-    if (!opt_.incremental || stall > 0)
+    // making progress, so give every net a chance to move out of the way —
+    // up to the stall_sweeps budget; past it the run keeps to the
+    // contested subset and lets the stall abort hand over to repair.
+    if (!opt_.incremental) {
       std::fill(dirty.begin(), dirty.end(), 1);
+    } else if (stall > 0 && stall_sweeps_left != 0) {
+      std::fill(dirty.begin(), dirty.end(), 1);
+      if (stall_sweeps_left > 0) --stall_sweeps_left;
+    }
     TQEC_LOG_DEBUG("pathfinder iter " << iter + 1 << ": " << overused
                                       << " overused cells, " << reroutes
                                       << " nets rerouted");
@@ -300,6 +474,13 @@ RoutingResult Router::run() {
       break;
     }
     bool progressed = false;
+    // Hard blocks of cells awarded in THIS scan: they keep later reroutes
+    // of the same scan off the awarded cells, but must be lifted at scan
+    // end — usage/capacity already protects an awarded cell (its winner
+    // occupies it), while a stale block would wall the winner off from its
+    // own cell if a later scan reroutes it for a different contested cell,
+    // spuriously reporting repair_failed.
+    std::vector<std::size_t> awarded_blocks;
     for (std::size_t idx : contested) {
       if (fabric_.usage(idx) <= fabric_.capacity(idx))
         continue;  // resolved by an earlier reroute in this scan
@@ -342,6 +523,7 @@ RoutingResult Router::run() {
         if (all_ok) {
           awarded = true;
           progressed = true;
+          awarded_blocks.push_back(idx);
         } else {
           // Roll back: restore every touched net's previous complete route
           // and lift the block before trying the next winner.
@@ -361,6 +543,7 @@ RoutingResult Router::run() {
                                              << users.size() << " nets"
                                              << (awarded ? "" : " FAILED"));
     }
+    for (const std::size_t idx : awarded_blocks) fabric_.unblock(idx);
     if (!progressed) break;  // genuine cut: stays honestly illegal
   }
   repair_span.end();
@@ -432,6 +615,9 @@ RoutingResult Router::run() {
   for (const SearchStats& s : net_stats_) {
     result.queue_pushes += s.queue_pushes;
     result.queue_pops += s.queue_pops;
+    result.window_hits += s.window_hits;
+    result.window_misses += s.window_misses;
+    if (s.lookahead_connects > 0) ++result.lookahead_nets;
   }
   trace::counter_add("route.queue_pushes", result.queue_pushes);
   trace::counter_add("route.queue_pops", result.queue_pops);
@@ -441,6 +627,10 @@ RoutingResult Router::run() {
   trace::counter_add("route.repair_failed", result.repair_failed);
   trace::counter_add("route.batches", result.batches);
   trace::counter_add("route.conflicts_requeued", result.conflicts_requeued);
+  trace::counter_add("route.lookahead_nets", result.lookahead_nets);
+  trace::counter_add("route.window_hits", result.window_hits);
+  trace::counter_add("route.window_misses", result.window_misses);
+  export_memory(result, components);
   result.bounding = placement_.core;
   result.total_wire = 0;
   for (const RoutedNet& net : result.nets) {
@@ -464,7 +654,15 @@ RoutingResult Router::run() {
 RoutingResult route_nets(const place::NodeSet& nodes,
                          const place::Placement& placement,
                          const RouteOptions& options) {
-  Router router(nodes, placement, options);
+  return route_nets(nodes, placement, options, nullptr, nullptr);
+}
+
+RoutingResult route_nets(const place::NodeSet& nodes,
+                         const place::Placement& placement,
+                         const RouteOptions& options,
+                         const NegotiationMemory* warm,
+                         NegotiationMemory* memory_out) {
+  Router router(nodes, placement, options, warm, memory_out);
   return router.run();
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -31,14 +32,16 @@ namespace tqec::route {
 namespace detail {
 
 /// Occupancy-counter update for the routing fabric's uint16 usage/capacity
-/// arrays. A plain cast would wrap a negative result to 65535, silently
-/// masking congestion (a cell that looks maximally used is never chosen,
-/// and overuse accounting on it goes wrong); assert on underflow and clamp
-/// at zero as defense in depth.
+/// arrays. A plain cast would wrap a negative result to 65535 (a cell that
+/// looks maximally used is never chosen) or wrap a saturated counter to 0
+/// (a maximally pinned module suddenly looks free and negotiation
+/// deadlocks on phantom capacity); assert on both ends and clamp as
+/// defense in depth.
 inline std::uint16_t counter_add(std::uint16_t value, int delta) {
   const int next = static_cast<int>(value) + delta;
   TQEC_ASSERT(next >= 0, "routing-fabric counter underflow");
-  return static_cast<std::uint16_t>(std::max(next, 0));
+  TQEC_ASSERT(next <= 65535, "routing-fabric counter overflow");
+  return static_cast<std::uint16_t>(std::clamp(next, 0, 65535));
 }
 
 }  // namespace detail
@@ -63,6 +66,16 @@ struct RouteOptions {
   /// whenever the overused-cell count stalls. Disable to force the classic
   /// full rip-up of every net on every iteration.
   bool incremental = true;
+  /// Budget of stall-triggered full-sweep fallbacks per negotiation run.
+  /// The first sweeps after a stall regularly shake out another contested
+  /// cell or two, but a negotiation that is still stuck after `stall_sweeps`
+  /// of them essentially never recovers by sweeping more — it either needs
+  /// hard-block repair or a whitespace escalation — while every extra
+  /// sweep rips up and reroutes all nets. Once the budget is spent, stalls
+  /// keep rerouting only the contested subset until the stall abort ends
+  /// the run. Converging runs never stall, so this budget cannot change
+  /// their result. Negative = unlimited (the classic schedule, for A/B).
+  int stall_sweeps = 2;
   /// Initial half-width of the restricted search region around a
   /// connection's bounding box; grows when a connection fails.
   int region_margin = 6;
@@ -83,6 +96,41 @@ struct RouteOptions {
   /// original std::priority_queue router — bench/micro_route_kernel.cpp
   /// A/Bs the two).
   bool bucket_queue = true;
+  /// Obstacle-aware A* lookahead (CLI `--route-lookahead`): one global
+  /// labeling of the fabric's free-space components (around distillation
+  /// boxes and module walls) plus each net's reachable-label set. Searches
+  /// prune cells that provably cannot reach the tree and fail doomed
+  /// connects with one lookup instead of flooding their region. Pruning
+  /// only removes provably dead work — pop order, g-values, and
+  /// tie-breaking of the live search are untouched — so routes are
+  /// bit-identical with the flag on or off (DESIGN.md §Routing gives the
+  /// argument).
+  bool lookahead = true;
+  /// Warm per-net search windows (CLI `--route-windows`): a net's first
+  /// connect attempt is restricted to its previous successful route's
+  /// bounding box (kept across negotiation iterations) before falling back
+  /// to the classic failure-inflated margin ladder.
+  bool windows = true;
+  /// Warm-start negotiation across core::compile's restart attempts (CLI
+  /// `--route-warm-start`): carry PathFinder history costs and final route
+  /// windows from one attempt into the next via NegotiationMemory.
+  bool warm_start = true;
+};
+
+/// Negotiation state carried between route_nets calls (core::compile's
+/// multi-seed restart loop): decayed PathFinder history costs addressed by
+/// absolute fabric coordinates, plus each component's final route window
+/// encoded as per-face slack beyond its pin bounding box (kNeighbours face
+/// order: +x,-x,+y,-y,+z,-z). slack[0] == -1 marks a component that had no
+/// routed cells. A default-constructed memory (valid == false) warms
+/// nothing; route_nets never reads placement-specific indices from it —
+/// only absolute coordinates intersected with the new fabric box — so it
+/// is safe to replay against a different placement.
+struct NegotiationMemory {
+  bool valid = false;
+  Box3 fabric_box;
+  std::vector<float> history;
+  std::vector<std::array<int, 6>> window_slack;
 };
 
 struct RoutedNet {
@@ -135,6 +183,19 @@ struct RoutingResult {
   /// --route-serial.
   double parallel_efficiency = 0;
 
+  // Lookahead / warm-window observability. Like the stats above, all of
+  // these are summed per component in deterministic component order, so
+  // they are identical for any --route-threads value.
+  /// Components whose searches used the obstacle-aware lookahead at least
+  /// once (0 when --route-lookahead=0).
+  int lookahead_nets = 0;
+  /// Warm-window connect attempts that succeeded within the previous
+  /// route's bounding box vs. fell through to the classic margin ladder.
+  std::int64_t window_hits = 0;
+  std::int64_t window_misses = 0;
+  /// Whether this run consumed a valid NegotiationMemory.
+  bool warm_started = false;
+
   // Congestion observability (always computed; one O(cells) pass at the
   // end of routing, serialized via core::stats_json and rendered by
   // tools/tqec_report).
@@ -162,5 +223,16 @@ struct RoutingResult {
 RoutingResult route_nets(const place::NodeSet& nodes,
                          const place::Placement& placement,
                          const RouteOptions& options);
+
+/// Warm-startable variant: when `warm` is non-null, valid, and
+/// options.warm_start is set, the run seeds its history costs and initial
+/// per-net windows from it; when `memory_out` is non-null the run's final
+/// negotiation state is exported for the next attempt. Either pointer may
+/// be null (the plain overload passes both as null).
+RoutingResult route_nets(const place::NodeSet& nodes,
+                         const place::Placement& placement,
+                         const RouteOptions& options,
+                         const NegotiationMemory* warm,
+                         NegotiationMemory* memory_out);
 
 }  // namespace tqec::route

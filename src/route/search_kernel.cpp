@@ -17,10 +17,17 @@ Fabric::Fabric(const place::NodeSet& nodes, const place::Placement& placement,
   nets_at_.assign(n, {});
 
   for (const geom::DistillBox& b : placement.boxes) {
+    // Clamp the rasterized extent to the fabric: with a small routing
+    // margin a box edge can poke outside the margin-inflated core, and an
+    // unclamped loop would index outside the fabric.
     const Box3 e = b.extent();
-    for (int x = e.lo.x; x <= e.hi.x; ++x)
-      for (int y = e.lo.y; y <= e.hi.y; ++y)
-        for (int z = e.lo.z; z <= e.hi.z; ++z)
+    const Vec3 lo{std::max(e.lo.x, box_.lo.x), std::max(e.lo.y, box_.lo.y),
+                  std::max(e.lo.z, box_.lo.z)};
+    const Vec3 hi{std::min(e.hi.x, box_.hi.x), std::min(e.hi.y, box_.hi.y),
+                  std::min(e.hi.z, box_.hi.z)};
+    for (int x = lo.x; x <= hi.x; ++x)
+      for (int y = lo.y; y <= hi.y; ++y)
+        for (int z = lo.z; z <= hi.z; ++z)
           blocked_[index({x, y, z})] = 1;
   }
   for (std::size_t m = 0; m < placement.module_cell.size(); ++m)
@@ -30,11 +37,47 @@ Fabric::Fabric(const place::NodeSet& nodes, const place::Placement& placement,
   // pinned to it (the loop is spatially extended in the paper's geometry;
   // our cell model charges it one unit per threading net).
   for (const auto& pins : nodes.net_pins)
-    for (pdgraph::ModuleId m : pins)
-      ++capacity_[index(placement.module_cell[static_cast<std::size_t>(m)])];
+    for (pdgraph::ModuleId m : pins) {
+      std::uint16_t& cap =
+          capacity_[index(placement.module_cell[static_cast<std::size_t>(m)])];
+      cap = detail::counter_add(cap, +1);
+    }
   for (std::size_t i = 0; i < n; ++i)
     if (module_at_[i] >= 0)  // base 1 was counted on top
       capacity_[i] = detail::counter_add(capacity_[i], -1);
+
+  // Index deltas of kNeighbours under the (y, z, x) row-major layout.
+  const std::ptrdiff_t dx = 1;
+  const std::ptrdiff_t dz = static_cast<std::ptrdiff_t>(dims_.x);
+  const std::ptrdiff_t dy = static_cast<std::ptrdiff_t>(dims_.z) * dims_.x;
+  strides_ = {dx, -dx, dy, -dy, dz, -dz};
+
+  edge_mask_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 p = cell_at(i);
+    std::uint8_t mask = 0;
+    for (int d = 0; d < 6; ++d) {
+      const Vec3 q = p + kNeighbours[static_cast<std::size_t>(d)];
+      if (!inside(q)) continue;
+      const std::size_t qi = index(q);
+      if (blocked_[qi] == 0 && module_at_[qi] < 0)
+        mask = static_cast<std::uint8_t>(mask | (1u << d));
+    }
+    edge_mask_[i] = mask;
+  }
+}
+
+void Fabric::refresh_edges_into(std::size_t i) {
+  const Vec3 p = cell_at(i);
+  const bool passable = blocked_[i] == 0 && module_at_[i] < 0;
+  for (int d = 0; d < 6; ++d) {
+    const Vec3 q = p + kNeighbours[static_cast<std::size_t>(d)];
+    if (!inside(q)) continue;
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (d ^ 1));
+    std::uint8_t& m = edge_mask_[index(q)];
+    m = passable ? static_cast<std::uint8_t>(m | bit)
+                 : static_cast<std::uint8_t>(m & ~bit);
+  }
 }
 
 void BucketQueue::rebase() {
@@ -57,6 +100,116 @@ void BucketQueue::rebase() {
   overflow_.resize(kept);
 }
 
+ReachMap build_reach_map(const Fabric& fabric) {
+  ReachMap reach;
+  const std::size_t n = fabric.cell_count();
+  reach.label.assign(n, -1);
+  // Flood each unlabeled free cell's component. The edge mask already
+  // encodes "neighbour is inside, unblocked, and not a module" — exactly
+  // build-time free passability, since no repair block exists yet.
+  std::vector<std::uint32_t> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reach.label[i] >= 0 || fabric.blocked(i) || fabric.module_at(i) >= 0)
+      continue;
+    const std::int32_t l = reach.labels++;
+    reach.label[i] = l;
+    queue.clear();
+    queue.push_back(static_cast<std::uint32_t>(i));
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t ci = queue[head];
+      const std::uint8_t mask = fabric.edge_mask(ci);
+      for (int dir = 0; dir < 6; ++dir) {
+        if (!(mask & (1u << dir))) continue;
+        const std::size_t qi = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(ci) + fabric.stride(dir));
+        if (reach.label[qi] >= 0) continue;
+        reach.label[qi] = l;
+        queue.push_back(static_cast<std::uint32_t>(qi));
+      }
+    }
+  }
+  return reach;
+}
+
+LookaheadMap build_lookahead(const Fabric& fabric, const ReachMap& reach,
+                             const place::NodeSet& nodes,
+                             const place::Placement& placement,
+                             int component) {
+  LookaheadMap map;
+  map.label_reachable.assign(static_cast<std::size_t>(reach.labels), 0);
+  const auto& pins = nodes.net_pins[static_cast<std::size_t>(component)];
+  if (pins.empty()) {
+    map.built = true;
+    return map;
+  }
+
+  // Candidate bridge cells: the component's unblocked own pin cells (a
+  // blocked pin gets no own-pin overlay in route_one_net either, so
+  // searches can never step onto it). Precompute each pin's face-adjacent
+  // labels and own-pin neighbours once.
+  std::vector<std::size_t> own;
+  for (pdgraph::ModuleId m : pins) {
+    const std::size_t pi = fabric.index(
+        placement.module_cell[static_cast<std::size_t>(m)]);
+    if (!fabric.blocked(pi)) own.push_back(pi);
+  }
+  std::sort(own.begin(), own.end());
+
+  // Closure from the tree seed (route_one_net seeds the tree at the first
+  // pin) over the bipartite label/pin graph: a label is entered only
+  // through an adjacent own pin, a pin only from an adjacent label or an
+  // adjacent pin (the own-pin overlay admits both).
+  const std::size_t seed = fabric.index(
+      placement.module_cell[static_cast<std::size_t>(pins.front())]);
+  std::vector<std::uint8_t> pin_reached(own.size(), 0);
+  std::vector<std::size_t> stack;  // own-pin positions to expand
+  const auto push_pin = [&](std::size_t pi) {
+    const auto it = std::lower_bound(own.begin(), own.end(), pi);
+    if (it == own.end() || *it != pi) return;
+    const std::size_t k = static_cast<std::size_t>(it - own.begin());
+    if (pin_reached[k]) return;
+    pin_reached[k] = 1;
+    stack.push_back(k);
+  };
+  push_pin(seed);  // a blocked seed reaches nothing: every connect is doomed
+  while (!stack.empty()) {
+    const std::size_t pi = own[stack.back()];
+    stack.pop_back();
+    for (int dir = 0; dir < 6; ++dir) {
+      const Vec3 q =
+          fabric.cell_at(pi) + kNeighbours[static_cast<std::size_t>(dir)];
+      if (!fabric.inside(q)) continue;
+      const std::size_t qi = fabric.index(q);
+      const std::int32_t l = reach.label[qi];
+      if (l < 0) {
+        push_pin(qi);  // an adjacent own pin (other modules won't match)
+        continue;
+      }
+      if (map.label_reachable[static_cast<std::size_t>(l)]) continue;
+      map.label_reachable[static_cast<std::size_t>(l)] = 1;
+      // Entering a new label unlocks every own pin it touches.
+      for (std::size_t k = 0; k < own.size(); ++k) {
+        if (pin_reached[k]) continue;
+        const std::uint8_t mask = fabric.edge_mask(own[k]);
+        for (int d = 0; d < 6; ++d) {
+          if (!(mask & (1u << d))) continue;
+          const std::size_t ni = static_cast<std::size_t>(
+              static_cast<std::ptrdiff_t>(own[k]) + fabric.stride(d));
+          if (reach.label[ni] == l) {
+            pin_reached[k] = 1;
+            stack.push_back(k);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t k = 0; k < own.size(); ++k)
+    if (pin_reached[k]) map.own.push_back(own[k]);
+  map.built = true;
+  return map;
+}
+
 namespace {
 
 /// Admissible (and consistent) heuristic: Manhattan distance to the tree
@@ -71,6 +224,17 @@ float heuristic(Vec3 p, const Box3& tree_box) {
                             axis(p.y, tree_box.lo.y, tree_box.hi.y) +
                             axis(p.z, tree_box.lo.z, tree_box.hi.z));
 }
+
+/// Lookahead view for the net being routed: the component's seed closure
+/// (see LookaheadMap). Consulted once per connect, for the source cell —
+/// a source outside the closure provably cannot reach the tree, a source
+/// inside it runs the exact classic search (it can never expand a cell
+/// outside the closure, so there is nothing to prune per cell).
+struct TreeLookahead {
+  const ReachMap* reach = nullptr;
+  const LookaheadMap* map = nullptr;
+  bool valid = false;
+};
 
 struct BucketOpenList {
   BucketQueue& q;
@@ -89,18 +253,31 @@ struct HeapOpenList {
 };
 
 /// Connect `source` to the partially built tree by A* restricted to
-/// `region`. On success the backtracked path joins the tree (cells, box,
-/// tree marks). The open-list policy is the only templated piece: the
-/// bucket queue pops an integer-keyed lower bound (ties LIFO), the heap
-/// pops exact f order (ties in std::priority_queue's order).
+/// `region` (computed by the caller: the warm window or a ladder rung).
+/// On success the backtracked path joins the tree (cells, box, tree
+/// marks). Neighbour admission is one mask read — the fabric's precomputed
+/// edge mask OR the per-net own-pin overlay — plus the region test; the
+/// open-list policy is the only templated piece: the bucket queue pops an
+/// integer-keyed lower bound (ties LIFO), the heap pops exact f order
+/// (ties in std::priority_queue's order).
 template <typename OpenList>
 bool connect(const Fabric& fabric, SearchScratch& scratch, OpenList open,
-             Vec3 source, Box3& tree_box, double present_factor,
-             int region_margin, SearchStats& stats) {
+             Vec3 source, const Box3& region, Box3& tree_box,
+             double present_factor, const TreeLookahead& tl,
+             SearchStats& stats) {
   const std::size_t source_idx = fabric.index(source);
   if (scratch.on_tree(source_idx)) return true;
 
-  const Box3 region = tree_box.expanded(source).inflated(region_margin);
+  if (tl.valid) {
+    ++stats.lookahead_connects;
+    // A source outside the seed's closure cannot reach the tree in ANY
+    // region (the closure is global). Failing here skips the region-
+    // exhausting flood a doomed classic search would run at every rung of
+    // its ladder. A source inside the closure can never expand a cell
+    // outside it (free runs are entered through own pins, all in the
+    // closure), so this one lookup is the lookahead's entire runtime cost.
+    if (!tl.map->reachable(*tl.reach, source_idx)) return false;
+  }
 
   scratch.begin_search();
   scratch.set_g(source_idx, 0.0f, -1);
@@ -117,25 +294,25 @@ bool connect(const Fabric& fabric, SearchScratch& scratch, OpenList open,
       goal = top.cell;
       break;
     }
-    const Vec3 p = fabric.cell_at(top.cell);
+    const std::size_t ci = top.cell;
+    const Vec3 p = fabric.cell_at(ci);
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(fabric.edge_mask(ci) | scratch.extra(ci));
     for (int dir = 0; dir < 6; ++dir) {
+      if (!(mask & (1u << dir))) continue;
       const Vec3 q = p + kNeighbours[static_cast<std::size_t>(dir)];
-      if (!fabric.inside(q) || !region.contains(q)) continue;
-      const std::size_t qi = fabric.index(q);
-      if (fabric.blocked(qi)) continue;
-      const int mod = fabric.module_at(qi);
-      if (mod >= 0 && !scratch.own_pin(qi))
-        continue;  // unrelated primal module: spurious braid
+      if (!region.contains(q)) continue;
+      const std::size_t qi = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(ci) + fabric.stride(dir));
       double cost = 1.0 + fabric.history(qi);
       const int over = fabric.usage(qi) - (fabric.capacity(qi) - 1);
       if (over > 0) cost += present_factor * over;
       const float ng = top.g + static_cast<float>(cost);
-      if (!scratch.seen(qi) || ng < scratch.g[qi]) {
-        scratch.set_g(qi, ng, dir);
-        open.push(ng + heuristic(q, tree_box), ng,
-                  static_cast<std::uint32_t>(qi));
-        ++stats.queue_pushes;
-      }
+      if (scratch.seen(qi) && ng >= scratch.g[qi]) continue;
+      scratch.set_g(qi, ng, dir);
+      open.push(ng + heuristic(q, tree_box), ng,
+                static_cast<std::uint32_t>(qi));
+      ++stats.queue_pushes;
     }
   }
   if (goal == static_cast<std::size_t>(-1)) return false;
@@ -187,19 +364,30 @@ bool route_one_net(const Fabric& fabric, SearchScratch& scratch,
                    const place::NodeSet& nodes,
                    const place::Placement& placement,
                    const RouteOptions& options, int component,
-                   double present_factor, RoutedNet& out, SearchStats& stats) {
+                   double present_factor, const NetContext& ctx,
+                   RoutedNet& out, SearchStats& stats) {
   const auto& pins = nodes.net_pins[static_cast<std::size_t>(component)];
   out.component = component;
   out.cells.clear();
   if (pins.empty()) return true;
   scratch.ensure(fabric.cell_count());
 
-  // Mark own pins (unblocks this component's module cells).
-  detail::bump_epoch(scratch.own_pin_epoch, scratch.own_pin_version);
-  for (pdgraph::ModuleId m : pins)
-    scratch.own_pin_version[fabric.index(
-        placement.module_cell[static_cast<std::size_t>(m)])] =
-        scratch.own_pin_epoch;
+  // Own-pin overlay: extra edge-mask bits letting the search step INTO
+  // this component's module cells (the shared mask excludes every module
+  // cell; threading an own pin's loop is exactly what routing to it
+  // means).
+  scratch.begin_extra();
+  for (pdgraph::ModuleId m : pins) {
+    const Vec3 pc = placement.module_cell[static_cast<std::size_t>(m)];
+    const std::size_t pi = fabric.index(pc);
+    if (fabric.blocked(pi)) continue;
+    for (int d = 0; d < 6; ++d) {
+      const Vec3 nq = pc + kNeighbours[static_cast<std::size_t>(d)];
+      if (!fabric.inside(nq)) continue;
+      scratch.add_extra(fabric.index(nq),
+                        static_cast<std::uint8_t>(1u << (d ^ 1)));
+    }
+  }
 
   // Access-cell constraints only bind components that span several
   // placement nodes: the f-value planning (Fig. 15) governs the dual
@@ -237,24 +425,46 @@ bool route_one_net(const Fabric& fabric, SearchScratch& scratch,
   scratch.tree_cells.push_back(seed_idx);
   Box3 tree_box{entries[0].cell, entries[0].cell};
 
-  auto connect_once = [&](Vec3 target, int margin) {
+  TreeLookahead tl;
+  if (options.lookahead && ctx.reach != nullptr && ctx.lookahead != nullptr &&
+      ctx.lookahead->valid()) {
+    tl.reach = ctx.reach;
+    tl.map = ctx.lookahead;
+    tl.valid = true;
+  }
+
+  auto connect_once = [&](Vec3 target, const Box3& region) {
     if (options.bucket_queue) {
       scratch.bucket_queue.reset();
       return connect(fabric, scratch, BucketOpenList{scratch.bucket_queue},
-                     target, tree_box, present_factor, margin, stats);
+                     target, region, tree_box, present_factor, tl, stats);
     }
     scratch.heap_queue.reset();
     return connect(fabric, scratch, HeapOpenList{scratch.heap_queue}, target,
-                   tree_box, present_factor, margin, stats);
+                   region, tree_box, present_factor, tl, stats);
   };
   auto connect_with_retries = [&](Vec3 target) {
+    if (scratch.on_tree(fabric.index(target))) return true;
+    if (options.windows && !ctx.window.empty()) {
+      // Warm attempt: the previous successful route's bounding box (plus
+      // whatever the tree already grew to) is usually where the new route
+      // fits too; fall through to the classic ladder when it does not.
+      const Box3 region =
+          tree_box.expanded(target).merged(ctx.window).inflated(1);
+      if (connect_once(target, region)) {
+        ++stats.window_hits;
+        return true;
+      }
+      ++stats.window_misses;
+    }
     int margin = options.region_margin;
     for (int attempt = 0; attempt < 4; ++attempt) {
-      if (connect_once(target, margin)) return true;
+      if (connect_once(target, tree_box.expanded(target).inflated(margin)))
+        return true;
       margin *= 4;
     }
     // Last resort: unrestricted search over the whole fabric.
-    return connect_once(target, 1 << 24);
+    return connect_once(target, tree_box.expanded(target).inflated(1 << 24));
   };
 
   // Ports connect before their pin: the pin then attaches to the tree

@@ -59,6 +59,14 @@ inline void bump_epoch(int& epoch, std::vector<int>& stamps) {
 /// hot loop touches blocked/module/usage/capacity/history; keeping each in
 /// its own dense array maximizes cache-line utility for the 6-neighbour
 /// scans). Per-search state deliberately lives elsewhere (SearchScratch).
+///
+/// The per-cell edge mask folds the 6-direction bounds/blocked/module
+/// checks into one precomputed byte: bit d of edge_mask(i) is set iff the
+/// neighbour i + kNeighbours[d] is inside the fabric, not blocked, and not
+/// a module cell — i.e. generically passable. Own-pin module cells (legal
+/// for the net being routed only) are layered on top per search via
+/// SearchScratch's extra mask, so the shared mask never depends on which
+/// net is searching. hard_block/unblock keep the masks in lockstep.
 class Fabric {
  public:
   Fabric(const place::NodeSet& nodes, const place::Placement& placement,
@@ -85,10 +93,24 @@ class Fabric {
   }
 
   bool blocked(std::size_t i) const { return blocked_[i] != 0; }
-  void hard_block(std::size_t i) { blocked_[i] = 1; }
+  void hard_block(std::size_t i) {
+    blocked_[i] = 1;
+    refresh_edges_into(i);
+  }
   /// Lift a hard block placed by the repair pass (never a box cell).
-  void unblock(std::size_t i) { blocked_[i] = 0; }
+  void unblock(std::size_t i) {
+    blocked_[i] = 0;
+    refresh_edges_into(i);
+  }
   int module_at(std::size_t i) const { return module_at_[i]; }
+
+  /// Bit d set iff i + kNeighbours[d] is inside, unblocked, and not a
+  /// module cell. Stride(d) is the index delta of kNeighbours[d]; only
+  /// valid to apply when the corresponding mask bit is set.
+  std::uint8_t edge_mask(std::size_t i) const { return edge_mask_[i]; }
+  std::ptrdiff_t stride(int dir) const {
+    return strides_[static_cast<std::size_t>(dir)];
+  }
   int usage(std::size_t i) const { return usage_[i]; }
   int capacity(std::size_t i) const { return capacity_[i]; }
   void add_capacity(std::size_t i, int d) {
@@ -116,6 +138,10 @@ class Fabric {
   const std::vector<int>& nets_at(std::size_t i) const { return nets_at_[i]; }
 
  private:
+  /// Recompute the mask bits that point INTO cell i (one bit in each
+  /// inside neighbour) after its blocked state changed.
+  void refresh_edges_into(std::size_t i);
+
   Box3 box_;
   Vec3 dims_;
   std::vector<std::uint8_t> blocked_;
@@ -124,7 +150,64 @@ class Fabric {
   std::vector<std::uint16_t> capacity_;
   std::vector<float> history_;
   std::vector<std::vector<int>> nets_at_;
+  std::vector<std::uint8_t> edge_mask_;
+  std::array<std::ptrdiff_t, 6> strides_{};
 };
+
+/// Global obstacle-aware reachability labeling: every cell that is free at
+/// build time (unblocked, no module) gets the id of its 6-connected
+/// free-space component; module and box cells get -1. One O(fabric) BFS
+/// shared by every net — the per-component lookahead below reduces to a
+/// label-set membership test, so the whole lookahead layer costs
+/// milliseconds instead of a per-component window BFS.
+struct ReachMap {
+  std::vector<std::int32_t> label;  // per fabric cell, -1 = not free
+  std::int32_t labels = 0;
+
+  bool valid() const { return !label.empty(); }
+};
+
+/// Label the fabric's build-time free space. Reads only build-time state
+/// (obstacles and module cells, never usage/history); must run before any
+/// repair hard block is placed.
+ReachMap build_reach_map(const Fabric& fabric);
+
+/// Per-component lookahead: the cells connected to the component's tree
+/// seed (its first pin) in the build-time passable graph — free cells plus
+/// the component's own pin cells, which bridge free-space pockets. Because
+/// free-space labels are maximal, the connected set is a closure over a
+/// tiny bipartite graph of labels and own pins (a label is entered only
+/// through an own pin, a pin only from an adjacent label or pin), so it is
+/// computed in O(pins) and queried in O(1): a search source outside the
+/// closure provably cannot reach the tree in ANY region, so its connect —
+/// the whole region-exhausting flood plus ladder escalation a doomed
+/// classic search would run — collapses to one lookup. A source inside
+/// the closure can, by the same maximality argument, never expand a cell
+/// outside it, so no per-cell pruning is needed (or possible): the live
+/// search is untouched and routes are bit-identical with the lookahead on
+/// or off (DESIGN.md §Routing gives the argument).
+struct LookaheadMap {
+  std::vector<std::uint8_t> label_reachable;  // indexed by ReachMap label
+  /// Sorted fabric indices of the own pin cells inside the closure.
+  std::vector<std::size_t> own;
+  bool built = false;
+
+  bool valid() const { return built; }
+  /// True when a search for this component starting at fabric cell `fi`
+  /// (free cell or own pin cell) could ever reach the tree.
+  bool reachable(const ReachMap& reach, std::size_t fi) const {
+    const std::int32_t l = reach.label[fi];
+    if (l >= 0) return label_reachable[static_cast<std::size_t>(l)] != 0;
+    return std::binary_search(own.begin(), own.end(), fi);
+  }
+};
+
+/// Build a component's lookahead from the shared reach map: O(pins), reads
+/// only build-time fabric state, so per-component builds can run
+/// concurrently.
+LookaheadMap build_lookahead(const Fabric& fabric, const ReachMap& reach,
+                             const place::NodeSet& nodes,
+                             const place::Placement& placement, int component);
 
 /// Monotone bucket (Dial) queue: entries are keyed on the integer lower
 /// bound of their f-value, popped lowest-bucket-first, LIFO within a
@@ -252,16 +335,25 @@ class HeapQueue {
 struct SearchStats {
   std::int64_t queue_pushes = 0;
   std::int64_t queue_pops = 0;
+  /// connect() calls that used the obstacle-aware lookahead term.
+  std::int64_t lookahead_connects = 0;
+  /// Warm-window first attempts that succeeded / fell through to the
+  /// classic margin ladder.
+  std::int64_t window_hits = 0;
+  std::int64_t window_misses = 0;
 
   SearchStats& operator+=(const SearchStats& o) {
     queue_pushes += o.queue_pushes;
     queue_pops += o.queue_pops;
+    lookahead_connects += o.lookahead_connects;
+    window_hits += o.window_hits;
+    window_misses += o.window_misses;
     return *this;
   }
 };
 
-/// Per-worker search scratch: open queues plus the g/parent/tree/own-pin
-/// stamp arrays. One instance per routing worker, reused across every
+/// Per-worker search scratch: open queues plus the g/parent/tree/extra-
+/// mask stamp arrays. One instance per routing worker, reused across every
 /// search that worker runs; epoch stamps make per-search clears O(1) and
 /// the retained capacity makes them allocation-free.
 struct SearchScratch {
@@ -271,10 +363,13 @@ struct SearchScratch {
   std::vector<int> g_version;
   std::vector<std::int8_t> parent;
   std::vector<int> tree_version;
-  std::vector<int> own_pin_version;
+  /// Per-net edge-mask overlay: extra passable-direction bits (own-pin
+  /// module cells) OR-ed onto Fabric::edge_mask in the hot loop.
+  std::vector<std::uint8_t> extra_mask;
+  std::vector<int> extra_version;
   int search_epoch = 0;
   int tree_epoch = 0;
-  int own_pin_epoch = 0;
+  int extra_epoch = 0;
   /// Tree cells of the net currently being routed (fabric indices).
   std::vector<std::size_t> tree_cells;
 
@@ -285,8 +380,9 @@ struct SearchScratch {
     g_version.assign(cells, 0);
     parent.assign(cells, -1);
     tree_version.assign(cells, 0);
-    own_pin_version.assign(cells, 0);
-    search_epoch = tree_epoch = own_pin_epoch = 0;
+    extra_mask.assign(cells, 0);
+    extra_version.assign(cells, 0);
+    search_epoch = tree_epoch = extra_epoch = 0;
   }
 
   void begin_search() { detail::bump_epoch(search_epoch, g_version); }
@@ -301,22 +397,42 @@ struct SearchScratch {
   bool on_tree(std::size_t i) const { return tree_version[i] == tree_epoch; }
   void mark_tree(std::size_t i) { tree_version[i] = tree_epoch; }
 
-  bool own_pin(std::size_t i) const {
-    return own_pin_version[i] == own_pin_epoch;
+  void begin_extra() { detail::bump_epoch(extra_epoch, extra_version); }
+  void add_extra(std::size_t i, std::uint8_t bits) {
+    if (extra_version[i] != extra_epoch) {
+      extra_mask[i] = 0;
+      extra_version[i] = extra_epoch;
+    }
+    extra_mask[i] = static_cast<std::uint8_t>(extra_mask[i] | bits);
   }
+  std::uint8_t extra(std::size_t i) const {
+    return extra_version[i] == extra_epoch ? extra_mask[i] : 0;
+  }
+};
+
+/// Per-component routing context handed to route_one_net by the
+/// negotiation loop: the (optional) lookahead — shared reach map plus the
+/// component's label set — and the warm search window for the first
+/// connect attempt (empty box = cold, ladder only).
+struct NetContext {
+  const ReachMap* reach = nullptr;
+  const LookaheadMap* lookahead = nullptr;
+  Box3 window;
 };
 
 /// Route one merged net component as a Steiner tree over the fabric
 /// snapshot: pins join the partially built tree one at a time by A* within
-/// a restricted (failure-inflated) region. Pure function of
-/// (fabric, nodes, placement, options, component, present_factor) — the
-/// fabric is only read. Returns false when some pin could not be connected
-/// even by an unrestricted search; `out.cells` then holds the partial
-/// tree. Queue traffic is accumulated into `stats`.
+/// a restricted region — the warm window from `ctx` first (when set), then
+/// the classic failure-inflated margin ladder. Pure function of
+/// (fabric, nodes, placement, options, component, present_factor, ctx) —
+/// the fabric is only read. Returns false when some pin could not be
+/// connected even by an unrestricted search; `out.cells` then holds the
+/// partial tree. Queue traffic is accumulated into `stats`.
 bool route_one_net(const Fabric& fabric, SearchScratch& scratch,
                    const place::NodeSet& nodes,
                    const place::Placement& placement,
                    const RouteOptions& options, int component,
-                   double present_factor, RoutedNet& out, SearchStats& stats);
+                   double present_factor, const NetContext& ctx,
+                   RoutedNet& out, SearchStats& stats);
 
 }  // namespace tqec::route

@@ -1,0 +1,157 @@
+// Direct unit tests for the monotone bucket (Dial) open list backing the
+// A* search kernel: the overflow tier and its rebase redistribution, the
+// float-rounding clamp at the pop cursor, and allocation-retaining
+// reset-and-reuse. route_parallel_test exercises the queue end-to-end;
+// these tests pin the queue's own contract so a regression is caught at
+// the data structure, not three layers up in a routing diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "route/search_kernel.h"
+
+namespace tqec::route {
+namespace {
+
+/// Drain the queue, returning cells in pop order.
+std::vector<std::uint32_t> drain(BucketQueue& q) {
+  std::vector<std::uint32_t> cells;
+  while (!q.empty()) cells.push_back(q.pop().cell);
+  return cells;
+}
+
+TEST(BucketQueueTest, PopsLowestKeyFirstWithinDenseWindow) {
+  BucketQueue q;
+  // The first push primes the queue's base/cursor, so (per the monotone
+  // contract) it must carry the smallest key — exactly how A* uses it:
+  // the source's f is pushed first and pop keys never decrease.
+  q.push(1, 1.0f, 10);
+  q.push(5, 5.0f, 50);
+  q.push(3, 3.0f, 30);
+  q.push(4, 4.0f, 40);
+  q.push(2, 2.0f, 20);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(BucketQueueTest, EqualKeysPopInLifoOrder) {
+  BucketQueue q;
+  q.push(7, 7.0f, 1);
+  q.push(7, 7.0f, 2);
+  q.push(7, 7.0f, 3);
+  // LIFO ties: deterministic, and later pushes (deeper g along the current
+  // expansion front) pop first.
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{3, 2, 1}));
+}
+
+// Keys far above base + kWindow (2048) park in the overflow tier; when the
+// dense window drains, rebase must move the smallest parked keys back into
+// buckets and keep the global nondecreasing pop order.
+TEST(BucketQueueTest, OverflowTierRebasesInKeyOrder)  {
+  BucketQueue q;
+  q.push(0, 0.0f, 0);            // primes base_ = 0
+  q.push(1'000'000'000, 1e9f, 3);  // PathFinder present-cost scale
+  q.push(5'000, 5e3f, 2);
+  q.push(3'000, 3e3f, 1);
+  // Pop order must be global key order even though cells 1-3 all parked in
+  // the overflow tier in a different arrival order.
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+// Entries sharing one overflow key must keep LIFO order through a rebase —
+// the redistribution is a stable partition, so results cannot depend on
+// how often rebasing happens.
+TEST(BucketQueueTest, RebaseKeepsLifoOrderOfEqualKeys) {
+  BucketQueue q;
+  q.push(0, 0.0f, 0);
+  q.push(9'000, 9e3f, 10);
+  q.push(9'000, 9e3f, 11);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{0, 11, 10}));
+}
+
+// A push whose key sits below the current pop cursor (possible only
+// through float rounding of f = g + h) must be clamped to the cursor, not
+// lost in an already-drained bucket.
+TEST(BucketQueueTest, PushBelowCursorClampsToCursor) {
+  BucketQueue q;
+  q.push(100, 100.0f, 1);
+  EXPECT_EQ(q.pop().cell, 1u);  // cursor now rests at key 100
+  q.push(150, 150.0f, 2);
+  q.push(90, 90.0f, 3);  // below the cursor: clamp to 100, don't lose it
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{3, 2}));
+}
+
+// reset() must restore a pristine queue — including parked overflow
+// entries and the primed base — so per-search reuse never leaks state.
+TEST(BucketQueueTest, ResetClearsWindowOverflowAndBase) {
+  BucketQueue q;
+  q.push(500, 500.0f, 1);
+  q.push(1'000'000, 1e6f, 2);  // parked in overflow
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  // A fresh prime at a much smaller key must work (base re-primes).
+  q.push(3, 3.0f, 30);
+  q.push(7, 7.0f, 70);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{30, 70}));
+  // And at a much larger one.
+  q.reset();
+  q.push(2'000'000'000, 2e9f, 9);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{9}));
+}
+
+// Randomized monotone workload (the A* usage pattern: every push key is >=
+// the key of the entry just popped): the queue must agree with a reference
+// sort on (key, -arrival) — nondecreasing keys, LIFO within a key — across
+// interleaved pushes, pops, and reuse cycles.
+TEST(BucketQueueTest, RandomizedMonotoneWorkloadMatchesReference) {
+  BucketQueue q;
+  Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    struct Ref {
+      std::int64_t key;
+      int arrival;
+      std::uint32_t cell;
+    };
+    std::vector<Ref> live;
+    int arrivals = 0;
+    std::int64_t floor_key = 0;
+    std::uint32_t next_cell = 0;
+    const auto push = [&](std::int64_t key) {
+      if (key < floor_key) key = floor_key;  // mirror the cursor clamp
+      q.push(key, static_cast<float>(key), next_cell);
+      live.push_back({key, arrivals++, next_cell++});
+    };
+    const auto pop_and_check = [&]() {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < live.size(); ++i)
+        if (live[i].key < live[best].key ||
+            (live[i].key == live[best].key &&
+             live[i].arrival > live[best].arrival))
+          best = i;
+      floor_key = live[best].key;
+      ASSERT_EQ(q.pop().cell, live[best].cell);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+    };
+    push(static_cast<std::int64_t>(rng.below(100)));
+    for (int step = 0; step < 600; ++step) {
+      if (!live.empty() && rng.below(2) == 0) {
+        pop_and_check();
+      } else {
+        // Monotone keys; occasional huge jumps exercise the overflow tier
+        // and multi-step rebases.
+        std::int64_t key = floor_key + static_cast<std::int64_t>(
+                                           rng.below(3000));
+        if (rng.below(16) == 0) key += 1'000'000'000;
+        push(key);
+      }
+    }
+    while (!live.empty()) pop_and_check();
+    EXPECT_TRUE(q.empty());
+    q.reset();  // reuse the same queue for the next round
+  }
+}
+
+}  // namespace
+}  // namespace tqec::route

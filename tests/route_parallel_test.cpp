@@ -25,6 +25,7 @@
 #include "place/nodes.h"
 #include "place/placer.h"
 #include "route/router.h"
+#include "route/search_kernel.h"
 
 namespace tqec::route {
 namespace {
@@ -122,7 +123,30 @@ void expect_identical(const RoutingResult& a, const RoutingResult& b) {
   EXPECT_EQ(a.batches, b.batches);
   EXPECT_EQ(a.conflicts_requeued, b.conflicts_requeued);
   EXPECT_EQ(a.parallel_efficiency, b.parallel_efficiency);
+  EXPECT_EQ(a.lookahead_nets, b.lookahead_nets);
+  EXPECT_EQ(a.window_hits, b.window_hits);
+  EXPECT_EQ(a.window_misses, b.window_misses);
+  EXPECT_EQ(a.warm_started, b.warm_started);
   EXPECT_EQ(a.congestion_histogram, b.congestion_histogram);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].component, b.nets[i].component);
+    ASSERT_EQ(a.nets[i].cells.size(), b.nets[i].cells.size())
+        << "component " << a.nets[i].component;
+    for (std::size_t c = 0; c < a.nets[i].cells.size(); ++c)
+      EXPECT_EQ(a.nets[i].cells[c], b.nets[i].cells[c])
+          << "component " << a.nets[i].component << " cell " << c;
+  }
+}
+
+/// Route-level identity only (cells, legality, geometry): used for A/B
+/// pairs whose queue statistics are allowed to differ (the lookahead's
+/// early connect failure skips whole doomed floods, so its push/pop
+/// tallies legitimately shrink while the routes must not move).
+void expect_identical_routes(const RoutingResult& a, const RoutingResult& b) {
+  EXPECT_EQ(a.legal, b.legal);
+  EXPECT_EQ(a.total_wire, b.total_wire);
+  EXPECT_EQ(a.volume, b.volume);
   ASSERT_EQ(a.nets.size(), b.nets.size());
   for (std::size_t i = 0; i < a.nets.size(); ++i) {
     EXPECT_EQ(a.nets[i].component, b.nets[i].component);
@@ -298,6 +322,134 @@ TEST(RouteParallelTest, HeapKernelLegalAndThreadInvariant) {
   opt.threads = 8;
   const RoutingResult many = route_nets(f.nodes, f.placement, opt);
   expect_identical(one, many);
+}
+
+// --route-lookahead must be a pure speed knob: with it off, the routes
+// (and, on fixtures where every pin is reachable, every queue statistic)
+// must match the defaults exactly, and each setting must stay
+// thread-count invariant on its own.
+TEST(RouteParallelTest, LookaheadOnOffRoutesIdenticalAndThreadInvariant) {
+  for (const std::uint64_t seed : {1u, 5u, 9u}) {
+    SCOPED_TRACE(::testing::Message() << "fixture seed " << seed);
+    const GridFixture f = random_fixture(seed);
+    RouteOptions on = options_with(1, false);
+    on.lookahead = true;
+    RouteOptions off = on;
+    off.lookahead = false;
+    const RoutingResult r_on = route_nets(f.nodes, f.placement, on);
+    const RoutingResult r_off = route_nets(f.nodes, f.placement, off);
+    expect_identical_routes(r_on, r_off);
+    EXPECT_GT(r_on.lookahead_nets, 0);
+    EXPECT_EQ(r_off.lookahead_nets, 0);
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(::testing::Message() << "threads " << threads);
+      RouteOptions on_t = on;
+      on_t.threads = threads;
+      expect_identical(r_on, route_nets(f.nodes, f.placement, on_t));
+      RouteOptions off_t = off;
+      off_t.threads = threads;
+      expect_identical(r_off, route_nets(f.nodes, f.placement, off_t));
+    }
+  }
+}
+
+/// 5x5 plane whose first pin (the tree seed) sits in a one-cell pocket
+/// sealed off by wall modules, so every connect toward it is doomed:
+///
+///       z=0 . . . . A        A = module 1 (open pin)
+///       z=1 . . . . .        B = module 0 (pocketed pin, tree seed)
+///       z=2 . . . . .        # = wall module
+///       z=3 . . . # #        net = {B, A}
+///       z=4 . . # . B
+///           x0  ...  x4
+GridFixture pocket_fixture() {
+  GridFixture f;
+  std::vector<Vec3> cells = {{4, 0, 4}, {4, 0, 0},           // B, A
+                             {3, 0, 3}, {4, 0, 3}, {2, 0, 4}};  // walls
+  const std::size_t modules = cells.size();
+  for (std::size_t m = 0; m < modules; ++m)
+    f.nodes.node_of_module.push_back(static_cast<int>(m));
+  f.nodes.module_offset.assign(modules, Vec3{});
+  f.nodes.flip_of_module.assign(modules, 0);
+  f.nodes.access_offsets.assign(modules, {});
+  f.nodes.net_pins = {{0, 1}};
+  f.placement.module_cell = cells;
+  f.placement.core = Box3{{0, 0, 0}, {4, 0, 4}};
+  f.placement.volume = f.placement.core.volume();
+  return f;
+}
+
+// Kernel-level A/B on the doomed connect (the full router requires
+// connectable nets, so this exercises route_one_net directly): the
+// seed-closure lookahead must fail the connect with one reachability
+// lookup instead of flooding the whole free region — strictly fewer
+// queue pushes, the identical (partial) tree, and the same verdict.
+TEST(RouteParallelTest, LookaheadFailsDoomedConnectWithoutFlooding) {
+  const GridFixture f = pocket_fixture();
+  const Fabric fabric(f.nodes, f.placement, /*margin=*/0);
+  const ReachMap reach = build_reach_map(fabric);
+  const LookaheadMap map =
+      build_lookahead(fabric, reach, f.nodes, f.placement, /*component=*/0);
+  ASSERT_TRUE(map.valid());
+  SearchScratch scratch;
+  scratch.ensure(fabric.cell_count());
+  RouteOptions opt;
+  opt.margin = 0;
+
+  NetContext cold;  // lookahead off: the classic flood-and-fail
+  RoutedNet out_off;
+  SearchStats stats_off;
+  EXPECT_FALSE(route_one_net(fabric, scratch, f.nodes, f.placement, opt, 0,
+                             1.0, cold, out_off, stats_off));
+  EXPECT_GT(stats_off.queue_pushes, 0);
+
+  NetContext warm;
+  warm.reach = &reach;
+  warm.lookahead = &map;
+  RoutedNet out_on;
+  SearchStats stats_on;
+  EXPECT_FALSE(route_one_net(fabric, scratch, f.nodes, f.placement, opt, 0,
+                             1.0, warm, out_on, stats_on));
+
+  EXPECT_GT(stats_on.lookahead_connects, 0);
+  // The open pin is outside the pocketed seed's closure, so the lookahead
+  // rejects the connect before a single push.
+  EXPECT_LT(stats_on.queue_pushes, stats_off.queue_pushes);
+  // Identical partial tree (the pocketed seed) either way.
+  EXPECT_EQ(out_on.cells, out_off.cells);
+}
+
+// Warm-start negotiation (core::compile's restart chaining): a cold run
+// exports NegotiationMemory, a second run consumes it. The warm run must
+// set warm_started, stay legal, and be bit-identical across thread
+// counts; exporting from the warm run must itself be deterministic.
+TEST(RouteParallelTest, WarmStartChainIdenticalAcrossThreadCounts) {
+  const GridFixture f = random_fixture(5);
+  NegotiationMemory memory;
+  const RoutingResult cold = route_nets(f.nodes, f.placement,
+                                        options_with(1, false), nullptr,
+                                        &memory);
+  EXPECT_TRUE(cold.legal);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_TRUE(memory.valid);
+
+  NegotiationMemory chained_one;
+  const RoutingResult warm_one = route_nets(f.nodes, f.placement,
+                                            options_with(1, false), &memory,
+                                            &chained_one);
+  EXPECT_TRUE(warm_one.legal);
+  EXPECT_TRUE(warm_one.warm_started);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    NegotiationMemory chained_many;
+    const RoutingResult warm_many =
+        route_nets(f.nodes, f.placement, options_with(threads, false),
+                   &memory, &chained_many);
+    expect_identical(warm_one, warm_many);
+    EXPECT_EQ(chained_one.valid, chained_many.valid);
+    EXPECT_EQ(chained_one.history, chained_many.history);
+    EXPECT_EQ(chained_one.window_slack, chained_many.window_slack);
+  }
 }
 
 }  // namespace

@@ -326,5 +326,126 @@ TEST(FabricCounterTest, NoWraparoundOnUnderflow) {
   EXPECT_THROW(detail::counter_add(2, -5), TqecError);
 }
 
+// Regression: a positive update on a saturated counter used to wrap to 0,
+// so a maximally pinned module cell suddenly looked free and negotiation
+// deadlocked on the phantom capacity. Pin-capacity accumulation (the
+// Fabric constructor and the port-cell bonuses) routes every update
+// through this checked add, which must flag the overflow instead.
+TEST(FabricCounterTest, NoWraparoundOnOverflow) {
+  EXPECT_EQ(detail::counter_add(65534, 1), 65535);
+  EXPECT_THROW(detail::counter_add(65535, 1), TqecError);
+  EXPECT_THROW(detail::counter_add(65000, 1000), TqecError);
+}
+
+// Regression for the distillation-box rasterization: with a small routing
+// margin a box edge can poke outside the margin-inflated core, and the
+// unclamped rasterization loop used to index outside the fabric (an
+// index assert, i.e. a crash on every such design). The loop must clamp
+// the extent to the fabric box and block only the overlap.
+TEST(FabricBoxTest, BoxPokingOutsideSmallMarginFabricIsClamped) {
+  GridFixture f;
+  f.nodes.net_pins = {{0, 1}};
+  f.nodes.node_of_module = {0, 1};
+  f.nodes.module_offset.assign(2, Vec3{});
+  f.nodes.flip_of_module.assign(2, 0);
+  f.nodes.access_offsets.assign(2, {});
+  f.placement.module_cell = {{0, 0, 0}, {0, 0, 2}};
+  // YBox extent is 3x3x2 from its origin: from (1,0,1) it reaches
+  // (3,2,2), outside the 3x1x3 core in both x and y.
+  geom::DistillBox box;
+  box.kind = geom::BoxKind::YBox;
+  box.origin = {1, 0, 1};
+  f.placement.boxes = {box};
+  f.placement.core = Box3{{0, 0, 0}, {2, 0, 2}};
+  f.placement.volume = f.placement.core.volume();
+
+  RouteOptions opt;
+  opt.margin = 0;  // fabric == core: the box genuinely pokes outside
+  const RoutingResult r = route_nets(f.nodes, f.placement, opt);
+
+  // The x = 0 column is free, so the net routes legally around the
+  // box — and never through the box's in-fabric overlap.
+  EXPECT_TRUE(r.legal);
+  ASSERT_EQ(r.nets.size(), 1u);
+  for (const Vec3& c : r.nets[0].cells)
+    EXPECT_FALSE(box.extent().contains(c)) << "route enters the box at "
+                                           << c;
+}
+
+/// Two-contested-cell fixture for the repair phase, 8x5 at y = 0 with
+/// margin 0 and region_margin 1 (so detours beyond a pin box + 1 are only
+/// discovered through the failure-inflated ladder, never during
+/// negotiation — both contested cells survive to repair).
+///
+///     z=0   .  .  B1 #  #  #  #  #     A* net 0 (3 pins a1,a2,a3)
+///     z=1   .  #  |  #  #  C1 #  #     B* net 1 (2 pins B1,B2)
+///     z=2   .  a1 X  --  J  Y  a2 a3   C* net 2 (2 pins C1,C2)
+///     z=3   .  #  |  #  d  C2 d  #     #  wall module
+///     z=4   .  .  B2 #  d  d  d  #     .  free cell
+///
+/// X = (2,0,2) is forced-shared by A and B; Y = (5,0,2) is forced-shared
+/// by A and C, and is C1's only access (a pin cut — C can never detour).
+/// In repair scan 1, X is awarded to A (B escapes via the x = 0 column),
+/// and Y's repair fails both ways: C cannot move, and A's only detour
+/// (J -> d-cells -> a2) still needs the freshly awarded, hard-blocked X.
+/// Scan 2 must therefore see X's hard block lifted: A then reroutes over
+/// X and the d-detour, Y is awarded to C, and the design becomes legal.
+/// A leaked award block (the pre-fix behavior) walls A off from its own
+/// cell forever and leaves the design illegal.
+GridFixture two_scan_repair_fixture() {
+  GridFixture f;
+  // Module order fixes net ids: a1 a2 a3 | b1 b2 | c1 c2, then walls.
+  std::vector<Vec3> cells = {{1, 0, 2}, {6, 0, 2}, {7, 0, 2}, {2, 0, 0},
+                             {2, 0, 4}, {5, 0, 1}, {5, 0, 3}};
+  const std::set<std::tuple<int, int, int>> open = {
+      {0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {2, 0, 1}, {0, 0, 2}, {2, 0, 2},
+      {3, 0, 2}, {4, 0, 2}, {5, 0, 2}, {0, 0, 3}, {2, 0, 3}, {4, 0, 3},
+      {6, 0, 3}, {0, 0, 4}, {1, 0, 4}, {4, 0, 4}, {5, 0, 4}, {6, 0, 4}};
+  std::set<std::tuple<int, int, int>> taken;
+  for (const Vec3& c : cells) taken.insert({c.x, c.y, c.z});
+  for (int x = 0; x <= 7; ++x)
+    for (int z = 0; z <= 4; ++z)
+      if (!open.count({x, 0, z}) && !taken.count({x, 0, z}))
+        cells.push_back({x, 0, z});
+  const std::size_t modules = cells.size();
+  for (std::size_t m = 0; m < modules; ++m)
+    f.nodes.node_of_module.push_back(static_cast<int>(m));
+  f.nodes.module_offset.assign(modules, Vec3{});
+  f.nodes.flip_of_module.assign(modules, 0);
+  f.nodes.access_offsets.assign(modules, {});
+  f.nodes.net_pins = {{0, 1, 2}, {3, 4}, {5, 6}};
+  f.placement.module_cell = cells;
+  f.placement.core = Box3{{0, 0, 0}, {7, 0, 4}};
+  f.placement.volume = f.placement.core.volume();
+  return f;
+}
+
+// Regression for leaked award hard blocks: a cell awarded in one repair
+// scan must have its hard block lifted at scan end (usage/capacity already
+// protects it — its winner occupies it). The pre-fix router kept the block
+// forever, so when a LATER scan rerouted the winner for a different
+// contested cell, the winner was walled off from its own awarded cell and
+// the repair spuriously failed, leaving this fixture illegal.
+TEST(RepairTest, AwardBlockReleasedBetweenScans) {
+  const GridFixture f = two_scan_repair_fixture();
+  RouteOptions opt;
+  opt.margin = 0;
+  opt.region_margin = 1;
+  const RoutingResult r = route_nets(f.nodes, f.placement, opt);
+
+  // Scan 1 awards X to A and fails Y (A's detour is walled by X's fresh
+  // block); scan 2 awards Y to C because X's block was lifted.
+  EXPECT_TRUE(r.legal);
+  EXPECT_EQ(r.repair_awarded, 2);
+  EXPECT_EQ(r.repair_failed, 1);
+
+  // C holds its pin cut Y; A ends on the d-cell detour across X.
+  ASSERT_EQ(r.nets.size(), 3u);
+  EXPECT_TRUE(cell_set(r.nets[2]).count({5, 0, 2}));
+  const auto a_cells = cell_set(r.nets[0]);
+  EXPECT_TRUE(a_cells.count({2, 0, 2}));   // back over its awarded cell
+  EXPECT_FALSE(a_cells.count({5, 0, 2}));  // Y stays with C
+}
+
 }  // namespace
 }  // namespace tqec::route

@@ -45,6 +45,19 @@
 //   --route-heap               binary-heap A* open list instead of the
 //                              monotone bucket queue (A/B escape hatch
 //                              for the search-kernel swap)
+//   --route-lookahead=0|1      obstacle-aware A* lookahead maps (default
+//                              1; 0 = classic Manhattan-only heuristic,
+//                              A/B escape hatch)
+//   --route-windows=0|1        warm per-net search windows seeded from
+//                              the previous route (default 1; 0 = classic
+//                              failure-inflated margin ladder only)
+//   --route-warm-start=0|1     carry PathFinder history + windows across
+//                              the multi-seed restart attempts (default
+//                              1; 0 = every attempt negotiates cold, and
+//                              attempts may run concurrently)
+//   --route-stall-sweeps=N     stall-triggered full-sweep budget per
+//                              negotiation run (default 2; negative =
+//                              unlimited, the classic schedule)
 //   --no-optimize              skip the reversible peephole pass
 //   --no-plan                  disable f-value dual-segment planning
 //   --verify                   run the end-to-end braiding verifier
@@ -98,6 +111,8 @@ int usage() {
       "         --trace-json=PATH --route-full-sweep\n"
       "         --place-replicas=R --place-threads=N --place-full-pack\n"
       "         --route-threads=N --route-serial --route-heap\n"
+      "         --route-lookahead=0|1 --route-windows=0|1\n"
+      "         --route-warm-start=0|1 --route-stall-sweeps=N\n"
       "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
@@ -155,6 +170,22 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     return opt.compile.route.serial_schedule = true, true;
   if (arg == "--route-heap")
     return opt.compile.route.bucket_queue = false, true;
+  if (auto v = value_of("--route-lookahead=")) {
+    opt.compile.route.lookahead = std::stoi(*v) != 0;
+    return true;
+  }
+  if (auto v = value_of("--route-windows=")) {
+    opt.compile.route.windows = std::stoi(*v) != 0;
+    return true;
+  }
+  if (auto v = value_of("--route-warm-start=")) {
+    opt.compile.route.warm_start = std::stoi(*v) != 0;
+    return true;
+  }
+  if (auto v = value_of("--route-stall-sweeps=")) {
+    opt.compile.route.stall_sweeps = std::stoi(*v);
+    return true;
+  }
   if (arg == "--no-optimize") return opt.optimize = false, true;
   if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
   if (arg == "--verify") return opt.verify = true, true;

@@ -191,6 +191,19 @@ void render_route(const Value& stats) {
                 "to --route-threads)\n",
                 num_or(*route, "parallel_efficiency", 0));
   }
+  if (route->find("lookahead_nets") != nullptr) {
+    std::printf("\n  search acceleration (selected attempt)\n");
+    const Value* warm = route->find("warm_started");
+    std::printf("    lookahead-mapped nets %-10.0f warm-started %s\n",
+                num_or(*route, "lookahead_nets", 0),
+                warm != nullptr && warm->is_bool() && warm->boolean ? "yes"
+                                                                    : "no");
+    const double hits = num_or(*route, "window_hits", 0);
+    const double misses = num_or(*route, "window_misses", 0);
+    std::printf("    warm-window hits %-15.0f misses %.0f (%.1f%% hit)\n",
+                hits, misses,
+                hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0);
+  }
   const Value* hot = route->find("hottest_cells");
   if (hot != nullptr && hot->is_array() && !hot->array.empty()) {
     std::printf("\n  congestion top-%zu (final routing)\n", hot->array.size());
