@@ -1,0 +1,34 @@
+// Cooperative cancellation for long-running compiles.
+//
+// A CancelToken is a copyable handle on a shared flag. The requester keeps
+// one copy (and calls cancel() from any thread — a deadline watchdog, a
+// serve-protocol cancel message, a Ctrl-C handler); core::compile carries
+// another in its CompileOptions and polls it at stage boundaries, raising
+// CancelledError (common/error.h) when it fires. Cancellation is
+// cooperative and boundary-grained on purpose: the pipeline stages stay
+// free of per-iteration checks, and an abandoned request stops within one
+// stage rather than instantly.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace tqec {
+
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Request cancellation. Thread-safe; idempotent.
+  void cancel() const { state_->store(true, std::memory_order_relaxed); }
+
+  /// Whether cancellation has been requested (one relaxed load).
+  bool cancelled() const {
+    return state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace tqec

@@ -17,6 +17,43 @@ class TqecError : public std::runtime_error {
   explicit TqecError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Structured parse failure raised by the input readers (RevLib .real, the
+/// .icm deserializer, the serve request decoder). Carries the source name
+/// and 1-based line number (0 when the defect is not tied to one line, e.g.
+/// a missing header) so callers — the tqec::Compiler facade in particular —
+/// can report a per-request diagnosis instead of a process abort.
+class ParseError : public TqecError {
+ public:
+  ParseError(const std::string& source, int line, const std::string& message)
+      : TqecError(line > 0
+                      ? source + ":" + std::to_string(line) + ": " + message
+                      : source + ": " + message),
+        source_(source), line_(line), brief_(message) {}
+
+  const std::string& source() const { return source_; }
+  int line() const { return line_; }
+  /// The message without the source:line prefix.
+  const std::string& brief() const { return brief_; }
+
+ private:
+  std::string source_;
+  int line_;
+  std::string brief_;
+};
+
+/// Raised by core::compile when its CancelToken fires at a stage boundary
+/// (cooperative cancellation; see common/cancel.h).
+class CancelledError : public TqecError {
+ public:
+  explicit CancelledError(const std::string& stage)
+      : TqecError("compile cancelled at stage '" + stage + "'"),
+        stage_(stage) {}
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* kind, const char* expr,
                               const char* file, int line,

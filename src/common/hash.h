@@ -1,0 +1,44 @@
+// Content hashing for the stage cache: FNV-1a over canonical serialized
+// stage inputs. FNV is not cryptographic — the cache key doubles it into a
+// 128-bit digest (two independent seeds), which makes an accidental
+// collision across the lifetime of a serving process vanishingly unlikely
+// while keeping hashing a few cycles per byte with zero dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tqec {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a 64-bit hash of `s`, chainable via the seed parameter:
+/// fnv1a64(b, fnv1a64(a)) == hash of the concatenation a+b.
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnv1aOffset) {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// 128-bit content digest: two FNV-1a streams with decorrelated seeds.
+/// Incremental — update() chunks hash identically to one concatenated call.
+struct Digest128 {
+  std::uint64_t lo = kFnv1aOffset;
+  // Second stream seeded by hashing a domain-separation tag so the two
+  // halves never agree byte-for-byte.
+  std::uint64_t hi = fnv1a64("tqec.digest128.hi");
+
+  void update(std::string_view s) {
+    lo = fnv1a64(s, lo);
+    hi = fnv1a64(s, hi);
+  }
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+};
+
+}  // namespace tqec

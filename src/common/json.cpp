@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace tqec::json {
@@ -208,5 +209,29 @@ class Parser {
 }  // namespace
 
 Value parse(const std::string& text) { return Parser(text).run(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace tqec::json

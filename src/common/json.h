@@ -71,4 +71,8 @@ class Value {
 /// raises TqecError with the byte offset of the problem.
 Value parse(const std::string& text);
 
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; no surrounding quotes added).
+std::string escape(std::string_view s);
+
 }  // namespace tqec::json

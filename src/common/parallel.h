@@ -19,7 +19,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -122,5 +124,84 @@ inline void parallel_for_slots(
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
+
+/// Persistent worker pool with a bounded queue — the admission-control
+/// substrate of tqec_serve. Unlike parallel_for (a one-shot fork/join over
+/// a fixed index range), the pool accepts independent jobs over its whole
+/// lifetime and rejects new ones when the queue is full, so an overloaded
+/// server degrades to fast structured "overloaded" responses instead of
+/// unbounded memory growth. Jobs must not throw (wrap and report); an
+/// escaped exception terminates the process by design.
+class WorkerPool {
+ public:
+  /// `threads` >= 1 dedicated workers; `queue_limit` bounds the number of
+  /// jobs admitted but not yet started (0 = unbounded).
+  WorkerPool(int threads, std::size_t queue_limit)
+      : queue_limit_(queue_limit) {
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+      workers_.emplace_back([this] { run_worker(); });
+  }
+
+  ~WorkerPool() { shutdown(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Admit a job. Returns false — without blocking — when the queue is at
+  /// its limit or the pool is shutting down; the caller owns the rejection
+  /// response.
+  bool submit(std::function<void()> job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return false;
+      if (queue_limit_ > 0 && queue_.size() >= queue_limit_) return false;
+      queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+    return true;
+  }
+
+  /// Jobs admitted but not yet handed to a worker.
+  std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Stop accepting jobs, drain the queue, run everything already
+  /// admitted, and join the workers. Idempotent; called by the destructor.
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+ private:
+  void run_worker() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_limit_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace tqec

@@ -1,0 +1,100 @@
+#include "common/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tqec::net {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixServerSocket::UnixServerSocket(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw TqecError("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  listen_fd_ = Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!listen_fd_.valid())
+    throw TqecError("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(path.c_str());  // remove a stale socket file from a dead server
+  if (::bind(listen_fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw TqecError("bind(" + path + "): " +
+                    std::string(std::strerror(errno)));
+  if (::listen(listen_fd_.get(), 8) != 0)
+    throw TqecError("listen(" + path + "): " +
+                    std::string(std::strerror(errno)));
+}
+
+UnixServerSocket::~UnixServerSocket() { ::unlink(path_.c_str()); }
+
+Fd UnixServerSocket::accept_client() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    return Fd();
+  }
+}
+
+bool LineReader::next_line(std::string& line) {
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace tqec::net

@@ -1,0 +1,76 @@
+// Minimal POSIX helpers for newline-delimited protocols (tools/tqec_serve):
+// an RAII file descriptor, a Unix-domain listening socket, a buffered
+// line reader, and a short-write-safe writer. Nothing here knows about
+// JSON — framing only.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace tqec::net {
+
+/// RAII file descriptor (move-only; -1 = empty).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Unix-domain stream socket bound and listening on `path`. The socket
+/// file is unlinked on construction (stale leftover) and on destruction.
+/// Throws TqecError when bind/listen fails (path too long, no permission).
+class UnixServerSocket {
+ public:
+  explicit UnixServerSocket(const std::string& path);
+  ~UnixServerSocket();
+  UnixServerSocket(const UnixServerSocket&) = delete;
+  UnixServerSocket& operator=(const UnixServerSocket&) = delete;
+
+  /// Block until a client connects; an empty Fd means accept was
+  /// interrupted or the socket was shut down.
+  Fd accept_client();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Fd listen_fd_;
+};
+
+/// Buffered reader splitting an fd's byte stream into '\n'-terminated
+/// lines (the terminator is stripped; a final unterminated line is
+/// returned at EOF). Does not own the fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False at end of stream (or on a read error), true with `line` filled
+  /// otherwise.
+  bool next_line(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Write all of `data`, retrying short writes; false on error (e.g. the
+/// peer hung up — callers drop the response, they must not crash the
+/// server, so SIGPIPE should be ignored process-wide).
+bool write_all(int fd, std::string_view data);
+
+}  // namespace tqec::net

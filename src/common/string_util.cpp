@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.h"
 
 namespace tqec {
 
@@ -65,6 +72,82 @@ std::string with_commas(long long value) {
   if (negative) out.push_back('-');
   std::reverse(out.begin(), out.end());
   return out;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> from_chars_all(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return std::nullopt;
+  return value;
+}
+
+[[noreturn]] void parse_throw(std::string_view what, const char* kind,
+                              std::string_view text) {
+  throw TqecError(std::string(what) + ": expected " + kind + ", got '" +
+                  std::string(text) + "'");
+}
+
+}  // namespace
+
+std::optional<std::int64_t> try_parse_i64(std::string_view text) {
+  return from_chars_all<std::int64_t>(text);
+}
+
+std::optional<std::uint64_t> try_parse_u64(std::string_view text) {
+  // from_chars<unsigned> accepts no sign; an explicit check keeps "-1"
+  // from wrapping on libstdc++ variants that ever did.
+  const std::string_view trimmed = trim(text);
+  if (!trimmed.empty() && trimmed.front() == '-') return std::nullopt;
+  return from_chars_all<std::uint64_t>(trimmed);
+}
+
+std::optional<double> try_parse_double(std::string_view text) {
+  // strtod with a full-match check: std::from_chars for double is not
+  // available on every libstdc++ this repo targets. The copy bounds the
+  // parse (string_view is not NUL-terminated).
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  const std::string copy(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE ||
+      !std::isfinite(value))
+    return std::nullopt;
+  return value;
+}
+
+int parse_int(std::string_view text, std::string_view what) {
+  const auto v = try_parse_i64(text);
+  if (!v || *v < std::numeric_limits<int>::min() ||
+      *v > std::numeric_limits<int>::max())
+    parse_throw(what, "an integer", text);
+  return static_cast<int>(*v);
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view what) {
+  const auto v = try_parse_i64(text);
+  if (!v) parse_throw(what, "an integer", text);
+  return *v;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  const auto v = try_parse_u64(text);
+  if (!v) parse_throw(what, "a non-negative integer", text);
+  return *v;
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+  const auto v = try_parse_double(text);
+  if (!v) parse_throw(what, "a number", text);
+  return *v;
 }
 
 }  // namespace tqec

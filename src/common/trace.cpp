@@ -9,6 +9,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace tqec::trace {
 
 namespace {
@@ -77,8 +79,7 @@ Registry& registry() {
 }
 
 bool env_enabled() {
-  const char* env = std::getenv("TQEC_TRACE");
-  return env != nullptr && std::atoi(env) != 0;
+  return parse_env_enabled("TQEC_TRACE", std::getenv("TQEC_TRACE"));
 }
 
 /// JSON string escaping for the chrome export (control characters become
@@ -112,6 +113,23 @@ std::string json_escape(const std::string& s) {
 namespace detail {
 std::atomic<bool> g_enabled{env_enabled()};
 }  // namespace detail
+
+bool parse_env_enabled(const char* name, const char* value) {
+  if (value == nullptr || *value == '\0') return false;
+  const auto parsed = try_parse_i64(value);
+  if (!parsed) {
+    // Checked parse instead of atoi: atoi turned "TQEC_TRACE=yes" into a
+    // silent 0. A single fprintf keeps the warning line atomic, and the
+    // callers (static initializer, set_enabled) make it effectively
+    // one-time per malformed value.
+    std::fprintf(stderr,
+                 "[tqec WARN ] %s='%s' is not an integer (use 0 or 1); "
+                 "treating as disabled\n",
+                 name, value);
+    return false;
+  }
+  return *parsed != 0;
+}
 
 void set_enabled(bool on) {
   if (on) epoch();  // pin the epoch before the first event

@@ -57,6 +57,13 @@ inline bool enabled() {
 /// recording to their buffer so the exported file stays well-formed.
 void set_enabled(bool on);
 
+/// Checked parse of an on/off environment value (any integer; nonzero =
+/// on). nullptr/empty is off; malformed text emits one stderr warning
+/// naming the variable and counts as off — a bad TQEC_TRACE value must
+/// never abort the process or silently enable tracing. Exposed so the
+/// env-parsing contract is unit-testable without re-exec.
+bool parse_env_enabled(const char* name, const char* value);
+
 /// Small dense id of the calling thread (0, 1, 2, ... in first-use order).
 /// Shared by the tracer's tid rows and the log-line prefix.
 int thread_id();

@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "common/error.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -122,29 +123,44 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
 }
 
 CompileResult compile(const icm::IcmCircuit& circuit,
-                      const CompileOptions& options) {
+                      const CompileOptions& options,
+                      const pdgraph::PdGraph* prebuilt_graph) {
   // Each compile snapshots its own metrics: wipe whatever a previous
   // compile left in the registry. (Concurrent compile() calls would share
   // one registry; the pipeline's own parallelism lives *inside* compile.)
   if (trace::enabled()) trace::reset_metrics();
   TQEC_TRACE_SPAN("core.compile", circuit.name());
   const auto t_start = std::chrono::steady_clock::now();
+  // Stage boundary: report progress (on the calling thread), then honour a
+  // cancellation request — including one the progress callback itself just
+  // made, so a deadline watchdog stops the pipeline at the very boundary
+  // that observed the overrun.
+  const auto stage_boundary = [&options](const char* stage) {
+    if (options.progress) options.progress(stage);
+    if (options.cancel.cancelled()) throw CancelledError(stage);
+  };
   CompileResult result;
   result.name = circuit.name();
   result.stats = circuit.stats();
   result.canonical_volume = geom::canonical_volume(result.stats);
 
-  // Stage 2: PD graph.
+  // Stage 2: PD graph (skipped when the caller supplies a cached one).
+  stage_boundary("pd_graph");
   auto t = std::chrono::steady_clock::now();
-  const pdgraph::PdGraph graph = pdgraph::build_pd_graph(circuit);
+  pdgraph::PdGraph built_graph;
+  if (prebuilt_graph == nullptr) built_graph = pdgraph::build_pd_graph(circuit);
+  const pdgraph::PdGraph& graph =
+      prebuilt_graph != nullptr ? *prebuilt_graph : built_graph;
   result.modules = graph.module_count();
-  result.timings.pd_graph_s = seconds_since(t);
+  result.timings.pd_graph_s =
+      prebuilt_graph != nullptr ? 0.0 : seconds_since(t);
 
   // Stages 3-5 depend on the pipeline mode.
   const bool full = options.mode == PipelineMode::Full;
   const bool use_ishape = full && options.enable_ishape;
   const bool use_primal = full && options.enable_primal;
 
+  stage_boundary("ishape");
   compress::IshapeResult ishape(graph);  // identity (no merges) by default
   t = std::chrono::steady_clock::now();
   if (use_ishape) ishape = compress::simplify_ishape(graph);
@@ -153,6 +169,7 @@ CompileResult compile(const icm::IcmCircuit& circuit,
 
   const int jobs = resolve_jobs(options.jobs);
 
+  stage_boundary("primal_bridge");
   t = std::chrono::steady_clock::now();
   compress::PrimalBridging bridging;
   if (use_primal) {
@@ -163,6 +180,7 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   }
   result.timings.primal_bridge_s = seconds_since(t);
 
+  stage_boundary("dual_bridge");
   t = std::chrono::steady_clock::now();
   compress::DualBridging dual(graph.net_count());
   switch (options.mode) {
@@ -187,6 +205,7 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   // layers (congestion-driven whitespace insertion). The winner is picked
   // sequentially under the total order (legal first, volume, attempt
   // index), so the result is bit-identical for any thread count.
+  stage_boundary("place_route");
   trace::Span build_nodes_span("place.build_nodes");
   place::NodeSet nodes =
       use_primal ? place::build_nodes(graph, ishape, bridging, dual,
@@ -235,6 +254,11 @@ CompileResult compile(const icm::IcmCircuit& circuit,
         1, jobs / static_cast<int>(
                       std::min(attempts, static_cast<std::size_t>(jobs))));
     for (const int y_gap : {0, 1}) {
+      // Cooperative cancellation between escalation levels. The attempt
+      // just stops early (leaving its outcome illegal/empty); the stage
+      // boundary after the join raises CancelledError on the calling
+      // thread, so no partial winner ever escapes.
+      if (options.cancel.cancelled()) return;
       auto t_stage = std::chrono::steady_clock::now();
       place::PlaceOptions place_opt = options.place;
       place_opt.seed = seeds[k];
@@ -312,6 +336,9 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   }
   place_route_span.end();
   result.timings.place_route_wall_s = seconds_since(t);
+  // Deliver a mid-place/route cancellation (workers returned early above)
+  // on the calling thread, at the boundary of the next stage.
+  stage_boundary("emit_geometry");
 
   // Deterministic reduction: strict-less scan keeps the earliest attempt
   // on ties.
@@ -408,6 +435,9 @@ CompileResult compile(const icm::IcmCircuit& circuit,
                             << result.modules << " nodes=" << result.nodes
                             << " volume=" << result.volume << " ("
                             << result.timings.total_s << "s)");
+  // Progress only, no cancel check: the result is complete, discarding it
+  // now would help nobody.
+  if (options.progress) options.progress("done");
   return result;
 }
 
@@ -596,6 +626,18 @@ std::string stats_json(const CompileResult& result) {
   }
   os << "], \"heatmap\": \"" << json_escape(routing.congestion_heatmap)
      << "\"},\n";
+
+  // Stage-cache usage (additive in v2; all-"skip" defaults for the
+  // single-shot CLI path, filled in by the tqec::Compiler facade).
+  const CacheUsage& c = result.cache;
+  os << "  \"cache\": {\"enabled\": " << (c.enabled ? "true" : "false")
+     << ", \"decompose\": \"" << json_escape(c.decompose) << "\""
+     << ", \"icm\": \"" << json_escape(c.icm) << "\""
+     << ", \"pd_graph\": \"" << json_escape(c.pd_graph) << "\""
+     << ", \"hits\": " << c.hits << ", \"misses\": " << c.misses
+     << ", \"entries\": " << c.entries << ", \"bytes\": " << c.bytes
+     << ", \"budget\": " << c.budget << ", \"evictions\": " << c.evictions
+     << "},\n";
 
   // Trace metrics registry snapshot (empty object unless tracing was on).
   os << "  \"metrics\": {\"counters\": {";

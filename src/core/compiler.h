@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/trace.h"
 #include "compress/dual_bridging.h"
 #include "compress/flipping.h"
@@ -67,6 +69,17 @@ struct CompileOptions {
   /// nodes, merged-net components) on the result, enabling end-to-end
   /// verification via verify::verify_result().
   bool keep_internals = false;
+  /// Cooperative cancellation: compile() polls this token at stage
+  /// boundaries (and between place+route attempts / whitespace
+  /// escalations) and raises CancelledError when it fires. The default
+  /// token never fires. cancel() may be called from any thread.
+  CancelToken cancel;
+  /// Stage-boundary progress callback, invoked on the thread that called
+  /// compile() with the name of the stage about to run ("pd_graph",
+  /// "ishape", "primal_bridge", "dual_bridge", "place_route",
+  /// "emit_geometry", "done") — the same boundaries the trace spans mark.
+  /// Must not throw; may call cancel.cancel() (a deadline watchdog does).
+  std::function<void(const char* stage)> progress;
   place::PlaceOptions place;
   route::RouteOptions route;
 };
@@ -158,6 +171,24 @@ struct PipelineInternals {
   compress::DualBridging dual{0};
 };
 
+/// Stage-cache observability for one request, filled in by the
+/// tqec::Compiler facade (core::compile itself never touches the cache).
+/// Per-stage outcomes are "hit", "miss", or "skip" (stage not run for this
+/// input kind — e.g. an .icm request needs no decompose); the counters are
+/// the cache-wide cumulative totals at response time.
+struct CacheUsage {
+  bool enabled = false;
+  std::string decompose = "skip";
+  std::string icm = "skip";
+  std::string pd_graph = "skip";
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t entries = 0;
+  std::int64_t bytes = 0;
+  std::int64_t budget = 0;
+  std::int64_t evictions = 0;
+};
+
 struct CompileResult {
   std::string name;
   icm::IcmStats stats;
@@ -185,6 +216,10 @@ struct CompileResult {
 
   StageTimings timings;
 
+  /// Stage-cache usage of the request that produced this result (default:
+  /// caching disabled — the single-shot CLI path).
+  CacheUsage cache;
+
   /// Snapshot of the trace metrics registry taken at the end of this
   /// compile (empty unless tracing was enabled — see common/trace.h).
   /// Embedded in stats_json so the report is a pure function of the
@@ -193,8 +228,15 @@ struct CompileResult {
 };
 
 /// Run the compression pipeline on an ICM circuit.
+///
+/// `prebuilt_graph`, when non-null, must be build_pd_graph(circuit) (the
+/// stage is deterministic, so the tqec::Compiler facade can supply a
+/// cached copy); compile() then skips stage 2 entirely — no pdgraph.build
+/// span, pd_graph_s stays 0 — and every downstream result is bit-identical
+/// to the self-built path. Raises CancelledError if options.cancel fires.
 CompileResult compile(const icm::IcmCircuit& circuit,
-                      const CompileOptions& options = {});
+                      const CompileOptions& options = {},
+                      const pdgraph::PdGraph* prebuilt_graph = nullptr);
 
 /// Emit the final geometric description of a placed-and-routed design.
 geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,

@@ -1,0 +1,92 @@
+#include "core/stage_cache.h"
+
+namespace tqec::core {
+
+CacheKey make_cache_key(std::string_view stage_tag,
+                        std::string_view canonical_input,
+                        std::string_view option_fingerprint) {
+  Digest128 d;
+  // Length-prefix each field so (tag, input) pairs cannot collide by
+  // shifting bytes across the field boundary.
+  const auto put = [&](std::string_view s) {
+    const std::uint64_t n = s.size();
+    d.update(std::string_view(reinterpret_cast<const char*>(&n), sizeof n));
+    d.update(s);
+  };
+  put(stage_tag);
+  put(canonical_input);
+  put(option_fingerprint);
+  return CacheKey{d.lo, d.hi};
+}
+
+StageCache::StageCache(std::int64_t byte_budget)
+    : budget_(byte_budget > 0 ? byte_budget : 0) {}
+
+std::shared_ptr<const void> StageCache::get_erased(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  return it->second->value;
+}
+
+void StageCache::put_erased(const CacheKey& key,
+                            std::shared_ptr<const void> value,
+                            std::int64_t bytes) {
+  if (budget_ <= 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh (identical content by determinism; the byte estimate may
+    // differ across estimator versions, so keep the accounting exact).
+    bytes_ += bytes - it->second->bytes;
+    it->second->bytes = bytes;
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    ++insertions_;
+  }
+  evict_over_budget_locked();
+}
+
+void StageCache::evict_over_budget_locked() {
+  // Evict least-recently-used until under budget. An entry larger than the
+  // whole budget evicts immediately — oversized outputs simply don't
+  // cache, bounding worst-case memory at budget + one in-flight value.
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+StageCache::Stats StageCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = static_cast<std::int64_t>(lru_.size());
+  s.bytes = bytes_;
+  s.budget = budget_;
+  return s;
+}
+
+void StageCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace tqec::core

@@ -1,0 +1,110 @@
+// Content-hash stage cache for the compilation service.
+//
+// The front of the pipeline — gate decomposition, the Clifford+T -> ICM
+// transformation, and PD-graph construction — is a chain of deterministic
+// pure functions of the input circuit (paper Fig. 5; stages before the
+// seeded heuristics). Identical sub-circuits therefore recur across serving
+// requests with identical stage outputs, and tqec::Compiler memoizes them
+// here: key = 128-bit FNV digest of (stage tag, canonical serialized stage
+// input, option fingerprint); value = the immutable stage output behind a
+// shared_ptr. Entries are LRU-evicted under a byte budget (sizes are
+// caller-supplied estimates — the cache never inspects its values).
+//
+// Thread-safe: one mutex around the index + LRU list. Lookups hand out
+// shared_ptr<const T>, so an entry evicted mid-use stays alive for the
+// request that holds it. A concurrent miss on the same key may compute the
+// value twice; both computations are deterministic and identical, so the
+// second put simply refreshes the entry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace tqec::core {
+
+/// 128-bit content-hash cache key (see common/hash.h for collision notes).
+struct CacheKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Key for one stage invocation: the stage tag separates namespaces (and
+/// versions — bump the tag when a stage's semantics change), the canonical
+/// input is the serialized stage input, and the option fingerprint encodes
+/// any knobs the stage output depends on (empty for the pure prefix
+/// stages, which take no options).
+CacheKey make_cache_key(std::string_view stage_tag,
+                        std::string_view canonical_input,
+                        std::string_view option_fingerprint = {});
+
+class StageCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;  // current
+    std::int64_t bytes = 0;    // current
+    std::int64_t budget = 0;
+  };
+
+  /// `byte_budget` <= 0 disables storage entirely (every get is a miss,
+  /// every put a no-op) — the facade uses that for cache-off mode.
+  explicit StageCache(std::int64_t byte_budget);
+
+  /// Typed lookup; null on miss. The caller owns knowing T matches what was
+  /// stored under this key — the stage tag inside the key guarantees it.
+  template <typename T>
+  std::shared_ptr<const T> get(const CacheKey& key) {
+    return std::static_pointer_cast<const T>(get_erased(key));
+  }
+
+  /// Insert (or refresh) an entry of an estimated `bytes` size.
+  template <typename T>
+  void put(const CacheKey& key, std::shared_ptr<const T> value,
+           std::int64_t bytes) {
+    put_erased(key, std::static_pointer_cast<const void>(std::move(value)),
+               bytes);
+  }
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  std::shared_ptr<const void> get_erased(const CacheKey& key);
+  void put_erased(const CacheKey& key, std::shared_ptr<const void> value,
+                  std::int64_t bytes);
+
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * kFnv1aPrime));
+    }
+  };
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const void> value;
+    std::int64_t bytes = 0;
+  };
+
+  void evict_over_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::int64_t budget_ = 0;
+  std::int64_t bytes_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t insertions_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace tqec::core

@@ -19,17 +19,34 @@ const char* init_name(InitBasis b) {
   return "?";
 }
 
-InitBasis parse_init(const std::string& s, const std::string& ctx) {
+[[noreturn]] void fail(const std::string& source, int line,
+                       const std::string& message) {
+  throw ParseError(source, line, message);
+}
+
+InitBasis parse_init(const std::string& s, const std::string& source,
+                     int line) {
   if (s == "zero") return InitBasis::Zero;
   if (s == "plus") return InitBasis::Plus;
   if (s == "y") return InitBasis::YState;
   if (s == "a") return InitBasis::AState;
-  throw TqecError(ctx + ": unknown init basis '" + s + "'");
+  fail(source, line, "unknown init basis '" + s + "'");
 }
 
-[[noreturn]] void fail(const std::string& source, int line,
-                       const std::string& message) {
-  throw TqecError(source + ":" + std::to_string(line) + ": " + message);
+/// Sanity bound on declared/implied line counts: far beyond any circuit in
+/// scope, low enough that a corrupt count cannot drive a huge allocation.
+constexpr std::int64_t kMaxLines = 1 << 24;
+
+/// Checked integer token; malformed text becomes a line-numbered
+/// ParseError instead of an uncaught std::invalid_argument from stoi.
+int parse_id(const std::string& source, int line_no, const std::string& token,
+             const char* what) {
+  const auto v = try_parse_i64(token);
+  if (!v || *v < 0 || *v > kMaxLines)
+    fail(source, line_no,
+         std::string(what) + ": expected a non-negative line id, got '" +
+             token + "'");
+  return static_cast<int>(*v);
 }
 
 }  // namespace
@@ -73,41 +90,67 @@ IcmCircuit read_icm(std::istream& in, const std::string& source) {
     if (trimmed.empty() || trimmed.front() == '#') continue;
     const auto tokens = split_ws(trimmed);
     const std::string& keyword = tokens[0];
+    // Endpoint validation for cnot/order: the ids must name lines already
+    // declared, with the defect reported at the referencing line.
+    const auto declared = [&](const std::string& token, const char* what) {
+      const int id = parse_id(source, line_no, token, what);
+      if (id >= circuit.num_lines())
+        fail(source, line_no,
+             std::string(what) + ": line " + std::to_string(id) +
+                 " not declared (circuit has " +
+                 std::to_string(circuit.num_lines()) + " lines)");
+      return id;
+    };
     if (keyword == "icm") {
       if (tokens.size() < 2 || tokens[1] != "1")
         fail(source, line_no, "unsupported icm version");
       circuit.set_name(tokens.size() > 2 ? tokens[2] : "");
       header_seen = true;
-    } else if (keyword == "lines") {
+      continue;
+    }
+    if (!header_seen)
+      fail(source, line_no, "'" + keyword + "' before the icm header");
+    if (keyword == "lines") {
       if (tokens.size() != 2) fail(source, line_no, "lines expects a count");
-      declared_lines = std::stoi(tokens[1]);
+      declared_lines = parse_id(source, line_no, tokens[1], "lines");
     } else if (keyword == "line") {
       if (tokens.size() < 4) fail(source, line_no, "line needs id init meas");
-      const int id = std::stoi(tokens[1]);
+      const int id = parse_id(source, line_no, tokens[1], "line");
       if (id != circuit.num_lines())
         fail(source, line_no, "line ids must be dense and in order");
-      const InitBasis init = parse_init(tokens[2], source);
-      const MeasBasis meas =
-          tokens[3] == "z" ? MeasBasis::Z
-          : tokens[3] == "x"
-              ? MeasBasis::X
-              : throw TqecError(source + ": bad meas basis " + tokens[3]);
+      const InitBasis init = parse_init(tokens[2], source, line_no);
+      const MeasBasis meas = tokens[3] == "z"   ? MeasBasis::Z
+                             : tokens[3] == "x" ? MeasBasis::X
+                                                : (fail(source, line_no,
+                                                        "bad meas basis '" +
+                                                            tokens[3] + "'"),
+                                                   MeasBasis::Z);
       circuit.add_line(init, meas);
       if (tokens.size() > 4 && tokens[4] == "output")
         circuit.mark_output(id);
     } else if (keyword == "cnot") {
       if (tokens.size() != 3) fail(source, line_no, "cnot needs two lines");
-      circuit.add_cnot(std::stoi(tokens[1]), std::stoi(tokens[2]));
+      const int control = declared(tokens[1], "cnot");
+      const int target = declared(tokens[2], "cnot");
+      if (control == target)
+        fail(source, line_no, "cnot control == target");
+      circuit.add_cnot(control, target);
     } else if (keyword == "order") {
       if (tokens.size() != 3) fail(source, line_no, "order needs two lines");
-      circuit.add_meas_order(std::stoi(tokens[1]), std::stoi(tokens[2]));
+      const int before = declared(tokens[1], "order");
+      const int after = declared(tokens[2], "order");
+      if (before == after) fail(source, line_no, "order before == after");
+      circuit.add_meas_order(before, after);
     } else {
       fail(source, line_no, "unknown keyword '" + keyword + "'");
     }
   }
-  if (!header_seen) throw TqecError(source + ": missing icm header");
+  if (!header_seen) throw ParseError(source, 0, "missing icm header");
   if (declared_lines >= 0 && declared_lines != circuit.num_lines())
-    throw TqecError(source + ": declared line count mismatch");
+    throw ParseError(source, 0,
+                     "declared line count mismatch: header says " +
+                         std::to_string(declared_lines) + ", document has " +
+                         std::to_string(circuit.num_lines()));
   return circuit;
 }
 

@@ -12,7 +12,24 @@ namespace {
 
 [[noreturn]] void parse_fail(const std::string& source, int line,
                              const std::string& message) {
-  throw TqecError(source + ":" + std::to_string(line) + ": " + message);
+  throw ParseError(source, line, message);
+}
+
+/// Sanity bound on .numvars: far above any real RevLib netlist, low enough
+/// that a corrupt count cannot drive a multi-gigabyte allocation.
+constexpr int kMaxNumvars = 1 << 20;
+
+/// Checked non-negative integer token; malformed or out-of-range text
+/// becomes a line-numbered ParseError instead of an uncaught
+/// std::invalid_argument from stoi.
+int parse_count(const std::string& source, int line_no,
+                const std::string& token, const char* what) {
+  const auto v = try_parse_i64(token);
+  if (!v || *v < 0 || *v > kMaxNumvars)
+    parse_fail(source, line_no,
+               std::string(what) + ": expected a count in [0, " +
+                   std::to_string(kMaxNumvars) + "], got '" + token + "'");
+  return static_cast<int>(*v);
 }
 
 struct ParserState {
@@ -38,7 +55,7 @@ void handle_directive(ParserState& st, const std::vector<std::string>& tokens,
   if (key == ".numvars") {
     if (tokens.size() != 2)
       parse_fail(st.source, line_no, ".numvars expects one argument");
-    st.numvars = std::stoi(tokens[1]);
+    st.numvars = parse_count(st.source, line_no, tokens[1], ".numvars");
     if (st.numvars <= 0)
       parse_fail(st.source, line_no, ".numvars must be positive");
     return;
@@ -113,15 +130,18 @@ void handle_directive(ParserState& st, const std::vector<std::string>& tokens,
 int resolve_qubit(ParserState& st, const std::string& token, int line_no) {
   const auto it = st.var_index.find(token);
   if (it != st.var_index.end()) return it->second;
-  // Some RevLib files reference qubits positionally (x0, x1, ...).
+  // Some RevLib files reference qubits positionally (x0, x1, ...). The
+  // checked parse bounds the index against the declared register, so a
+  // truncated or corrupt token ("x", "x99999999999") diagnoses instead of
+  // indexing out of range or throwing std::out_of_range.
   if (st.variables.empty() && token.size() >= 2 &&
       (token[0] == 'x' || token[0] == 'q')) {
-    const std::string digits = token.substr(1);
-    if (!digits.empty() &&
-        digits.find_first_not_of("0123456789") == std::string::npos) {
-      const int q = std::stoi(digits);
-      if (q >= 0 && q < st.numvars) return q;
-    }
+    const auto q = try_parse_i64(std::string_view(token).substr(1));
+    if (q && *q >= 0 && *q < st.numvars) return static_cast<int>(*q);
+    if (q)
+      parse_fail(st.source, line_no,
+                 "qubit " + token + " out of range (register has " +
+                     std::to_string(st.numvars) + " variables)");
   }
   parse_fail(st.source, line_no, "unknown qubit name " + token);
 }
@@ -138,25 +158,39 @@ void handle_gate(ParserState& st, const std::vector<std::string>& tokens,
     qubits.push_back(resolve_qubit(st, tokens[i], line_no));
 
   const char family = mnemonic[0];
-  const std::string arity_str = mnemonic.substr(1);
-  if (arity_str.empty() ||
-      arity_str.find_first_not_of("0123456789") != std::string::npos)
+  const auto arity_parsed = try_parse_i64(std::string_view(mnemonic).substr(1));
+  if (!arity_parsed || *arity_parsed < 0 || *arity_parsed > kMaxNumvars)
     parse_fail(st.source, line_no, "unsupported gate " + tokens[0]);
-  const int arity = std::stoi(arity_str);
+  const int arity = static_cast<int>(*arity_parsed);
+  // A declared arity of zero ("t0") would leave the operand list empty and
+  // the target lookup below out of bounds; reject it up front.
+  if (arity < 1)
+    parse_fail(st.source, line_no,
+               "gate " + tokens[0] + " declares zero operands");
   if (arity != static_cast<int>(qubits.size()))
     parse_fail(st.source, line_no,
                "gate arity mismatch: " + tokens[0] + " with " +
                    std::to_string(qubits.size()) + " operands");
 
+  // Circuit::add re-validates ranges and duplicate operands; translate its
+  // context-free TqecError into a line-numbered parse diagnosis.
+  const auto add_gate = [&](Gate gate) {
+    try {
+      st.circuit.add(std::move(gate));
+    } catch (const TqecError& e) {
+      parse_fail(st.source, line_no, e.what());
+    }
+  };
+
   if (family == 't') {
     const int target = qubits.back();
     std::vector<int> controls(qubits.begin(), qubits.end() - 1);
     switch (controls.size()) {
-      case 0: st.circuit.add(Gate::x(target)); break;
-      case 1: st.circuit.add(Gate::cnot(controls[0], target)); break;
-      case 2: st.circuit.add(Gate::toffoli(controls[0], controls[1], target));
+      case 0: add_gate(Gate::x(target)); break;
+      case 1: add_gate(Gate::cnot(controls[0], target)); break;
+      case 2: add_gate(Gate::toffoli(controls[0], controls[1], target));
         break;
-      default: st.circuit.add(Gate::mct(std::move(controls), target)); break;
+      default: add_gate(Gate::mct(std::move(controls), target)); break;
     }
     return;
   }
@@ -167,9 +201,9 @@ void handle_gate(ParserState& st, const std::vector<std::string>& tokens,
     const int a = qubits[qubits.size() - 2];
     std::vector<int> controls(qubits.begin(), qubits.end() - 2);
     if (controls.empty())
-      st.circuit.add(Gate::swap(a, b));
+      add_gate(Gate::swap(a, b));
     else
-      st.circuit.add(Gate::fredkin(std::move(controls), a, b));
+      add_gate(Gate::fredkin(std::move(controls), a, b));
     return;
   }
   parse_fail(st.source, line_no, "unsupported gate family " + tokens[0]);
@@ -197,8 +231,10 @@ Circuit parse_real(std::istream& in, const std::string& source_name) {
       handle_gate(st, tokens, line_no);
     }
   }
-  if (!st.in_gates)
-    throw TqecError(source_name + ": no .begin section found");
+  if (!st.in_gates) throw ParseError(source_name, 0, "no .begin section found");
+  if (!st.done)
+    throw ParseError(source_name, 0,
+                     "no .end directive (truncated document?)");
   return std::move(st.circuit);
 }
 

@@ -2,10 +2,13 @@
 // RNG, union-find, and string helpers.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -260,6 +263,66 @@ TEST(JsonTest, TypedAccessorsThrowOnMismatch) {
   EXPECT_THROW(doc.at("n").as_string(), TqecError);
   EXPECT_THROW(doc.at("n").as_bool(), TqecError);
   EXPECT_THROW(doc.at("missing"), TqecError);
+}
+
+
+TEST(ParseNumberTest, TryFormsAcceptValidRejectMalformed) {
+  EXPECT_EQ(try_parse_i64("42"), 42);
+  EXPECT_EQ(try_parse_i64("  -7 "), -7);   // surrounding whitespace ok
+  EXPECT_EQ(try_parse_i64("banana"), std::nullopt);
+  EXPECT_EQ(try_parse_i64("12x"), std::nullopt);   // trailing junk
+  EXPECT_EQ(try_parse_i64(""), std::nullopt);
+  EXPECT_EQ(try_parse_i64("99999999999999999999"), std::nullopt);  // range
+
+  EXPECT_EQ(try_parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(try_parse_u64("-1"), std::nullopt);  // no negative wraparound
+
+  EXPECT_EQ(try_parse_double("1.5"), 1.5);
+  EXPECT_EQ(try_parse_double("1e3"), 1000.0);
+  EXPECT_EQ(try_parse_double("nanner"), std::nullopt);
+  EXPECT_EQ(try_parse_double("inf"), std::nullopt);  // must be finite
+  EXPECT_EQ(try_parse_double("1.5.5"), std::nullopt);
+}
+
+TEST(ParseNumberTest, ThrowingFormsNameTheFlagAndOffendingText) {
+  EXPECT_EQ(parse_int("8", "--jobs"), 8);
+  EXPECT_EQ(parse_u64("7", "--seed"), 7u);
+  EXPECT_EQ(parse_double("1.5", "--effort"), 1.5);
+  try {
+    parse_int("banana", "--jobs");
+    FAIL() << "expected TqecError";
+  } catch (const TqecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+  // int form also range-checks beyond int, not just i64.
+  EXPECT_THROW(parse_int("3000000000", "--jobs"), TqecError);
+  EXPECT_THROW(parse_u64("-3", "--seed"), TqecError);
+  EXPECT_THROW(parse_double("fast", "--effort"), TqecError);
+}
+
+TEST(ParseErrorTest, FormatsSourceAndLine) {
+  const ParseError with_line("file.real", 12, "bad token");
+  EXPECT_STREQ(with_line.what(), "file.real:12: bad token");
+  EXPECT_EQ(with_line.source(), "file.real");
+  EXPECT_EQ(with_line.line(), 12);
+  EXPECT_EQ(with_line.brief(), "bad token");
+  const ParseError whole_doc("file.icm", 0, "missing header");
+  EXPECT_STREQ(whole_doc.what(), "file.icm: missing header");
+}
+
+TEST(Fnv1aTest, KnownVectorsAndChaining) {
+  // FNV-1a 64-bit reference vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  // Chaining two halves equals hashing the whole.
+  EXPECT_EQ(fnv1a64("world", fnv1a64("hello ")), fnv1a64("hello world"));
+  Digest128 d;
+  d.update("hello");
+  Digest128 e;
+  e.update("hellp");
+  EXPECT_TRUE(d.lo != e.lo || d.hi != e.hi);
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <stdexcept>
 #include <vector>
 
@@ -85,6 +87,43 @@ TEST(ParallelForTest, SurvivingIterationsStillRun) {
                std::runtime_error);
   int total = std::accumulate(hits.begin(), hits.end(), 0);
   EXPECT_EQ(total, 49);  // every iteration except the throwing one
+}
+
+
+TEST(WorkerPoolTest, RunsEverySubmittedJob) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(4, 0);
+    for (int i = 0; i < 100; ++i)
+      ASSERT_TRUE(pool.submit([&done] { ++done; }));
+    pool.shutdown();  // drains before joining
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPoolTest, BoundedQueueRejectsWithoutBlocking) {
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  WorkerPool pool(1, 1);
+  std::atomic<int> done{0};
+  // Occupy the single worker, then fill the one queue slot.
+  ASSERT_TRUE(pool.submit([gate, &done] { gate.wait(); ++done; }));
+  // The worker may not have dequeued the first job yet; admission of the
+  // second is allowed either way, but the pool must settle at one queued.
+  while (pool.pending() > 0 && done.load() == 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.submit([gate, &done] { gate.wait(); ++done; }));
+  // Queue slot now taken by job 2 while job 1 blocks the worker.
+  EXPECT_FALSE(pool.submit([&done] { ++done; }));  // overload: rejected
+  release.set_value();
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 2);  // the rejected job never ran
+}
+
+TEST(WorkerPoolTest, SubmitAfterShutdownIsRejected) {
+  WorkerPool pool(2, 0);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+  pool.shutdown();  // idempotent
 }
 
 }  // namespace

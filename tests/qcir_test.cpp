@@ -264,5 +264,59 @@ TEST(GeneratorTest, LocalityKeepsGatesBanded) {
   }
 }
 
+TEST(RevlibTest, MalformedNumbersAreStructuredErrorsNotAborts) {
+  // Each of these used to reach std::stoi/std::stoull unchecked; they must
+  // now raise ParseError with the source name and 1-based line number.
+  try {
+    parse_real_string(".numvars banana\n.begin\n.end\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+  // Counts with trailing junk or beyond any plausible circuit size.
+  EXPECT_THROW(parse_real_string(".numvars 2x\n.begin\n.end\n"), ParseError);
+  EXPECT_THROW(parse_real_string(".numvars 99999999999\n.begin\n.end\n"),
+               ParseError);
+  // Positional qubit reference that is not a number / out of range.
+  EXPECT_THROW(
+      parse_real_string(".numvars 2\n.begin\nt2 x0 xbanana\n.end\n"),
+      ParseError);
+  EXPECT_THROW(parse_real_string(".numvars 2\n.begin\nt2 x0 x99\n.end\n"),
+               ParseError);
+}
+
+TEST(RevlibTest, TruncatedAndDegenerateGateLines) {
+  // A gate token with no operand count digits ("t" alone).
+  EXPECT_THROW(parse_real_string(".numvars 1\n.begin\nt x0\n.end\n"),
+               TqecError);
+  // Zero-operand gates: "t0" previously indexed an empty operand vector.
+  try {
+    parse_real_string(".numvars 1\n.begin\nt0\n.end\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+  EXPECT_THROW(parse_real_string(".numvars 1\n.begin\nf0\n.end\n"),
+               TqecError);
+  // Arity larger than the operand list actually present.
+  EXPECT_THROW(parse_real_string(".numvars 3\n.begin\nt5 x0 x1\n.end\n"),
+               TqecError);
+  // Duplicate operands surface as a line-numbered parse error, not an
+  // uncontextualized circuit-construction failure.
+  try {
+    parse_real_string(".numvars 2\n.begin\nt2 x0 x0\n.end\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(RevlibTest, TruncatedDocuments) {
+  // ".numvars" with no value; a document that ends mid-body.
+  EXPECT_THROW(parse_real_string(".numvars\n.begin\n.end\n"), TqecError);
+  EXPECT_THROW(parse_real_string(".numvars 1\n.begin\n"), ParseError);
+}
+
 }  // namespace
 }  // namespace tqec::qcir

@@ -84,5 +84,66 @@ TEST(SerializeTest, FileRoundTrip) {
   EXPECT_THROW(read_icm_file("/nonexistent/nope.icm"), TqecError);
 }
 
+TEST(SerializeTest, MalformedDocumentsCarrySourceAndLine) {
+  // Undeclared endpoints are reported at the referencing line.
+  try {
+    parse_icm_text("icm 1 x\nlines 1\nline 0 zero z\ncnot 0 5\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "<string>");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("not declared"), std::string::npos);
+  }
+  try {
+    parse_icm_text("icm 1 x\nline 0 zero z\norder 0 3\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+  // Non-numeric ids and negative counts are parse errors, not stoi aborts
+  // or silently-ignored declarations.
+  EXPECT_THROW(parse_icm_text("icm 1 x\nlines banana\n"), ParseError);
+  EXPECT_THROW(parse_icm_text("icm 1 x\nlines -3\n"), ParseError);
+  EXPECT_THROW(parse_icm_text("icm 1 x\nline zero zero z\n"), ParseError);
+  EXPECT_THROW(parse_icm_text("icm 1 x\ncnot banana 0\n"), ParseError);
+  // Keywords before the header, and header-count mismatches.
+  try {
+    parse_icm_text("lines 2\nicm 1 x\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("before the icm header"),
+              std::string::npos);
+  }
+  try {
+    parse_icm_text("icm 1 x\nlines 2\nline 0 zero z\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 0);  // whole-document defect
+    EXPECT_NE(std::string(e.what()).find("mismatch"), std::string::npos);
+  }
+}
+
+TEST(SerializeTest, CorruptedRoundTripIsRejected) {
+  // Serialize a real circuit, corrupt single tokens, and confirm the
+  // reader rejects every corruption while the pristine text round-trips.
+  const IcmCircuit circuit = core::three_cnot_example();
+  const std::string text = to_icm_text(circuit);
+  EXPECT_EQ(to_icm_text(parse_icm_text(text)), text);
+
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string broken = text;
+    const std::size_t pos = broken.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    broken.replace(pos, from.size(), to);
+    EXPECT_THROW(parse_icm_text(broken), ParseError) << broken;
+  };
+  corrupt("cnot 0 1", "cnot 0 99");           // undeclared target
+  corrupt("cnot 0 1", "cnot zero 1");         // non-numeric id
+  corrupt("lines 3", "lines 7");              // header/document mismatch
+  corrupt("line 1 zero z", "line 7 zero z");  // non-dense ids
+  corrupt("icm 1", "icm 9");                  // unsupported version
+}
+
 }  // namespace
 }  // namespace tqec::icm

@@ -153,5 +153,19 @@ TEST_F(TraceTest, CounterAddsFromThreadsSumDeterministically) {
   EXPECT_EQ(snap.counters[0].second, 2000);
 }
 
+
+TEST_F(TraceTest, ParseEnvEnabledChecksItsInput) {
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", nullptr));
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", ""));
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", "0"));
+  EXPECT_TRUE(trace::parse_env_enabled("TQEC_TRACE", "1"));
+  EXPECT_TRUE(trace::parse_env_enabled("TQEC_TRACE", "2"));
+  // Malformed values disable tracing (with a one-time stderr warning)
+  // instead of aborting through an unchecked stoi.
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", "x"));
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", "yes"));
+  EXPECT_FALSE(trace::parse_env_enabled("TQEC_TRACE", "1x"));
+}
+
 }  // namespace
 }  // namespace tqec

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI smoke check for tqec_serve.
+
+Drives the daemon over stdin/stdout with three requests — two identical
+compiles and one malformed document — and asserts:
+  * both compiles succeed with the same volume (bit-identical result);
+  * the second compile is served from the stage cache (pd_graph = "hit");
+  * the malformed request yields a structured parse_error naming the line.
+
+Usage: check_serve.py path/to/tqec_serve
+"""
+import json
+import subprocess
+import sys
+
+ICM = (
+    "icm 1 three-cnot\n"
+    "lines 3\n"
+    "line 0 zero z\n"
+    "line 1 zero z\n"
+    "line 2 zero z\n"
+    "cnot 0 1\n"
+    "cnot 2 1\n"
+    "cnot 1 0\n"
+)
+BROKEN = "icm 1 broken\nlines 2\nline 0 zero z\nline 1 zero z\ncnot 0 7\n"
+
+REQUESTS = [
+    {"id": "a", "icm": ICM},
+    {"id": "b", "icm": ICM},
+    {"id": "broken", "icm": BROKEN},
+]
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: check_serve.py path/to/tqec_serve")
+    payload = "".join(json.dumps(r) + "\n" for r in REQUESTS)
+    proc = subprocess.run(
+        [sys.argv[1], "--threads=1"],
+        input=payload,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"tqec_serve exited {proc.returncode}: {proc.stderr}")
+    responses = {}
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        responses[doc["id"]] = doc
+
+    a, b, broken = responses["a"], responses["b"], responses["broken"]
+    assert a["ok"] and b["ok"], f"compiles failed: {a} {b}"
+    assert a["volume"] == b["volume"] > 0, (
+        f"identical requests disagree: {a['volume']} vs {b['volume']}"
+    )
+    assert a["cache"]["pd_graph"] == "miss", a["cache"]
+    assert b["cache"]["pd_graph"] == "hit", (
+        f"second identical request missed the stage cache: {b['cache']}"
+    )
+    assert not broken["ok"], broken
+    assert broken["error"]["code"] == "parse_error", broken["error"]
+    assert broken["error"]["line"] == 5, broken["error"]
+    print("check_serve: ok "
+          f"(volume={a['volume']}, cache={b['cache']['pd_graph']}, "
+          f"error='{broken['error']['message']}')")
+
+
+if __name__ == "__main__":
+    main()

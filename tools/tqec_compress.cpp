@@ -70,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "common/trace.h"
 #include "core/compiler.h"
 #include "core/paper_tables.h"
@@ -133,27 +134,27 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     return true;
   }
   if (auto v = value_of("--seed=")) {
-    opt.compile.seed = static_cast<std::uint64_t>(std::stoull(*v));
+    opt.compile.seed = parse_u64(*v, "--seed");
     return true;
   }
   if (auto v = value_of("--effort=")) {
-    opt.compile.effort = std::stod(*v);
+    opt.compile.effort = parse_double(*v, "--effort");
     return true;
   }
   if (auto v = value_of("--jobs=")) {
-    opt.compile.jobs = std::stoi(*v);
+    opt.compile.jobs = parse_int(*v, "--jobs");
     return true;
   }
   if (auto v = value_of("--place-restarts=")) {
-    opt.compile.place_restarts = std::stoi(*v);
+    opt.compile.place_restarts = parse_int(*v, "--place-restarts");
     return true;
   }
   if (auto v = value_of("--place-replicas=")) {
-    opt.compile.place.replicas = std::stoi(*v);
+    opt.compile.place.replicas = parse_int(*v, "--place-replicas");
     return true;
   }
   if (auto v = value_of("--place-threads=")) {
-    opt.compile.place.threads = std::stoi(*v);
+    opt.compile.place.threads = parse_int(*v, "--place-threads");
     return true;
   }
   if (arg == "--place-full-pack")
@@ -163,7 +164,7 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
   if (arg == "--route-full-sweep")
     return opt.compile.route.incremental = false, true;
   if (auto v = value_of("--route-threads=")) {
-    opt.compile.route.threads = std::stoi(*v);
+    opt.compile.route.threads = parse_int(*v, "--route-threads");
     return true;
   }
   if (arg == "--route-serial")
@@ -171,19 +172,19 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
   if (arg == "--route-heap")
     return opt.compile.route.bucket_queue = false, true;
   if (auto v = value_of("--route-lookahead=")) {
-    opt.compile.route.lookahead = std::stoi(*v) != 0;
+    opt.compile.route.lookahead = parse_int(*v, "--route-lookahead") != 0;
     return true;
   }
   if (auto v = value_of("--route-windows=")) {
-    opt.compile.route.windows = std::stoi(*v) != 0;
+    opt.compile.route.windows = parse_int(*v, "--route-windows") != 0;
     return true;
   }
   if (auto v = value_of("--route-warm-start=")) {
-    opt.compile.route.warm_start = std::stoi(*v) != 0;
+    opt.compile.route.warm_start = parse_int(*v, "--route-warm-start") != 0;
     return true;
   }
   if (auto v = value_of("--route-stall-sweeps=")) {
-    opt.compile.route.stall_sweeps = std::stoi(*v);
+    opt.compile.route.stall_sweeps = parse_int(*v, "--route-stall-sweeps");
     return true;
   }
   if (arg == "--no-optimize") return opt.optimize = false, true;
@@ -301,16 +302,25 @@ int main(int argc, char** argv) {
 
   CliOptions opt;
   std::vector<std::string> positional;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
-      if (!parse_flag(arg, opt)) {
-        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-        return usage();
+  // Flag values go through the checked parse_* helpers, which throw a
+  // TqecError naming the flag and the offending text ("--jobs: expected an
+  // integer, got 'banana'") — caught here instead of aborting via an
+  // uncaught std::invalid_argument from the stoi family.
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (!parse_flag(arg, opt)) {
+          std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+          return usage();
+        }
+      } else {
+        positional.push_back(arg);
       }
-    } else {
-      positional.push_back(arg);
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
 
   try {

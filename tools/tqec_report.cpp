@@ -231,6 +231,30 @@ void render_route(const Value& stats) {
   }
 }
 
+void render_cache(const Value& stats) {
+  const Value* cache = stats.find("cache");
+  if (cache == nullptr || !cache->is_object()) return;
+  const Value* enabled = cache->find("enabled");
+  if (enabled == nullptr || !enabled->is_bool() || !enabled->boolean) return;
+  const auto outcome = [&](const char* stage) {
+    const Value* v = cache->find(stage);
+    return v != nullptr && v->is_string() ? v->string.c_str() : "?";
+  };
+  std::printf("\n  stage cache (service request)\n");
+  std::printf("    decompose %-6s icm %-6s pd-graph %-6s\n",
+              outcome("decompose"), outcome("icm"), outcome("pd_graph"));
+  const double hits = num_or(*cache, "hits", 0);
+  const double misses = num_or(*cache, "misses", 0);
+  std::printf("    lifetime: %.0f hits / %.0f misses (%.1f%% hit), "
+              "%.0f entries, %.1f MiB of %.1f MiB, %.0f evictions\n",
+              hits, misses,
+              hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
+              num_or(*cache, "entries", 0),
+              num_or(*cache, "bytes", 0) / (1024.0 * 1024.0),
+              num_or(*cache, "budget", 0) / (1024.0 * 1024.0),
+              num_or(*cache, "evictions", 0));
+}
+
 void render_metrics(const Value& stats) {
   const Value* metrics = stats.find("metrics");
   if (metrics == nullptr || !metrics->is_object()) return;
@@ -290,6 +314,7 @@ void render_stats(const Value& stats, const std::string& label) {
   render_stage_table(stats);
   render_attempts(stats);
   render_route(stats);
+  render_cache(stats);
   render_metrics(stats);
   std::printf("\n");
 }

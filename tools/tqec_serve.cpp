@@ -1,0 +1,347 @@
+// tqec_serve — long-running compilation service over newline-delimited JSON.
+//
+//   tqec_serve [--threads=N] [--queue=N] [--cache-bytes=N] [--socket=PATH]
+//
+// Requests arrive one JSON object per line on stdin (default) or on a
+// Unix-domain socket; responses leave one JSON object per line on stdout /
+// the same connection, in completion order, correlated by "id".
+//
+// Request:
+//   {"id": "r1",
+//    "benchmark": "hwb-50-56" | "real": "<.real text>" | "icm": "<.icm text>",
+//    "optimize": true,              // .real only: reversible peephole pass
+//    "options": {"mode": "full|dual|modular", "seed": N, "effort": F,
+//                "jobs": N, "place_restarts": K, "plan": true},
+//    "deadline_s": 30.0,            // wall-clock budget; 0 = none
+//    "geometry": false,             // emit + validate the 3D geometry
+//    "stats": false}                // embed the full stats_json v2 report
+//   {"cancel": "r1"}                // cancel an in-flight request
+//
+// Response (success):
+//   {"id": "r1", "ok": true, "volume": V, "legal": true, "modules": M,
+//    "nodes": N, "wall_s": S, "cache": {"decompose": "hit|miss|skip", ...},
+//    "stats": {...}}                // only when the request asked for it
+// Response (failure):
+//   {"id": "r1", "ok": false,
+//    "error": {"code": "bad_request|parse_error|cancelled|deadline_exceeded|
+//              overloaded|internal", "message": "...",
+//              "source": "...", "line": L}}   // parse_error only
+//
+// Scheduling: requests run on a fixed WorkerPool; the admission queue is
+// bounded (--queue) and a full queue rejects immediately with "overloaded"
+// rather than stalling the read loop — the client owns backoff/retry.
+// Identical pure-prefix stages across requests are served from the shared
+// content-hash stage cache (--cache-bytes, 0 disables; see
+// core/stage_cache.h).
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/socket.h"
+#include "common/string_util.h"
+#include "core/service.h"
+
+namespace {
+
+using namespace tqec;
+
+struct ServeOptions {
+  int threads = 0;  // 0 = one per hardware thread
+  std::size_t queue = 64;
+  std::int64_t cache_bytes = std::int64_t{256} << 20;
+  std::string socket_path;  // empty = stdin/stdout
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tqec_serve [--threads=N] [--queue=N]"
+               " [--cache-bytes=N] [--socket=PATH]\n"
+               "reads one JSON request per line on stdin (or PATH), writes\n"
+               "one JSON response per line on stdout (or the connection)\n");
+  return 2;
+}
+
+/// Serialized sink for response lines: workers finish in any order, the
+/// mutex keeps each line atomic. Jobs hold the connection fd alive through
+/// the shared_ptr even after the read loop moved on.
+struct Output {
+  explicit Output(int fd) : fd(fd) {}
+  explicit Output(net::Fd conn) : owned(std::move(conn)), fd(owned.get()) {}
+  std::mutex mutex;
+  net::Fd owned;
+  int fd;
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    // A vanished client is not a server error; the response is dropped.
+    (void)net::write_all(fd, line + "\n");
+  }
+};
+
+/// In-flight request registry backing {"cancel": id}.
+class InflightMap {
+ public:
+  void add(const std::string& id, CancelToken token) {
+    if (id.empty()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tokens_[id] = std::move(token);
+  }
+  void remove(const std::string& id) {
+    if (id.empty()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tokens_.erase(id);
+  }
+  bool cancel(const std::string& id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tokens_.find(id);
+    if (it == tokens_.end()) return false;
+    it->second.cancel();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, CancelToken> tokens_;
+};
+
+std::string quoted(const std::string& s) {
+  return "\"" + json::escape(s) + "\"";
+}
+
+std::string error_line(const std::string& id, const std::string& code,
+                       const std::string& message,
+                       const std::string& source = {}, int line = 0) {
+  std::string out = "{\"id\": " + quoted(id) +
+                    ", \"ok\": false, \"error\": {\"code\": " + quoted(code) +
+                    ", \"message\": " + quoted(message);
+  if (!source.empty())
+    out += ", \"source\": " + quoted(source) +
+           ", \"line\": " + std::to_string(line);
+  return out + "}}";
+}
+
+std::string response_line(const std::string& id, const CompileResponse& r,
+                          bool want_stats) {
+  if (!r.ok)
+    return error_line(id, r.error.code_name(), r.error.message,
+                      r.error.source, r.error.line);
+  const core::CompileResult& res = r.result;
+  const core::CacheUsage& c = res.cache;
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.6f", r.wall_s);
+  std::string out =
+      "{\"id\": " + quoted(id) + ", \"ok\": true, \"volume\": " +
+      std::to_string(res.volume) +
+      ", \"legal\": " + (res.routed_legal ? "true" : "false") +
+      ", \"modules\": " + std::to_string(res.modules) +
+      ", \"nodes\": " + std::to_string(res.nodes) + ", \"wall_s\": " + wall +
+      ", \"cache\": {\"enabled\": " + (c.enabled ? "true" : "false") +
+      ", \"decompose\": " + quoted(c.decompose) +
+      ", \"icm\": " + quoted(c.icm) +
+      ", \"pd_graph\": " + quoted(c.pd_graph) +
+      ", \"hits\": " + std::to_string(c.hits) +
+      ", \"misses\": " + std::to_string(c.misses) +
+      ", \"entries\": " + std::to_string(c.entries) +
+      ", \"bytes\": " + std::to_string(c.bytes) +
+      ", \"evictions\": " + std::to_string(c.evictions) + "}";
+  if (want_stats) {
+    // stats_json emits a complete JSON object: splice it in verbatim.
+    out += ", \"stats\": " + core::stats_json(res);
+  }
+  return out + "}";
+}
+
+/// Translate a request's "options" object onto core::CompileOptions;
+/// throws TqecError on unknown modes / wrong types (surfaced as
+/// bad_request by the caller).
+void apply_options(const json::Value& v, core::CompileOptions& opt) {
+  if (const json::Value* m = v.find("mode")) {
+    const std::string& mode = m->as_string();
+    if (mode == "full") opt.mode = core::PipelineMode::Full;
+    else if (mode == "dual") opt.mode = core::PipelineMode::DualOnly;
+    else if (mode == "modular") opt.mode = core::PipelineMode::ModularOnly;
+    else throw TqecError("unknown mode '" + mode + "'");
+  }
+  if (const json::Value* m = v.find("seed"))
+    opt.seed = static_cast<std::uint64_t>(m->as_int());
+  if (const json::Value* m = v.find("effort")) opt.effort = m->as_double();
+  if (const json::Value* m = v.find("jobs"))
+    opt.jobs = static_cast<int>(m->as_int());
+  if (const json::Value* m = v.find("place_restarts"))
+    opt.place_restarts = static_cast<int>(m->as_int());
+  if (const json::Value* m = v.find("plan")) opt.plan_flips = m->as_bool();
+}
+
+class Server {
+ public:
+  Server(const ServeOptions& serve_opt)
+      : compiler_(CompilerConfig{serve_opt.cache_bytes,
+                                 serve_opt.cache_bytes > 0}),
+        pool_(serve_opt.threads > 0
+                  ? serve_opt.threads
+                  : static_cast<int>(std::thread::hardware_concurrency()),
+              serve_opt.queue) {}
+
+  /// Handle one request line; every outcome becomes exactly one response
+  /// line on `out` (now, for rejections; later, for admitted requests).
+  void handle_line(const std::string& line,
+                   const std::shared_ptr<Output>& out) {
+    if (trim(line).empty()) return;
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+      if (!doc.is_object()) throw TqecError("request must be a JSON object");
+    } catch (const std::exception& e) {
+      out->write_line(error_line("", "bad_request", e.what()));
+      return;
+    }
+
+    if (const json::Value* cancel = doc.find("cancel")) {
+      // Cancellation acknowledgement: ok reports whether the id was still
+      // in flight (the compile's own response still arrives, as
+      // "cancelled", once the pipeline reaches a stage boundary).
+      std::string id;
+      bool hit = false;
+      try {
+        id = cancel->as_string();
+        hit = inflight_.cancel(id);
+      } catch (const std::exception& e) {
+        out->write_line(error_line("", "bad_request", e.what()));
+        return;
+      }
+      out->write_line("{\"id\": " + quoted(id) +
+                      ", \"ok\": " + (hit ? "true" : "false") +
+                      ", \"cancelled\": " + (hit ? "true" : "false") + "}");
+      return;
+    }
+
+    CompileRequest req;
+    bool want_stats = false;
+    try {
+      if (const json::Value* v = doc.find("id")) req.id = v->as_string();
+      if (const json::Value* v = doc.find("real"))
+        req.real_text = v->as_string();
+      if (const json::Value* v = doc.find("icm"))
+        req.icm_text = v->as_string();
+      if (const json::Value* v = doc.find("benchmark"))
+        req.benchmark = v->as_string();
+      if (const json::Value* v = doc.find("optimize"))
+        req.optimize = v->as_bool();
+      if (const json::Value* v = doc.find("deadline_s"))
+        req.deadline_s = v->as_double();
+      // Table statistics only by default; geometry emission is the one
+      // expensive output a service client usually doesn't want.
+      req.options.emit_geometry = false;
+      if (const json::Value* v = doc.find("geometry"))
+        req.options.emit_geometry = v->as_bool();
+      if (const json::Value* v = doc.find("stats"))
+        want_stats = v->as_bool();
+      if (const json::Value* v = doc.find("options"))
+        apply_options(*v, req.options);
+    } catch (const std::exception& e) {
+      out->write_line(error_line(req.id, "bad_request", e.what()));
+      return;
+    }
+
+    req.options.cancel = CancelToken();
+    const std::string id = req.id;
+    inflight_.add(id, req.options.cancel);
+    auto job = [this, req = std::move(req), want_stats, out] {
+      const CompileResponse response = compiler_.compile(req);
+      inflight_.remove(req.id);
+      out->write_line(response_line(req.id, response, want_stats));
+    };
+    if (!pool_.submit(std::move(job))) {
+      // Admission control: a full queue answers immediately instead of
+      // wedging the read loop behind the slowest compile.
+      inflight_.remove(id);
+      out->write_line(error_line(id, "overloaded",
+                                 "admission queue full; retry later"));
+    }
+  }
+
+  void drain() { pool_.shutdown(); }
+
+ private:
+  Compiler compiler_;
+  WorkerPool pool_;
+  InflightMap inflight_;
+};
+
+int run_stdin(Server& server) {
+  auto out = std::make_shared<Output>(1 /* stdout */);
+  net::LineReader reader(0 /* stdin */);
+  std::string line;
+  while (reader.next_line(line)) server.handle_line(line, out);
+  server.drain();
+  return 0;
+}
+
+int run_socket(Server& server, const std::string& path) {
+  net::UnixServerSocket listener(path);
+  std::fprintf(stderr, "tqec_serve: listening on %s\n", path.c_str());
+  for (;;) {
+    net::Fd conn = listener.accept_client();
+    if (!conn.valid()) break;
+    auto out = std::make_shared<Output>(std::move(conn));
+    net::LineReader reader(out->fd);
+    std::string line;
+    while (reader.next_line(line)) server.handle_line(line, out);
+    // The connection object stays alive inside any still-queued jobs;
+    // their responses go to the (possibly closed) fd and are dropped.
+  }
+  server.drain();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A client that disconnects mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ServeOptions opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value_of =
+          [&](const char* prefix) -> std::optional<std::string> {
+        const std::size_t n = std::strlen(prefix);
+        if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+        return std::nullopt;
+      };
+      if (auto v = value_of("--threads=")) {
+        opt.threads = parse_int(*v, "--threads");
+      } else if (auto v = value_of("--queue=")) {
+        opt.queue = static_cast<std::size_t>(parse_u64(*v, "--queue"));
+      } else if (auto v = value_of("--cache-bytes=")) {
+        opt.cache_bytes = parse_i64(*v, "--cache-bytes");
+      } else if (auto v = value_of("--socket=")) {
+        opt.socket_path = *v;
+      } else {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return usage();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    Server server(opt);
+    return opt.socket_path.empty() ? run_stdin(server)
+                                   : run_socket(server, opt.socket_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
