@@ -1,9 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 
 #include "common/trace.h"
@@ -32,6 +34,12 @@ std::atomic<int>& threshold_storage() {
   return level;
 }
 
+std::atomic<bool>& wallclock_storage() {
+  static std::atomic<bool> on{trace::parse_env_enabled(
+      "TQEC_LOG_WALLCLOCK", std::getenv("TQEC_LOG_WALLCLOCK"))};
+  return on;
+}
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::Error: return "ERROR";
@@ -55,16 +63,42 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) <= threshold_storage().load();
 }
 
+bool log_wallclock() { return wallclock_storage().load(); }
+
+void set_log_wallclock(bool on) { wallclock_storage().store(on); }
+
+std::string iso8601_utc_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof buf - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   // Format the whole line up front and emit it with a single stream
   // insertion: under jobs>1 the per-insertion interleaving of the old
   // multi-<< form scrambled concurrent lines. The prefix carries elapsed
-  // time since the process trace epoch and the dense thread id shared
-  // with the tracer's tid rows.
-  char prefix[64];
-  std::snprintf(prefix, sizeof prefix, "[tqec %9.3fs T%d %s] ",
-                static_cast<double>(trace::now_ns()) / 1e9,
-                trace::thread_id(), level_tag(level));
+  // time since the process trace epoch (or ISO-8601 UTC wall-clock under
+  // TQEC_LOG_WALLCLOCK=1) and the dense thread id shared with the tracer's
+  // tid rows.
+  char prefix[80];
+  if (log_wallclock()) {
+    std::snprintf(prefix, sizeof prefix, "[tqec %s T%d %s] ",
+                  iso8601_utc_now().c_str(), trace::thread_id(),
+                  level_tag(level));
+  } else {
+    std::snprintf(prefix, sizeof prefix, "[tqec %9.3fs T%d %s] ",
+                  static_cast<double>(trace::now_ns()) / 1e9,
+                  trace::thread_id(), level_tag(level));
+  }
   std::string line;
   line.reserve(std::strlen(prefix) + message.size() + 1);
   line += prefix;

@@ -6,6 +6,12 @@
 // formatted whole and written with one stream insertion (no interleaving
 // under jobs>1) and carries an elapsed-seconds + thread-id prefix:
 //   [tqec     1.234s T0 INFO ] message
+//
+// TQEC_LOG_WALLCLOCK=1 swaps the elapsed-seconds field for an ISO-8601 UTC
+// timestamp — elapsed seconds since process start are meaningless in a
+// daemon that runs for days:
+//   [tqec 2026-08-08T12:34:56.789Z T0 INFO ] message
+// Elapsed stays the default so existing test and CI output is unchanged.
 #pragma once
 
 #include <sstream>
@@ -22,6 +28,18 @@ LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
 bool log_enabled(LogLevel level);
+
+/// Whether log lines carry wall-clock timestamps (from TQEC_LOG_WALLCLOCK,
+/// cached on first use) instead of the elapsed-seconds default.
+bool log_wallclock();
+
+/// Override the timestamp mode programmatically (tests, tqec_serve).
+void set_log_wallclock(bool on);
+
+/// Current time as ISO-8601 UTC with millisecond precision
+/// ("2026-08-08T12:34:56.789Z"); shared by the log prefix and the
+/// tqec_serve access log.
+std::string iso8601_utc_now();
 
 /// Emit one log line; prefer the TQEC_LOG_* macros below.
 void log_line(LogLevel level, const std::string& message);

@@ -168,6 +168,12 @@ class WorkerPool {
     return queue_.size();
   }
 
+  /// Dedicated worker threads (0 after shutdown).
+  std::size_t worker_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return workers_.size();
+  }
+
   /// Stop accepting jobs, drain the queue, run everything already
   /// admitted, and join the workers. Idempotent; called by the destructor.
   void shutdown() {

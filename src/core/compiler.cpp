@@ -504,6 +504,11 @@ void emit_sa_curve(std::ostringstream& os,
   os << "}";
 }
 
+void emit_histogram(std::ostringstream& os,
+                    const trace::HistogramSnapshot& h) {
+  os << trace::histogram_json(h);
+}
+
 }  // namespace
 
 std::string stats_json(const CompileResult& result) {
@@ -669,6 +674,16 @@ std::string stats_json(const CompileResult& result) {
       os << ", \"y\": ";
       emit_number_array(os, s.y);
       os << "}";
+    }
+  }
+  os << "}, \"histograms\": {";
+  {
+    bool first = true;
+    for (const trace::HistogramSnapshot& h : result.metrics.histograms) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(h.name) << "\": ";
+      emit_histogram(os, h);
     }
   }
   os << "}}\n}\n";

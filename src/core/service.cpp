@@ -138,7 +138,7 @@ CompileResponse Compiler::compile(const CompileRequest& request) {
       std::shared_ptr<const qcir::Circuit> clifford;
       const core::CacheKey dkey = core::make_cache_key(
           "decompose/v1", qcir::write_real(reversible));
-      if (caching) clifford = cache_.get<qcir::Circuit>(dkey);
+      if (caching) clifford = timed_get<qcir::Circuit>(dkey);
       usage.decompose = clifford ? "hit" : "miss";
       if (!clifford) {
         auto built = std::make_shared<const qcir::Circuit>(
@@ -150,7 +150,7 @@ CompileResponse Compiler::compile(const CompileRequest& request) {
       // Stage: Clifford+T -> ICM.
       const core::CacheKey ikey = core::make_cache_key(
           "icm/v1", canonical_clifford_text(*clifford));
-      if (caching) icm_cached = cache_.get<icm::IcmCircuit>(ikey);
+      if (caching) icm_cached = timed_get<icm::IcmCircuit>(ikey);
       usage.icm = icm_cached ? "hit" : "miss";
       if (!icm_cached) {
         auto built = std::make_shared<const icm::IcmCircuit>(
@@ -186,7 +186,7 @@ CompileResponse Compiler::compile(const CompileRequest& request) {
     double pd_graph_s = 0;
     const core::CacheKey gkey =
         core::make_cache_key("pdgraph/v1", icm::to_icm_text(icm));
-    if (caching) graph = cache_.get<pdgraph::PdGraph>(gkey);
+    if (caching) graph = timed_get<pdgraph::PdGraph>(gkey);
     usage.pd_graph = graph ? "hit" : "miss";
     if (!graph) {
       const auto t_build = std::chrono::steady_clock::now();

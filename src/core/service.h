@@ -94,9 +94,29 @@ class Compiler {
   core::StageCache::Stats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// Latency distribution of every stage-cache lookup this Compiler has
+  /// performed (hits and misses alike — the *lookup*, not the recompute).
+  /// Always recorded: two clock reads per lookup against a pipeline of
+  /// milliseconds-to-minutes is noise, and a long-running service wants
+  /// cache health observable without a restart. Purely observational.
+  trace::HistogramSnapshot cache_lookup_latency() const {
+    return cache_lookup_s_.snapshot();
+  }
+
  private:
+  /// cache_.get with the lookup latency recorded into cache_lookup_s_.
+  template <typename T>
+  std::shared_ptr<const T> timed_get(const core::CacheKey& key) {
+    const std::uint64_t t0 = trace::now_ns();
+    std::shared_ptr<const T> value = cache_.get<T>(key);
+    cache_lookup_s_.record_s(
+        static_cast<double>(trace::now_ns() - t0) / 1e9);
+    return value;
+  }
+
   CompilerConfig config_;
   core::StageCache cache_;
+  trace::Histogram cache_lookup_s_{"serve.cache_lookup_s"};
 };
 
 }  // namespace tqec

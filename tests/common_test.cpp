@@ -1,15 +1,19 @@
 // Unit tests for the common substrate: geometry primitives, deterministic
-// RNG, union-find, and string helpers.
+// RNG, union-find, string helpers, and log formatting.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <iostream>
 #include <limits>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/error.h"
 #include "common/hash.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/union_find.h"
@@ -323,6 +327,56 @@ TEST(Fnv1aTest, KnownVectorsAndChaining) {
   Digest128 e;
   e.update("hellp");
   EXPECT_TRUE(d.lo != e.lo || d.hi != e.hi);
+}
+
+TEST(LoggingTest, Iso8601UtcNowIsWellFormed) {
+  const std::string ts = iso8601_utc_now();
+  // "2026-08-08T12:34:56.789Z" — fixed-width fields, millisecond precision.
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u,
+                              14u, 15u, 17u, 18u, 20u, 21u, 22u})
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(ts[i]))) << i;
+}
+
+TEST(LoggingTest, WallclockModeSwapsTheLinePrefix) {
+  struct CerrCapture {
+    std::ostringstream captured;
+    std::streambuf* saved = std::cerr.rdbuf();
+    CerrCapture() { std::cerr.rdbuf(captured.rdbuf()); }
+    ~CerrCapture() { std::cerr.rdbuf(saved); }
+  };
+  const bool saved = log_wallclock();
+
+  std::string elapsed_line, wallclock_line;
+  {
+    CerrCapture capture;
+    set_log_wallclock(false);
+    log_line(LogLevel::Warn, "elapsed mode");
+    elapsed_line = capture.captured.str();
+  }
+  {
+    CerrCapture capture;
+    set_log_wallclock(true);
+    log_line(LogLevel::Warn, "wallclock mode");
+    wallclock_line = capture.captured.str();
+  }
+  set_log_wallclock(saved);
+
+  // Elapsed (default) keeps the seconds-since-start field.
+  EXPECT_NE(elapsed_line.find("s T"), std::string::npos) << elapsed_line;
+  EXPECT_EQ(elapsed_line.find("Z T"), std::string::npos) << elapsed_line;
+  // Wallclock carries an ISO-8601 UTC timestamp instead.
+  EXPECT_NE(wallclock_line.find("Z T"), std::string::npos) << wallclock_line;
+  EXPECT_NE(wallclock_line.find("T"), std::string::npos);
+  EXPECT_NE(wallclock_line.find("WARN"), std::string::npos);
+  EXPECT_NE(wallclock_line.find("wallclock mode"), std::string::npos);
 }
 
 }  // namespace

@@ -310,5 +310,47 @@ TEST(CompilerServiceTest, StatsJsonCarriesCacheSection) {
             std::string::npos);
 }
 
+TEST(CompilerServiceTest, CacheLookupLatencyHistogramCountsLookups) {
+  Compiler compiler;
+  EXPECT_EQ(compiler.cache_lookup_latency().count, 0u);
+  compiler.compile(icm_request("first"));
+  const trace::HistogramSnapshot after_one = compiler.cache_lookup_latency();
+  EXPECT_GT(after_one.count, 0u);
+  compiler.compile(icm_request("second"));
+  const trace::HistogramSnapshot after_two = compiler.cache_lookup_latency();
+  // Identical requests issue identical lookup sequences (the second is all
+  // hits, but a hit and a miss are each one lookup).
+  EXPECT_EQ(after_two.count, 2 * after_one.count);
+  EXPECT_GE(after_two.sum_ns, after_one.sum_ns);
+}
+
+/// Telemetry is observational: the same request compiled with every
+/// collection surface off, and again with tracing + the flight recorder
+/// on, must produce bit-identical results.
+TEST(CompilerServiceTest, TelemetryOnOffIsBitIdentical) {
+  trace::set_enabled(false);
+  trace::set_flight_recorder_enabled(false);
+  Compiler off_compiler;
+  const CompileResponse off = off_compiler.compile(icm_request("off"));
+  ASSERT_TRUE(off.ok);
+
+  trace::set_enabled(true);
+  trace::set_flight_recorder_enabled(true);
+  Compiler on_compiler;
+  const CompileResponse on = on_compiler.compile(icm_request("on"));
+  trace::set_enabled(false);
+  trace::set_flight_recorder_enabled(false);
+  trace::reset_events();
+  trace::reset_metrics();
+  trace::reset_flight_records();
+  ASSERT_TRUE(on.ok);
+
+  EXPECT_EQ(on.result.volume, off.result.volume);
+  EXPECT_EQ(on.result.canonical_volume, off.result.canonical_volume);
+  EXPECT_EQ(on.result.modules, off.result.modules);
+  EXPECT_EQ(on.result.nodes, off.result.nodes);
+  EXPECT_EQ(on.result.routed_legal, off.result.routed_legal);
+}
+
 }  // namespace
 }  // namespace tqec

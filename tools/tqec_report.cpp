@@ -1,7 +1,7 @@
 // tqec_report — render the pipeline's observability artifacts as a
 // human-readable run report.
 //
-//   tqec_report <file.json> [more.json ...]
+//   tqec_report [--serve-metrics] <file.json> [more.json ...]
 //
 // Accepts any mix of:
 //   - stats_json v1/v2 reports (tqec_compress --stats-json=PATH): stage
@@ -11,7 +11,12 @@
 //   - Chrome trace-event files (tqec_compress --trace-json=PATH): per-span
 //     aggregation (count / total / min / max, sorted by total time);
 //   - bench-harness stats arrays ([{"bench": ..., "report": {...}}, ...]
-//     as written by REPRO_STATS_JSON): one stats report per entry.
+//     as written by REPRO_STATS_JSON): one stats report per entry;
+//   - tqec_serve {"admin": "metrics"} snapshots (the whole response line or
+//     just its "serve" object): counter table, latency-histogram
+//     sparklines over the log-spaced buckets, and a stage-cache
+//     effectiveness table. Detected automatically; --serve-metrics forces
+//     the interpretation for the files that follow it.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +27,7 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/trace.h"
 
 namespace {
 
@@ -365,10 +371,150 @@ void render_trace(const Value& trace, const std::string& label) {
   std::printf("\n");
 }
 
-int render_file(const std::string& path) {
+// ---------------------------------------------------------------------------
+// tqec_serve {"admin": "metrics"} snapshot rendering.
+
+std::string human_s(double s) {
+  char buf[32];
+  if (s <= 0) std::snprintf(buf, sizeof buf, "0");
+  else if (s < 1e-3) std::snprintf(buf, sizeof buf, "%.1fus", s * 1e6);
+  else if (s < 1) std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  else std::snprintf(buf, sizeof buf, "%.3fs", s);
+  return buf;
+}
+
+/// Map a bucket's "le" bound back onto the canonical log-spaced bucket
+/// index ("+Inf" -> overflow bucket; numbers match within rounding).
+std::size_t bucket_index_of(const Value& le) {
+  using tqec::trace::kHistogramBuckets;
+  using tqec::trace::kHistogramFiniteBuckets;
+  if (le.is_string()) return kHistogramBuckets - 1;
+  if (!le.is_number()) return kHistogramBuckets;  // ignored
+  for (std::size_t i = 0; i < kHistogramFiniteBuckets; ++i) {
+    const double bound = tqec::trace::histogram_bucket_bound(i);
+    if (le.number <= bound * (1 + 1e-9)) return i;
+  }
+  return kHistogramBuckets - 1;
+}
+
+void render_serve_histograms(const Value& histograms) {
+  if (!histograms.is_object() || histograms.object.empty()) return;
+  std::printf("\n  latency histograms (log-spaced buckets, 3 per decade)\n");
+  std::printf("    %-28s %8s %10s %10s %10s  %s\n", "histogram", "count",
+              "mean", "min", "max", "distribution");
+  for (const auto& [name, h] : histograms.object) {
+    if (!h.is_object()) continue;
+    std::array<double, tqec::trace::kHistogramBuckets> counts{};
+    const Value* buckets = h.find("buckets");
+    if (buckets != nullptr && buckets->is_array())
+      for (const Value& b : buckets->array) {
+        const Value* le = b.find("le");
+        if (le == nullptr) continue;
+        const std::size_t i = bucket_index_of(*le);
+        if (i < counts.size()) counts[i] += num_or(b, "n", 0);
+      }
+    // Trim to the populated bucket range so the sparkline has resolution
+    // where the samples are.
+    std::size_t first = counts.size(), last = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      if (counts[i] > 0) {
+        first = std::min(first, i);
+        last = i;
+      }
+    std::string spark = "(no samples)";
+    std::string range;
+    if (first < counts.size()) {
+      spark = sparkline(std::vector<double>(counts.begin() + first,
+                                            counts.begin() + last + 1),
+                        28);
+      const double lo_bound =
+          first == 0 ? 0 : tqec::trace::histogram_bucket_bound(first - 1);
+      range = "  [" + human_s(lo_bound) + " .. " +
+              (last + 1 == counts.size()
+                   ? "+Inf"
+                   : human_s(tqec::trace::histogram_bucket_bound(last))) +
+              "]";
+    }
+    std::printf("    %-28s %8.0f %10s %10s %10s  %s%s\n", name.c_str(),
+                num_or(h, "count", 0), human_s(num_or(h, "mean_s", 0)).c_str(),
+                human_s(num_or(h, "min_s", 0)).c_str(),
+                human_s(num_or(h, "max_s", 0)).c_str(), spark.c_str(),
+                range.c_str());
+  }
+}
+
+void render_serve_cache(const Value& serve) {
+  const Value* cache = serve.find("cache");
+  if (cache == nullptr || !cache->is_object()) return;
+  const double hits = num_or(*cache, "hits", 0);
+  const double misses = num_or(*cache, "misses", 0);
+  std::printf("\n  stage-cache effectiveness\n");
+  std::printf("    %10s %10s %8s %12s %10s\n", "hits", "misses", "hit%",
+              "insertions", "evictions");
+  std::printf("    %10.0f %10.0f %7.1f%% %12.0f %10.0f\n", hits, misses,
+              hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
+              num_or(*cache, "insertions", 0),
+              num_or(*cache, "evictions", 0));
+  std::printf("    %.0f entries, %.1f MiB of %.1f MiB budget\n",
+              num_or(*cache, "entries", 0),
+              num_or(*cache, "bytes", 0) / (1024.0 * 1024.0),
+              num_or(*cache, "budget", 0) / (1024.0 * 1024.0));
+  const Value* histograms = serve.find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    if (const Value* lookup = histograms->find("serve.cache_lookup_s");
+        lookup != nullptr && lookup->is_object())
+      std::printf("    lookup latency: %.0f lookups, mean %s, max %s\n",
+                  num_or(*lookup, "count", 0),
+                  human_s(num_or(*lookup, "mean_s", 0)).c_str(),
+                  human_s(num_or(*lookup, "max_s", 0)).c_str());
+  }
+}
+
+void render_serve_metrics(const Value& doc, const std::string& label) {
+  // Accept the whole admin response line or just its "serve" object.
+  const Value* serve = doc.find("serve");
+  if (serve == nullptr || !serve->is_object()) serve = &doc;
+  std::printf("== serve metrics: %s ==\n", label.c_str());
+  std::printf("  uptime %.1fs, %.0f workers, %.0f in flight, "
+              "queue depth %.0f\n",
+              num_or(*serve, "uptime_s", 0), num_or(*serve, "workers", 0),
+              num_or(*serve, "inflight", 0),
+              num_or(*serve, "queue_depth", 0));
+  if (const Value* counters = serve->find("counters");
+      counters != nullptr && counters->is_object()) {
+    std::printf("\n  request counters\n");
+    for (const auto& [name, v] : counters->object)
+      if (v.is_number())
+        std::printf("    %-28s %15.0f\n", name.c_str(), v.number);
+  }
+  if (const Value* histograms = serve->find("histograms");
+      histograms != nullptr)
+    render_serve_histograms(*histograms);
+  render_serve_cache(*serve);
+  std::printf("\n");
+}
+
+bool looks_like_serve_metrics(const Value& doc) {
+  if (!doc.is_object()) return false;
+  if (const Value* serve = doc.find("serve");
+      serve != nullptr && serve->is_object() &&
+      serve->find("histograms") != nullptr)
+    return true;
+  return doc.find("counters") != nullptr && doc.find("histograms") != nullptr;
+}
+
+int render_file(const std::string& path, bool force_serve) {
   const Value doc = tqec::json::parse(read_file(path));
   if (doc.is_object() && doc.find("traceEvents") != nullptr) {
     render_trace(doc, path);
+    return 0;
+  }
+  if (force_serve || looks_like_serve_metrics(doc)) {
+    if (!doc.is_object()) {
+      std::fprintf(stderr, "%s: not a serve metrics snapshot\n", path.c_str());
+      return 1;
+    }
+    render_serve_metrics(doc, path);
     return 0;
   }
   if (doc.is_array()) {  // bench-harness stats array (REPRO_STATS_JSON)
@@ -396,21 +542,32 @@ int render_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: tqec_report <stats.json|trace.json> [more ...]\n"
-                 "renders tqec_compress --stats-json / --trace-json output\n"
-                 "(and bench REPRO_STATS_JSON arrays) as a run report\n");
-    return 2;
-  }
+  bool force_serve = false;
+  int files = 0;
   int status = 0;
   for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve-metrics") {
+      force_serve = true;
+      continue;
+    }
+    ++files;
     try {
-      status |= render_file(argv[i]);
+      status |= render_file(arg, force_serve);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      std::fprintf(stderr, "%s: %s\n", arg.c_str(), e.what());
       status = 1;
     }
+  }
+  if (files == 0) {
+    std::fprintf(
+        stderr,
+        "usage: tqec_report [--serve-metrics] <stats.json|trace.json>"
+        " [more ...]\n"
+        "renders tqec_compress --stats-json / --trace-json output,\n"
+        "bench REPRO_STATS_JSON arrays, and tqec_serve admin metrics\n"
+        "snapshots as a run report\n");
+    return 2;
   }
   return status;
 }
