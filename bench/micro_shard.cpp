@@ -1,0 +1,131 @@
+// Google-benchmark A/B for time-axis sharded compilation (core/shard.h):
+// the same layered long circuit compiled unsharded (window:0) and sharded
+// (window:8, sequential), plus a threaded row. Counters expose the shard
+// observability record (windows, crossings, seam cells) and the compile's
+// peak-RSS gauge so CI artifacts carry the memory story next to the
+// timing. The timing-gate ratio sharded_over_unsharded (see
+// bench/shard_timing_baseline.json) bounds the sharding overhead —
+// window recompiles plus seam stitching — relative to the plain pipeline
+// on the same machine.
+//
+// Observability hooks (shared naming with bench/harness.h):
+//   REPRO_STATS=1          after each benchmark, print the last run's
+//                          stats_json report to stdout
+//   REPRO_STATS_JSON=path  also collect those reports and write them as
+//                          one JSON array to `path` on exit (CI artifact)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/trace.h"
+#include "core/compiler.h"
+#include "core/shard.h"
+#include "icm/workload.h"
+
+namespace {
+
+using namespace tqec;
+
+bool stats_wanted() {
+  const char* print_env = std::getenv("REPRO_STATS");
+  return (print_env != nullptr && std::atoi(print_env) != 0) ||
+         std::getenv("REPRO_STATS_JSON") != nullptr;
+}
+
+std::vector<std::string>& collected_reports() {
+  static std::vector<std::string> reports;
+  return reports;
+}
+
+void flush_reports_file() {
+  const char* path = std::getenv("REPRO_STATS_JSON");
+  if (path == nullptr) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fputs("[\n", f);
+  const auto& reports = collected_reports();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::fputs(reports[i].c_str(), f);
+    if (i + 1 < reports.size()) std::fputs(",\n", f);
+  }
+  std::fputs("\n]\n", f);
+  std::fclose(f);
+}
+
+void report_stats(const std::string& label, const std::string& stats_json) {
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (collected_reports().empty()) std::atexit(flush_reports_file);
+  std::string entry = "{\"bench\": \"" + label + "\", \"report\": ";
+  entry += stats_json;
+  entry += "}";
+  const char* print_env = std::getenv("REPRO_STATS");
+  if (print_env != nullptr && std::atoi(print_env) != 0) {
+    std::fputs(entry.c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  collected_reports().push_back(std::move(entry));
+}
+
+const icm::IcmCircuit& bench_circuit() {
+  // Depth-93 layered circuit (>= 4x the deepest paper benchmark) — long
+  // enough that window:8 yields a real multi-window plan, small enough
+  // for a sub-second iteration.
+  static const icm::IcmCircuit circuit = [] {
+    icm::LayeredWorkloadSpec spec;
+    TQEC_REQUIRE(icm::parse_layered_name("long_16x64_t1_c3", spec),
+                 "micro_shard: bad workload name");
+    return icm::make_layered_workload(spec);
+  }();
+  return circuit;
+}
+
+// window = state.range(0) (0 = unsharded delegate), threads = range(1).
+void BM_ShardCompile(benchmark::State& state) {
+  const icm::IcmCircuit& circuit = bench_circuit();
+  core::CompileOptions opt;
+  opt.emit_geometry = true;  // stitching needs per-window geometry
+  core::ShardOptions shard;
+  shard.window = static_cast<int>(state.range(0));
+  shard.threads = static_cast<int>(state.range(1));
+  std::int64_t volume = 0;
+  bool legal = true;
+  core::ShardStats last;
+  const bool want_stats = stats_wanted();
+  std::string stats;
+  for (auto _ : state) {
+    const auto result = core::compile_sharded(circuit, opt, shard);
+    volume = result.volume;
+    legal = legal && result.routed_legal;
+    last = result.shard;
+    if (want_stats) stats = core::stats_json(result);
+    benchmark::DoNotOptimize(result.volume);
+  }
+  if (want_stats)
+    report_stats("BM_ShardCompile/window:" + std::to_string(shard.window) +
+                     "/threads:" + std::to_string(shard.threads),
+                 stats);
+  state.counters["volume"] = static_cast<double>(volume);
+  state.counters["legal"] = legal ? 1 : 0;
+  state.counters["windows"] = static_cast<double>(last.windows_total);
+  state.counters["crossings"] = static_cast<double>(last.crossings);
+  state.counters["seam_cells"] = static_cast<double>(last.seam_cells);
+  state.counters["peak_rss_mib"] =
+      static_cast<double>(trace::peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_ShardCompile)
+    ->ArgNames({"window", "threads"})
+    ->Args({0, 1})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -101,6 +101,20 @@ int thread_id();
 std::uint64_t now_ns();
 
 // ---------------------------------------------------------------------------
+// Process memory probes
+//
+// Always available (not gated on set_enabled): the sharded compiler's
+// memory-ceiling claim is measured through these, and tqec_serve stamps
+// them into every access-log line. Reads /proc/self/status on Linux
+// (VmHWM / VmRSS) with a getrusage fallback for the high-water mark;
+// returns 0 where the platform offers neither.
+
+/// Peak resident set size of this process in bytes (high-water mark).
+std::uint64_t peak_rss_bytes();
+/// Current resident set size in bytes (live pages; 0 if unavailable).
+std::uint64_t current_rss_bytes();
+
+// ---------------------------------------------------------------------------
 // Spans
 
 /// RAII scoped span. Prefer the TQEC_TRACE_SPAN macro; use the class

@@ -375,8 +375,13 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   // on the calling thread after the parallel join, so snapshot content is
   // independent of thread scheduling (counter totals are commutative sums
   // published by the stages themselves).
+  result.peak_rss_bytes = trace::peak_rss_bytes();
   if (trace::enabled()) {
     const PlaceAttemptStats& sel = outcomes[best].stats;
+    trace::gauge_set("process.peak_rss_bytes",
+                     static_cast<double>(result.peak_rss_bytes));
+    trace::gauge_set("process.current_rss_bytes",
+                     static_cast<double>(trace::current_rss_bytes()));
     trace::gauge_set("compile.volume", static_cast<double>(result.volume));
     trace::gauge_set("compile.modules", result.modules);
     trace::gauge_set("compile.nodes", result.nodes);
@@ -526,6 +531,7 @@ std::string stats_json(const CompileResult& result) {
      << "  \"primal_bridges\": " << result.primal_bridges << ",\n"
      << "  \"dual_bridges\": " << result.dual_bridges << ",\n"
      << "  \"net_components\": " << result.net_components << ",\n"
+     << "  \"peak_rss_bytes\": " << result.peak_rss_bytes << ",\n"
      << "  \"timings\": {"
      << "\"pd_graph_s\": " << json_double(t.pd_graph_s)
      << ", \"ishape_s\": " << json_double(t.ishape_s)
@@ -631,6 +637,29 @@ std::string stats_json(const CompileResult& result) {
   }
   os << "], \"heatmap\": \"" << json_escape(routing.congestion_heatmap)
      << "\"},\n";
+
+  // Time-axis sharding record (additive in v2; enabled=false defaults for
+  // unsharded compiles — see core/shard.h).
+  const ShardStats& sh = result.shard;
+  os << "  \"shard\": {\"enabled\": " << (sh.enabled ? "true" : "false")
+     << ", \"window\": " << sh.window << ", \"threads\": " << sh.threads
+     << ", \"windows_total\": " << sh.windows_total
+     << ", \"windows_resumed\": " << sh.windows_resumed
+     << ", \"windows_reseeded\": " << sh.windows_reseeded
+     << ", \"crossings\": " << sh.crossings
+     << ", \"stitches\": " << sh.stitches
+     << ", \"seam_cells\": " << sh.seam_cells
+     << ", \"stitch_s\": " << json_double(sh.stitch_s)
+     << ", \"cut_layers\": ";
+  emit_number_array(os, sh.cut_layers);
+  os << ", \"window_volumes\": ";
+  emit_number_array(os, sh.window_volumes);
+  os << ", \"issues\": [";
+  for (std::size_t i = 0; i < sh.issues.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(sh.issues[i]) << "\"";
+  }
+  os << "]},\n";
 
   // Stage-cache usage (additive in v2; all-"skip" defaults for the
   // single-shot CLI path, filled in by the tqec::Compiler facade).

@@ -189,6 +189,28 @@ struct CacheUsage {
   std::int64_t evictions = 0;
 };
 
+/// Observability record of a time-axis sharded compile (core/shard.h).
+/// Default-constructed (enabled == false) on unsharded results.
+struct ShardStats {
+  bool enabled = false;
+  int window = 0;           // --shard-window layer budget
+  int threads = 1;          // window workers used
+  int windows_total = 0;
+  int windows_resumed = 0;  // loaded from checkpoint instead of compiled
+  int windows_reseeded = 0;  // recompiled with a retry seed (blocked seam)
+  int crossings = 0;        // line/cut crossings over all seams
+  int stitches = 0;         // seam paths carved
+  std::int64_t seam_cells = 0;
+  /// Chosen cut boundaries (first ASAP layer of each window after the
+  /// first).
+  std::vector<int> cut_layers;
+  /// Final volume of each window's geometry, in window order.
+  std::vector<std::int64_t> window_volumes;
+  double stitch_s = 0;
+  /// Seam / window failures (empty on a fully legal sharded result).
+  std::vector<std::string> issues;
+};
+
 struct CompileResult {
   std::string name;
   icm::IcmStats stats;
@@ -219,6 +241,14 @@ struct CompileResult {
   /// Stage-cache usage of the request that produced this result (default:
   /// caching disabled — the single-shot CLI path).
   CacheUsage cache;
+
+  /// Time-axis sharding observability (enabled == false unless the result
+  /// came from core::compile_sharded).
+  ShardStats shard;
+
+  /// Process peak RSS in bytes, sampled when the result was assembled
+  /// (0 where the platform offers no probe — see trace::peak_rss_bytes).
+  std::uint64_t peak_rss_bytes = 0;
 
   /// Snapshot of the trace metrics registry taken at the end of this
   /// compile (empty unless tracing was enabled — see common/trace.h).

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "core/paper_tables.h"
+#include "core/shard.h"
 #include "decompose/decompose.h"
 #include "icm/builder.h"
 #include "icm/serialize.h"
@@ -163,43 +164,58 @@ CompileResponse Compiler::compile(const CompileRequest& request) {
       icm_built =
           icm::read_icm(in, request.id.empty() ? "<icm>" : request.id);
     } else {
-      // Workload generator reproducing a paper benchmark's statistics;
+      // Workload generator: the long-circuit layered family
+      // ("long_<data>x<layers>...") or a paper benchmark's statistics;
       // seeded and cheap, so not worth a cache stage of its own (the
       // PD-graph stage below still caches its output).
-      const core::PaperBenchmark* bench = nullptr;
-      try {
-        bench = &core::paper_benchmark(request.benchmark);
-      } catch (const TqecError& e) {
-        response.error =
-            make_error(CompileError::Code::BadRequest, e.what());
-        response.wall_s = seconds_since(t_start);
-        return response;
+      icm::LayeredWorkloadSpec layered;
+      layered.seed = options.seed;
+      if (icm::parse_layered_name(request.benchmark, layered)) {
+        icm_built = icm::make_layered_workload(layered);
+      } else {
+        const core::PaperBenchmark* bench = nullptr;
+        try {
+          bench = &core::paper_benchmark(request.benchmark);
+        } catch (const TqecError& e) {
+          response.error =
+              make_error(CompileError::Code::BadRequest, e.what());
+          response.wall_s = seconds_since(t_start);
+          return response;
+        }
+        icm_built =
+            icm::make_workload(core::workload_spec(*bench, options.seed));
       }
-      icm_built =
-          icm::make_workload(core::workload_spec(*bench, options.seed));
     }
     const icm::IcmCircuit& icm = icm_cached ? *icm_cached : icm_built;
 
-    // Stage: PD-graph construction, keyed by the canonical ICM text (the
-    // same serialization icm/serialize round-trips).
-    std::shared_ptr<const pdgraph::PdGraph> graph;
-    double pd_graph_s = 0;
-    const core::CacheKey gkey =
-        core::make_cache_key("pdgraph/v1", icm::to_icm_text(icm));
-    if (caching) graph = timed_get<pdgraph::PdGraph>(gkey);
-    usage.pd_graph = graph ? "hit" : "miss";
-    if (!graph) {
-      const auto t_build = std::chrono::steady_clock::now();
-      auto built = std::make_shared<const pdgraph::PdGraph>(
-          pdgraph::build_pd_graph(icm));
-      pd_graph_s = seconds_since(t_build);
-      if (caching) cache_.put(gkey, built, estimate_bytes(*built));
-      graph = std::move(built);
-    }
+    if (request.shard.window > 0) {
+      // ---- Sharded pipeline (core/shard.h) -----------------------------
+      // Each window is compiled as its own circuit, so the full-circuit
+      // PD graph is never built and the cache stage stays "skip".
+      response.result =
+          core::compile_sharded(icm, options, request.shard);
+    } else {
+      // Stage: PD-graph construction, keyed by the canonical ICM text (the
+      // same serialization icm/serialize round-trips).
+      std::shared_ptr<const pdgraph::PdGraph> graph;
+      double pd_graph_s = 0;
+      const core::CacheKey gkey =
+          core::make_cache_key("pdgraph/v1", icm::to_icm_text(icm));
+      if (caching) graph = timed_get<pdgraph::PdGraph>(gkey);
+      usage.pd_graph = graph ? "hit" : "miss";
+      if (!graph) {
+        const auto t_build = std::chrono::steady_clock::now();
+        auto built = std::make_shared<const pdgraph::PdGraph>(
+            pdgraph::build_pd_graph(icm));
+        pd_graph_s = seconds_since(t_build);
+        if (caching) cache_.put(gkey, built, estimate_bytes(*built));
+        graph = std::move(built);
+      }
 
-    // ---- Seeded pipeline (never cached) --------------------------------
-    response.result = core::compile(icm, options, graph.get());
-    response.result.timings.pd_graph_s = pd_graph_s;  // 0 on a cache hit
+      // ---- Seeded pipeline (never cached) ------------------------------
+      response.result = core::compile(icm, options, graph.get());
+      response.result.timings.pd_graph_s = pd_graph_s;  // 0 on a cache hit
+    }
     response.ok = true;
   } catch (const CancelledError& e) {
     response.error = make_error(

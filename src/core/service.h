@@ -26,6 +26,7 @@
 #include <string>
 
 #include "core/compiler.h"
+#include "core/shard.h"
 #include "core/stage_cache.h"
 
 namespace tqec {
@@ -51,6 +52,11 @@ struct CompileRequest {
   /// Pipeline knobs, including options.cancel (cancellation token) and
   /// options.progress (stage-boundary callback).
   core::CompileOptions options;
+  /// Time-axis sharding knobs (core/shard.h). shard.window <= 0 (the
+  /// default) keeps the unsharded pipeline; > 0 routes the request through
+  /// core::compile_sharded (window compiles bypass the PD-graph cache
+  /// stage — each window is its own circuit).
+  core::ShardOptions shard;
   /// Wall-clock budget in seconds; 0 disables. Checked at stage
   /// boundaries, so a request never outlives its deadline by more than
   /// one stage.

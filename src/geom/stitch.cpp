@@ -1,0 +1,392 @@
+#include "geom/stitch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tqec::geom {
+
+namespace {
+
+/// Visit every lattice cell of an axis-aligned segment, a -> b inclusive.
+template <typename Fn>
+void for_each_cell(const Segment& s, Fn&& fn) {
+  TQEC_REQUIRE(s.axis_aligned(), "stitch: non-axis-aligned segment");
+  const Vec3 d = s.b - s.a;
+  const Vec3 step{(d.x > 0) - (d.x < 0), (d.y > 0) - (d.y < 0),
+                  (d.z > 0) - (d.z < 0)};
+  for (Vec3 p = s.a;; p += step) {
+    fn(p);
+    if (p == s.b) break;
+  }
+}
+
+/// Deterministic A* (unit edge costs, Manhattan heuristic) from `start` to
+/// `goal` through cells of `region` not in `blocked` (the endpoints
+/// themselves are exempt, as is every cell of `pass` — the carve's own
+/// endpoint defects, whose rails the seam path may legally ride since they
+/// all merge into one final defect). Returns a shortest cell path
+/// start..goal inclusive, or empty when unreachable. Ties on f = g + h
+/// break by insertion order and the neighbor order is fixed, so the path
+/// is a pure function of the inputs. Goal-directed search matters here:
+/// seam regions span two whole windows, and a breadth-first flood visits
+/// every free cell of that box per carve (tens of millions of cells across
+/// a long circuit's seams) where A* walks essentially straight to the pin.
+std::vector<Vec3> seam_path(Vec3 start, Vec3 goal, const Box3& region,
+                            const std::unordered_set<Vec3>& blocked,
+                            const std::unordered_set<Vec3>& pass) {
+  if (start == goal) return {start};
+  static constexpr Vec3 kSteps[6] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                                     {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  // Weighted heuristic (W > 1): the path need not be shortest, only legal
+  // and deterministic, and the extra goal bias cuts expansions sharply in
+  // cluttered regions at the cost of slightly longer seams.
+  constexpr int kWeight = 3;
+  const auto h = [goal](Vec3 v) {
+    return kWeight * (std::abs(v.x - goal.x) + std::abs(v.y - goal.y) +
+                      std::abs(v.z - goal.z));
+  };
+  // (f, insertion order, cell): lazy-deletion open list; `best` holds the
+  // settled g and the parent of every reached cell.
+  using OpenEntry = std::tuple<int, long, Vec3>;
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>,
+                      std::greater<OpenEntry>>
+      open;
+  std::unordered_map<Vec3, std::pair<int, Vec3>> best;
+  long order = 0;
+  best.emplace(start, std::pair<int, Vec3>{0, start});
+  open.emplace(h(start), order++, start);
+  while (!open.empty()) {
+    const auto [f, tie, p] = open.top();
+    open.pop();
+    const int gp = best.at(p).first;
+    if (f != gp + h(p)) continue;  // stale entry
+    if (p == goal) {
+      std::vector<Vec3> path;
+      for (Vec3 c = goal;; c = best.at(c).second) {
+        path.push_back(c);
+        if (c == start) break;
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Vec3 s : kSteps) {
+      const Vec3 n = p + s;
+      if (!region.contains(n)) continue;
+      if (n != goal && blocked.count(n) && !pass.count(n)) continue;
+      const int gn = gp + 1;
+      const auto it = best.find(n);
+      if (it != best.end() && it->second.first <= gn) continue;
+      if (it == best.end()) {
+        best.emplace(n, std::pair<int, Vec3>{gn, p});
+      } else {
+        it->second = {gn, p};
+      }
+      open.emplace(gn + h(n), order++, n);
+    }
+  }
+  return {};
+}
+
+/// Collapse a cell path into maximal straight segments.
+std::vector<Segment> path_to_segments(const std::vector<Vec3>& path) {
+  std::vector<Segment> segments;
+  if (path.empty()) return segments;
+  Vec3 run_start = path[0];
+  Vec3 prev = path[0];
+  Vec3 dir{0, 0, 0};
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Vec3 step = path[i] - prev;
+    if (dir != Vec3{0, 0, 0} && step != dir) {
+      segments.push_back({run_start, prev});
+      run_start = prev;
+    }
+    dir = step;
+    prev = path[i];
+  }
+  segments.push_back({run_start, prev});
+  return segments;
+}
+
+/// Union-find over staged defect indices; roots stay the smallest member,
+/// so merge results are independent of merge order.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
+                            const std::string& name,
+                            const StitchOptions& options) {
+  StitchResult res;
+  res.geometry = GeomDescription(name);
+  if (windows.empty()) return res;
+
+  const int gap = std::max(1, options.seam_gap);
+
+  // Window layout along +x and global extents for the pin plane.
+  std::vector<int> off(windows.size(), 0);
+  int cursor = 0;
+  int max_y = 0, min_z = 0, max_z = 0;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const Box3 bb = windows[w].geometry.bounding_box();
+    off[w] = cursor - std::min(0, bb.lo.x);
+    cursor = off[w] + (bb.empty() ? 1 : bb.hi.x + 1) + gap;
+    if (!bb.empty()) {
+      max_y = std::max(max_y, bb.hi.y);
+      min_z = std::min(min_z, bb.lo.z);
+      max_z = std::max(max_z, bb.hi.z);
+    }
+  }
+  res.window_offsets = off;
+  const int pin_y = max_y + 1;
+
+  // Stage all window geometry in the merged frame. `occupied` blocks seam
+  // carving; `primal_at` resolves a carry cell to its staged defect (a
+  // primal module cell can legally coincide with dual net cells, so the
+  // primal index is tracked separately).
+  std::vector<Defect> staged;
+  std::vector<DistillBox> boxes;
+  std::vector<ImComponent> components;
+  std::unordered_set<Vec3> occupied;
+  std::unordered_map<Vec3, std::size_t> primal_at;
+  std::vector<std::size_t> defect_base(windows.size(), 0);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const Vec3 delta{off[w], 0, 0};
+    defect_base[w] = staged.size();
+    for (const Defect& d : windows[w].geometry.defects()) {
+      Defect t = d;
+      for (Segment& s : t.segments) {
+        s.a += delta;
+        s.b += delta;
+      }
+      const std::size_t idx = staged.size();
+      for (const Segment& s : t.segments)
+        for_each_cell(s, [&](Vec3 c) {
+          occupied.insert(c);
+          if (t.type == DefectType::Primal) primal_at.emplace(c, idx);
+        });
+      staged.push_back(std::move(t));
+    }
+    for (const DistillBox& b : windows[w].geometry.boxes()) {
+      DistillBox t = b;
+      t.origin += delta;
+      const Box3 e = t.extent();
+      for (int x = e.lo.x; x <= e.hi.x; ++x)
+        for (int y = e.lo.y; y <= e.hi.y; ++y)
+          for (int z = e.lo.z; z <= e.hi.z; ++z)
+            occupied.insert({x, y, z});
+      boxes.push_back(t);
+    }
+    for (const ImComponent& c : windows[w].geometry.components()) {
+      ImComponent t = c;
+      t.position += delta;
+      if (t.defect_index >= 0)
+        t.defect_index += static_cast<int>(defect_base[w]);
+      components.push_back(t);
+    }
+  }
+
+  // Carve seams serially in (seam, line-rank) order. `comp_cells` keeps
+  // every component's cell list at its DSU root (seam paths included),
+  // merged small-into-root on unite, so building a carve's pass-through
+  // set costs O(|component|) instead of rescanning every staged cell —
+  // the difference between seconds and minutes at hundreds of crossings.
+  Dsu dsu(staged.size());
+  std::vector<std::pair<std::size_t, std::vector<Segment>>> stitch_segs;
+  std::vector<std::vector<Vec3>> comp_cells(staged.size());
+  for (std::size_t d = 0; d < staged.size(); ++d)
+    for (const Segment& s : staged[d].segments)
+      for_each_cell(s, [&](Vec3 c) { comp_cells[d].push_back(c); });
+  for (std::size_t w = 0; w + 1 < windows.size(); ++w) {
+    std::unordered_map<int, Vec3> outs;
+    for (const auto& [line, cell] : windows[w].carry_out)
+      outs.emplace(line, cell + Vec3{off[w], 0, 0});
+
+    std::vector<std::pair<int, Vec3>> ins = windows[w + 1].carry_in;
+    std::sort(ins.begin(), ins.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // Reserve every pin cell of this seam up front: the BFS goal cell is
+    // exempt from the blocked set, so without the reservation an earlier
+    // rank's path could run along the pin column and squat on a later
+    // rank's pin — two distinct final defects sharing a cell.
+    for (std::size_t r = 0; r < ins.size(); ++r)
+      occupied.insert(
+          {off[w + 1] - gap + gap / 2, pin_y, 2 * static_cast<int>(r)});
+
+    std::unordered_set<int> seen_in;
+    int rank = 0;
+    for (const auto& [line, cell_in] : ins) {
+      seen_in.insert(line);
+      const auto it = outs.find(line);
+      std::ostringstream where;
+      where << "seam " << w << "->" << w + 1 << " line " << line;
+      if (it == outs.end()) {
+        res.issues.push_back(where.str() + ": carried in with no carry-out");
+        continue;
+      }
+      const Vec3 P = it->second;
+      const Vec3 Q = cell_in + Vec3{off[w + 1], 0, 0};
+      const Vec3 pin{off[w + 1] - gap + gap / 2, pin_y, 2 * rank};
+      ++rank;
+      const auto pit = primal_at.find(P);
+      const auto qit = primal_at.find(Q);
+      if (pit == primal_at.end() || qit == primal_at.end()) {
+        res.issues.push_back(where.str() +
+                             ": carry cell not on a primal defect");
+        continue;
+      }
+
+      // The seam path may ride the rails of its own endpoint defects'
+      // merged components — every such cell (staged segments and already
+      // carved seams alike) ends up in the same final defect, which
+      // matters when a carry cell sits enclosed by its module's own loop.
+      // The components chain across every seam stitched so far, but the
+      // search never leaves the widest attempt's region, so only cells
+      // inside it are kept (the rest of a chain can be arbitrarily long).
+      const int max_up = options.max_attempts - 1;
+      Box3 max_region{
+          {off[w], -1 - max_up, std::min(min_z, pin.z) - 1 - max_up},
+          {off[w + 1] + windows[w + 1].geometry.bounding_box().hi.x,
+           pin_y + 1 + 2 * max_up, std::max(max_z, pin.z) + 1 + max_up}};
+      max_region = max_region.expanded(P).expanded(Q).expanded(pin);
+      const std::size_t rp = dsu.find(pit->second);
+      const std::size_t rq = dsu.find(qit->second);
+      std::unordered_set<Vec3> pass;
+      for (const std::size_t r : {rp, rq}) {
+        for (const Vec3 c : comp_cells[r])
+          if (max_region.contains(c)) pass.insert(c);
+        if (rq == rp) break;
+      }
+
+      bool carved = false;
+      bool q_side_failed = false;
+      for (int attempt = 0; attempt < options.max_attempts && !carved;
+           ++attempt) {
+        // The y floor dips below the windows (they are normalized to
+        // y >= 0), so a carry module sealed in by its neighbors at the
+        // floor plane can always escape under the structure.
+        Box3 region{
+            {off[w], -1 - attempt, std::min(min_z, pin.z) - 1 - attempt},
+            {off[w + 1] + windows[w + 1].geometry.bounding_box().hi.x,
+             pin_y + 1 + 2 * attempt, std::max(max_z, pin.z) + 1 + attempt}};
+        region = region.expanded(P).expanded(Q).expanded(pin);
+
+        const std::vector<Vec3> leg1 =
+            seam_path(P, pin, region, occupied, pass);
+        if (leg1.empty()) {
+          q_side_failed = false;
+          continue;
+        }
+        std::vector<Vec3> added;
+        for (const Vec3 c : leg1)
+          if (occupied.insert(c).second) added.push_back(c);
+        const std::vector<Vec3> leg2 =
+            seam_path(pin, Q, region, occupied, pass);
+        if (leg2.empty()) {
+          q_side_failed = true;
+          for (const Vec3 c : added) occupied.erase(c);
+          continue;
+        }
+        for (const Vec3 c : leg2)
+          if (occupied.insert(c).second) added.push_back(c);
+
+        std::vector<Vec3> path = leg1;
+        path.insert(path.end(), leg2.begin() + 1, leg2.end());
+        stitch_segs.emplace_back(pit->second, path_to_segments(path));
+        dsu.unite(pit->second, qit->second);
+        const std::size_t root = dsu.find(pit->second);
+        for (const std::size_t r : {rp, rq})
+          if (r != root) {
+            comp_cells[root].insert(comp_cells[root].end(),
+                                    comp_cells[r].begin(),
+                                    comp_cells[r].end());
+            comp_cells[r].clear();
+            comp_cells[r].shrink_to_fit();
+          }
+        comp_cells[root].insert(comp_cells[root].end(), path.begin(),
+                                path.end());
+        res.seam_cells += static_cast<std::int64_t>(added.size());
+        res.interface_pins.push_back(pin);
+        ++res.stitches;
+        carved = true;
+      }
+      if (!carved) {
+        res.issues.push_back(where.str() + ": seam path blocked after " +
+                             std::to_string(options.max_attempts) +
+                             " attempts");
+        res.blocked.push_back(
+            {static_cast<int>(w), line,
+             static_cast<int>(q_side_failed ? w + 1 : w)});
+      }
+    }
+    for (const auto& [line, cell] : outs) {
+      (void)cell;
+      if (!seen_in.count(line)) {
+        std::ostringstream os;
+        os << "seam " << w << "->" << w + 1 << " line " << line
+           << ": carried out with no carry-in";
+        res.issues.push_back(os.str());
+      }
+    }
+  }
+
+  // Emit merged defects in first-member order so the output is stable.
+  std::vector<int> final_of(staged.size(), -1);
+  std::vector<Defect> finals;
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    const std::size_t r = dsu.find(i);
+    if (final_of[r] < 0) {
+      Defect d;
+      d.type = staged[r].type;
+      d.source_id = staged[r].source_id;
+      final_of[r] = static_cast<int>(finals.size());
+      finals.push_back(std::move(d));
+    }
+    final_of[i] = final_of[r];
+    auto& out = finals[static_cast<std::size_t>(final_of[i])];
+    out.segments.insert(out.segments.end(), staged[i].segments.begin(),
+                        staged[i].segments.end());
+  }
+  for (auto& [member, segs] : stitch_segs) {
+    auto& out = finals[static_cast<std::size_t>(
+        final_of[dsu.find(member)])];
+    out.segments.insert(out.segments.end(), segs.begin(), segs.end());
+  }
+
+  for (Defect& d : finals) res.geometry.add_defect(std::move(d));
+  for (const DistillBox& b : boxes) res.geometry.add_box(b);
+  for (ImComponent c : components) {
+    if (c.defect_index >= 0)
+      c.defect_index = final_of[static_cast<std::size_t>(c.defect_index)];
+    res.geometry.add_component(c);
+  }
+  return res;
+}
+
+}  // namespace tqec::geom

@@ -75,6 +75,7 @@ class IcmCircuit {
     init_.push_back(init);
     meas_.push_back(meas);
     is_output_.push_back(false);
+    is_carry_in_.push_back(false);
     return num_lines() - 1;
   }
 
@@ -88,6 +89,15 @@ class IcmCircuit {
   /// deferred to the consumer and imposes no ordering constraints here.
   bool is_output(int line) const { return is_output_.at(checked(line)); }
   void mark_output(int line) { is_output_.at(checked(line)) = true; }
+
+  /// Carry-in lines enter this circuit already initialized: they are the
+  /// continuation of a line cut by a time-axis shard boundary. The PD-graph
+  /// builder emits no initialization (and no injection module) for them; the
+  /// stitch pass splices their first module onto the previous window's
+  /// geometry instead. The recorded init basis is kept purely for bookkeeping
+  /// (stats, round-tripping) and is not realized.
+  bool is_carry_in(int line) const { return is_carry_in_.at(checked(line)); }
+  void mark_carry_in(int line) { is_carry_in_.at(checked(line)) = true; }
 
   const std::vector<IcmCnot>& cnots() const { return cnots_; }
   void add_cnot(int control, int target) {
@@ -126,6 +136,7 @@ class IcmCircuit {
   std::vector<InitBasis> init_;
   std::vector<MeasBasis> meas_;
   std::vector<bool> is_output_;
+  std::vector<bool> is_carry_in_;
   std::vector<IcmCnot> cnots_;
   std::vector<MeasOrder> meas_order_;
 };

@@ -58,6 +58,7 @@ void write_icm(const IcmCircuit& circuit, std::ostream& out) {
     out << "line " << l << ' ' << init_name(circuit.init_basis(l)) << ' '
         << (circuit.meas_basis(l) == MeasBasis::Z ? 'z' : 'x');
     if (circuit.is_output(l)) out << " output";
+    if (circuit.is_carry_in(l)) out << " carry";
     out << "\n";
   }
   for (const IcmCnot& c : circuit.cnots())
@@ -126,8 +127,14 @@ IcmCircuit read_icm(std::istream& in, const std::string& source) {
                                                             tokens[3] + "'"),
                                                    MeasBasis::Z);
       circuit.add_line(init, meas);
-      if (tokens.size() > 4 && tokens[4] == "output")
-        circuit.mark_output(id);
+      for (std::size_t t = 4; t < tokens.size(); ++t) {
+        if (tokens[t] == "output")
+          circuit.mark_output(id);
+        else if (tokens[t] == "carry")
+          circuit.mark_carry_in(id);
+        else
+          fail(source, line_no, "unknown line flag '" + tokens[t] + "'");
+      }
     } else if (keyword == "cnot") {
       if (tokens.size() != 3) fail(source, line_no, "cnot needs two lines");
       const int control = declared(tokens[1], "cnot");

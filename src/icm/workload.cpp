@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <numeric>
+#include <string_view>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 
 namespace tqec::icm {
 
@@ -87,6 +89,154 @@ IcmCircuit make_workload(const WorkloadSpec& spec) {
   TQEC_ASSERT(stats.y_states == spec.y_states, "|Y> count drifted");
   TQEC_ASSERT(stats.a_states == spec.a_states, "|A> count drifted");
   return icm;
+}
+
+IcmCircuit make_layered_workload(const LayeredWorkloadSpec& spec) {
+  TQEC_REQUIRE(spec.data_lines >= 2, "layered workload needs >= 2 data lines");
+  TQEC_REQUIRE(spec.layers >= 1, "layered workload needs >= 1 layer");
+  TQEC_REQUIRE(spec.t_per_layer >= 0 && spec.cnots_per_layer >= 0,
+               "negative per-layer event count");
+  TQEC_REQUIRE(spec.t_per_layer + spec.cnots_per_layer >= 1,
+               "layered workload needs >= 1 event per layer");
+
+  Rng rng(spec.seed);
+  IcmCircuit icm(spec.name);
+
+  const int data_lines = spec.data_lines;
+  std::vector<int> current(static_cast<std::size_t>(data_lines));
+  for (int q = 0; q < data_lines; ++q)
+    current[static_cast<std::size_t>(q)] =
+        icm.add_line(rng.chance(0.5) ? InitBasis::Zero : InitBasis::Plus);
+
+  std::vector<std::array<int, 2>> last_t(
+      static_cast<std::size_t>(data_lines), {-1, -1});
+
+  auto pick_data_line = [&]() { return rng.range(0, data_lines - 1); };
+  auto pick_partner = [&](int q) {
+    const int window = std::min(data_lines - 1, spec.locality_window);
+    for (;;) {
+      const int lo = std::max(0, q - window);
+      const int hi = std::min(data_lines - 1, q + window);
+      const int p = rng.range(lo, hi);
+      if (p != q) return p;
+    }
+  };
+
+  // Per-layer event mix, shuffled within the layer so the family is not
+  // trivially periodic; the layer loop itself is what makes depth scale.
+  enum class Event : std::uint8_t { TCluster, PlainCnot };
+  std::vector<Event> layer_events;
+  for (int layer = 0; layer < spec.layers; ++layer) {
+    layer_events.clear();
+    layer_events.insert(layer_events.end(),
+                        static_cast<std::size_t>(spec.t_per_layer),
+                        Event::TCluster);
+    layer_events.insert(layer_events.end(),
+                        static_cast<std::size_t>(spec.cnots_per_layer),
+                        Event::PlainCnot);
+    for (std::size_t i = layer_events.size(); i > 1; --i)
+      std::swap(layer_events[i - 1], layer_events[rng.below(i)]);
+
+    for (const Event event : layer_events) {
+      if (event == Event::TCluster) {
+        const auto q = static_cast<std::size_t>(pick_data_line());
+        const int old = current[q];
+        const int a = icm.add_line(InitBasis::AState, MeasBasis::X);
+        const int y1 = icm.add_line(InitBasis::YState, MeasBasis::X);
+        const int y2 = icm.add_line(InitBasis::YState);
+        icm.add_cnot(old, a);
+        icm.add_cnot(a, y1);
+        icm.add_cnot(y1, y2);
+        icm.set_meas_basis(old, MeasBasis::Z);
+        icm.add_meas_order(old, a);
+        icm.add_meas_order(old, y1);
+        if (last_t[q][0] >= 0) {
+          for (int prev : last_t[q])
+            for (int cur : {a, y1}) icm.add_meas_order(prev, cur);
+        }
+        last_t[q] = {a, y1};
+        current[q] = y2;
+      } else {
+        const int c = pick_data_line();
+        const int t = pick_partner(c);
+        icm.add_cnot(current[static_cast<std::size_t>(c)],
+                     current[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+
+  for (int q = 0; q < data_lines; ++q)
+    icm.mark_output(current[static_cast<std::size_t>(q)]);
+  return icm;
+}
+
+bool parse_layered_name(const std::string& name, LayeredWorkloadSpec& spec) {
+  constexpr std::string_view kPrefix = "long_";
+  if (name.size() <= kPrefix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0)
+    return false;
+
+  LayeredWorkloadSpec parsed;
+  parsed.name = name;
+  parsed.seed = spec.seed;  // caller's default; an `_s<n>` suffix overrides
+
+  // Split the tail on '_': "<data>x<layers>" then optional t/c/w/s knobs.
+  std::vector<std::string> parts;
+  std::size_t pos = kPrefix.size();
+  while (pos <= name.size()) {
+    const std::size_t next = name.find('_', pos);
+    parts.push_back(name.substr(pos, next == std::string::npos
+                                         ? std::string::npos
+                                         : next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (parts.empty()) return false;
+
+  const auto parse_int = [](const std::string& text, int lo, int hi,
+                            int& out) {
+    if (text.empty()) return false;
+    const auto v = try_parse_i64(text);
+    if (!v || *v < lo || *v > hi) return false;
+    out = static_cast<int>(*v);
+    return true;
+  };
+
+  const std::size_t x = parts[0].find('x');
+  if (x == std::string::npos) return false;
+  if (!parse_int(parts[0].substr(0, x), 2, 4096, parsed.data_lines))
+    return false;
+  if (!parse_int(parts[0].substr(x + 1), 1, 1 << 20, parsed.layers))
+    return false;
+  parsed.cnots_per_layer = std::max(2, parsed.data_lines / 4);
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& p = parts[i];
+    if (p.size() < 2) return false;
+    int value = 0;
+    switch (p[0]) {
+      case 't':
+        if (!parse_int(p.substr(1), 0, 64, parsed.t_per_layer)) return false;
+        break;
+      case 'c':
+        if (!parse_int(p.substr(1), 0, 4096, parsed.cnots_per_layer))
+          return false;
+        break;
+      case 'w':
+        if (!parse_int(p.substr(1), 1, 4096, parsed.locality_window))
+          return false;
+        break;
+      case 's':
+        if (!parse_int(p.substr(1), 0, 1 << 30, value)) return false;
+        parsed.seed = static_cast<std::uint64_t>(value);
+        break;
+      default:
+        return false;
+    }
+  }
+  if (parsed.t_per_layer + parsed.cnots_per_layer < 1) return false;
+  spec = std::move(parsed);
+  return true;
 }
 
 }  // namespace tqec::icm

@@ -38,4 +38,37 @@ struct WorkloadSpec {
 /// cnots < 3*a_states, or y_states != 2*a_states).
 IcmCircuit make_workload(const WorkloadSpec& spec);
 
+/// Long-circuit family: layered random Clifford+T at configurable depth.
+///
+/// Where WorkloadSpec reproduces the paper's Table-1 *sizes*, this family
+/// controls *depth*: each of `layers` rounds appends `t_per_layer` T-gate
+/// clusters and `cnots_per_layer` plain CNOTs to the evolving data lines,
+/// so the ASAP CNOT depth grows linearly with `layers` while the live line
+/// set stays O(data_lines). That is exactly the stress shape the time-axis
+/// sharded compiler targets: long and thin, with low-crossing time cuts.
+struct LayeredWorkloadSpec {
+  std::string name;
+  int data_lines = 16;
+  int layers = 32;
+  int t_per_layer = 1;     // T clusters appended per layer
+  int cnots_per_layer = 4; // plain CNOTs appended per layer
+  /// Locality window for plain CNOT partner selection, in data lines.
+  int locality_window = 8;
+  std::uint64_t seed = 7;
+};
+
+/// Generate a layered long circuit. Deterministic in the spec (seeded).
+/// Throws TqecError if data_lines < 2 or layers < 1.
+IcmCircuit make_layered_workload(const LayeredWorkloadSpec& spec);
+
+/// Parse a long-circuit family name of the form
+///   long_<data>x<layers>[_t<per>][_c<per>][_w<window>][_s<seed>]
+/// e.g. "long_32x96" or "long_16x24_t2_c6". Returns false if `name` is not
+/// in the family or the numbers are out of range; on success fills `spec`
+/// (with spec.name = name; the incoming spec.seed is kept as the default
+/// when the name carries no `_s<seed>` suffix, so callers can thread the
+/// request seed through). This is how the CLI, tqec_serve, and the bench
+/// harness address family members alongside the paper benchmarks.
+bool parse_layered_name(const std::string& name, LayeredWorkloadSpec& spec);
+
 }  // namespace tqec::icm

@@ -31,7 +31,8 @@ PdGraph build_pd_graph(const icm::IcmCircuit& circuit) {
     auto& cur = current[static_cast<std::size_t>(row)];
     if (cur >= 0) return cur;
     const icm::InitBasis basis = circuit.init_basis(row);
-    if (icm::is_injection(basis)) {
+    const bool carry_in = circuit.is_carry_in(row);
+    if (icm::is_injection(basis) && !carry_in) {
       // Box attachment point first, then the row-initial module that the
       // dual nets traverse. The injection is the row's I/M, so the initial
       // module carries it for I-shape eligibility.
@@ -40,8 +41,13 @@ PdGraph build_pd_graph(const icm::IcmCircuit& circuit) {
       else ++g.a_injections_;
     }
     const ModuleId initial = new_module(row, ModuleOrigin::RowInitial);
-    g.modules_[static_cast<std::size_t>(initial)].has_init = true;
-    g.modules_[static_cast<std::size_t>(initial)].init_basis = basis;
+    // Carry-in rows continue a line initialized in an earlier time-axis
+    // window: no initialization (and no injection box) is realized here;
+    // the stitch pass splices this module onto the prior window's geometry.
+    if (!carry_in) {
+      g.modules_[static_cast<std::size_t>(initial)].has_init = true;
+      g.modules_[static_cast<std::size_t>(initial)].init_basis = basis;
+    }
     cur = initial;
     return cur;
   };

@@ -58,6 +58,18 @@
 //   --route-stall-sweeps=N     stall-triggered full-sweep budget per
 //                              negotiation run (default 2; negative =
 //                              unlimited, the classic schedule)
+//   --shard-window=K           time-axis sharding: cut the circuit into
+//                              ~K-ASAP-layer windows at low-crossing time
+//                              cuts, compile windows independently, stitch
+//                              along pinned seams (default 0 = off; off is
+//                              bit-identical to the unsharded pipeline)
+//   --shard-threads=N          concurrent window compiles (default 1 =
+//                              sequential, the O(largest-window) memory
+//                              path; 0 = one per hardware thread; never
+//                              changes results)
+//   --checkpoint-dir=PATH      per-window checkpoint directory: finished
+//                              windows are content-hashed and written so a
+//                              killed compile resumes without redoing them
 //   --no-optimize              skip the reversible peephole pass
 //   --no-plan                  disable f-value dual-segment planning
 //   --verify                   run the end-to-end braiding verifier
@@ -74,6 +86,7 @@
 #include "common/trace.h"
 #include "core/compiler.h"
 #include "core/paper_tables.h"
+#include "core/shard.h"
 #include "decompose/decompose.h"
 #include "geom/canonical.h"
 #include "geom/export_obj.h"
@@ -91,6 +104,7 @@ using namespace tqec;
 
 struct CliOptions {
   core::CompileOptions compile;
+  core::ShardOptions shard;
   bool optimize = true;
   bool verify = false;
   std::optional<std::string> json_path;
@@ -114,6 +128,7 @@ int usage() {
       "         --route-threads=N --route-serial --route-heap\n"
       "         --route-lookahead=0|1 --route-windows=0|1\n"
       "         --route-warm-start=0|1 --route-stall-sweeps=N\n"
+      "         --shard-window=K --shard-threads=N --checkpoint-dir=PATH\n"
       "         --no-optimize --no-plan --verify\n"
       "         --json=PATH --obj=PATH --svg=PATH --icm=PATH\n");
   return 2;
@@ -187,6 +202,18 @@ bool parse_flag(const std::string& arg, CliOptions& opt) {
     opt.compile.route.stall_sweeps = parse_int(*v, "--route-stall-sweeps");
     return true;
   }
+  if (auto v = value_of("--shard-window=")) {
+    opt.shard.window = parse_int(*v, "--shard-window");
+    return true;
+  }
+  if (auto v = value_of("--shard-threads=")) {
+    opt.shard.threads = parse_int(*v, "--shard-threads");
+    return true;
+  }
+  if (auto v = value_of("--checkpoint-dir=")) {
+    opt.shard.checkpoint_dir = *v;
+    return true;
+  }
   if (arg == "--no-optimize") return opt.optimize = false, true;
   if (arg == "--no-plan") return opt.compile.plan_flips = false, true;
   if (arg == "--verify") return opt.verify = true, true;
@@ -224,13 +251,25 @@ int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
     std::printf("wrote %s\n", opt.icm_path->c_str());
   }
 
+  const bool sharded = opt.shard.window > 0;
+  if (sharded && opt.verify) {
+    // The end-to-end braiding verifier needs the single-pipeline internals;
+    // the sharded path verifies per window (tests/shard_test) and validates
+    // the stitched geometry structurally inside compile_sharded.
+    std::fprintf(stderr,
+                 "--verify is incompatible with --shard-window (seams are "
+                 "validated at stitch time; drop one of the flags)\n");
+    return 2;
+  }
   opt.compile.keep_internals = opt.verify;
   // Observability requested: turn collection on so the stats report embeds
   // the metrics registry and the trace file has spans to export. Tracing
   // never changes results (pinned by core_test).
   if (opt.trace_json_path || opt.stats_json_path)
     trace::set_enabled(true);
-  const core::CompileResult result = core::compile(circuit, opt.compile);
+  const core::CompileResult result =
+      sharded ? core::compile_sharded(circuit, opt.compile, opt.shard)
+              : core::compile(circuit, opt.compile);
   const Vec3 dims = result.routing.bounding.dims();
   std::printf("modules %d -> nodes %d; volume %lld (%dx%dx%d), %s; "
               "%.2fs total (place %.2fs, route %.2fs)\n",
@@ -242,6 +281,21 @@ int run_pipeline(const icm::IcmCircuit& circuit, CliOptions opt) {
   std::printf("compression vs canonical: %.2fx\n",
               static_cast<double>(result.canonical_volume) /
                   static_cast<double>(result.volume));
+  if (result.shard.enabled) {
+    std::printf("shard: %d windows (%d resumed, %d reseeded), "
+                "%d crossings, %d stitches, "
+                "%lld seam cells, stitch %.2fs\n",
+                result.shard.windows_total, result.shard.windows_resumed,
+                result.shard.windows_reseeded,
+                result.shard.crossings, result.shard.stitches,
+                static_cast<long long>(result.shard.seam_cells),
+                result.shard.stitch_s);
+    for (const std::string& issue : result.shard.issues)
+      std::printf("shard issue: %s\n", issue.c_str());
+  }
+  if (result.peak_rss_bytes > 0)
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(result.peak_rss_bytes) / (1024.0 * 1024.0));
 
   if (opt.verify) {
     const verify::VerifyReport report = verify::verify_result(result);
@@ -328,6 +382,8 @@ int main(int argc, char** argv) {
       for (const core::PaperBenchmark& b : core::paper_benchmarks())
         std::printf("%-16s %6d qubits %6d CNOTs\n", b.name.c_str(), b.qubits,
                     b.cnots);
+      std::printf("long_<D>x<L>[_tN][_cN][_wN][_sN]  layered long-circuit "
+                  "family (depth ~ L)\n");
       return 0;
     }
     if (command == "compress") {
@@ -336,6 +392,12 @@ int main(int argc, char** argv) {
     }
     if (command == "benchmark") {
       if (positional.size() != 1) return usage();
+      // Long-circuit layered family ("long_<data>x<layers>..."), then the
+      // paper Table-1 benchmarks.
+      icm::LayeredWorkloadSpec layered;
+      layered.seed = opt.compile.seed;
+      if (icm::parse_layered_name(positional[0], layered))
+        return run_pipeline(icm::make_layered_workload(layered), opt);
       const core::PaperBenchmark& bench = core::paper_benchmark(positional[0]);
       return run_pipeline(
           icm::make_workload(core::workload_spec(bench, opt.compile.seed)),

@@ -237,6 +237,39 @@ void render_route(const Value& stats) {
   }
 }
 
+void render_shard(const Value& stats) {
+  const Value* shard = stats.find("shard");
+  if (shard == nullptr || !shard->is_object()) return;
+  const Value* enabled = shard->find("enabled");
+  if (enabled == nullptr || !enabled->is_bool() || !enabled->boolean) return;
+  std::printf("\n  time-axis sharding\n");
+  std::printf("    window %.0f layers, %.0f threads; %.0f windows "
+              "(%.0f resumed from checkpoint)\n",
+              num_or(*shard, "window", 0), num_or(*shard, "threads", 0),
+              num_or(*shard, "windows_total", 0),
+              num_or(*shard, "windows_resumed", 0));
+  if (num_or(*shard, "windows_reseeded", 0) > 0)
+    std::printf("    %.0f windows reseeded to unblock seams\n",
+                num_or(*shard, "windows_reseeded", 0));
+  std::printf("    %.0f crossings -> %.0f stitches, %.0f seam cells, "
+              "stitch %.3fs\n",
+              num_or(*shard, "crossings", 0), num_or(*shard, "stitches", 0),
+              num_or(*shard, "seam_cells", 0), num_or(*shard, "stitch_s", 0));
+  if (const Value* volumes = shard->find("window_volumes");
+      volumes != nullptr && volumes->is_array() && !volumes->array.empty()) {
+    const std::vector<double> ys = numbers_of(*volumes);
+    double hi = 0;
+    for (const double y : ys) hi = std::max(hi, y);
+    std::printf("    window volumes %s  [max %.0f]\n",
+                sparkline(ys, 40).c_str(), hi);
+  }
+  if (const Value* issues = shard->find("issues");
+      issues != nullptr && issues->is_array())
+    for (const Value& i : issues->array)
+      if (i.is_string())
+        std::printf("    ISSUE: %s\n", i.string.c_str());
+}
+
 void render_cache(const Value& stats) {
   const Value* cache = stats.find("cache");
   if (cache == nullptr || !cache->is_object()) return;
@@ -317,9 +350,12 @@ void render_stats(const Value& stats, const std::string& label) {
               num_or(stats, "primal_bridges", 0),
               num_or(stats, "dual_bridges", 0),
               num_or(stats, "net_components", 0));
+  if (const double rss = num_or(stats, "peak_rss_bytes", 0); rss > 0)
+    std::printf("  peak RSS %.1f MiB\n", rss / (1024.0 * 1024.0));
   render_stage_table(stats);
   render_attempts(stats);
   render_route(stats);
+  render_shard(stats);
   render_cache(stats);
   render_metrics(stats);
   std::printf("\n");

@@ -13,6 +13,11 @@
 //    "optimize": true,              // .real only: reversible peephole pass
 //    "options": {"mode": "full|dual|modular", "seed": N, "effort": F,
 //                "jobs": N, "place_restarts": K, "plan": true},
+//    "shard_window": 0,             // time-axis sharding: ASAP layers per
+//                                   // window (0 = off; see core/shard.h)
+//    "shard_threads": 1,            // concurrent window compiles (never
+//                                   // changes results)
+//    "checkpoint_dir": "",          // per-window resume checkpoints
 //    "deadline_s": 30.0,            // wall-clock budget; 0 = none
 //    "geometry": false,             // emit + validate the 3D geometry
 //    "stats": false}                // embed the full stats_json v2 report
@@ -34,6 +39,8 @@
 // Response (success):
 //   {"id": "r1", "ok": true, "volume": V, "legal": true, "modules": M,
 //    "nodes": N, "wall_s": S, "cache": {"decompose": "hit|miss|skip", ...},
+//    "shard": {"windows_total": W, "windows_resumed": R,
+//              "seam_cells": C, ...},   // only for sharded requests
 //    "stats": {...},                // only when the request asked for it
 //    "debug": {...}}                // only for slow requests (see --slow-s)
 // Response (failure):
@@ -235,6 +242,16 @@ std::string response_line(const std::string& id, const CompileResponse& r,
       ", \"entries\": " + std::to_string(c.entries) +
       ", \"bytes\": " + std::to_string(c.bytes) +
       ", \"evictions\": " + std::to_string(c.evictions) + "}";
+  if (res.shard.enabled) {
+    const core::ShardStats& sh = res.shard;
+    out += ", \"shard\": {\"windows_total\": " +
+           std::to_string(sh.windows_total) +
+           ", \"windows_resumed\": " + std::to_string(sh.windows_resumed) +
+           ", \"crossings\": " + std::to_string(sh.crossings) +
+           ", \"stitches\": " + std::to_string(sh.stitches) +
+           ", \"seam_cells\": " + std::to_string(sh.seam_cells) +
+           ", \"stitch_s\": " + fmt_double(sh.stitch_s) + "}";
+  }
   if (want_stats) {
     // stats_json emits a complete JSON object: splice it in verbatim.
     out += ", \"stats\": " + core::stats_json(res);
@@ -291,13 +308,19 @@ std::string digest_hex(const std::string& text) {
   return buf;
 }
 
-std::string options_json(const core::CompileOptions& o) {
-  return std::string("{\"mode\": ") + quoted(mode_name(o.mode)) +
-         ", \"seed\": " + std::to_string(o.seed) +
-         ", \"effort\": " + fmt_double(o.effort) +
-         ", \"jobs\": " + std::to_string(o.jobs) +
-         ", \"place_restarts\": " + std::to_string(o.place_restarts) +
-         ", \"plan\": " + (o.plan_flips ? "true" : "false") + "}";
+std::string options_json(const CompileRequest& req) {
+  const core::CompileOptions& o = req.options;
+  std::string out =
+      std::string("{\"mode\": ") + quoted(mode_name(o.mode)) +
+      ", \"seed\": " + std::to_string(o.seed) +
+      ", \"effort\": " + fmt_double(o.effort) +
+      ", \"jobs\": " + std::to_string(o.jobs) +
+      ", \"place_restarts\": " + std::to_string(o.place_restarts) +
+      ", \"plan\": " + (o.plan_flips ? "true" : "false");
+  if (req.shard.window > 0)
+    out += ", \"shard_window\": " + std::to_string(req.shard.window) +
+           ", \"shard_threads\": " + std::to_string(req.shard.threads);
+  return out + "}";
 }
 
 /// Completed spans as a JSON array (names, process-relative start, dur).
@@ -326,6 +349,11 @@ struct ServerStats {
   std::atomic<std::uint64_t> admin_requests{0};
   std::atomic<std::uint64_t> responses_dropped{0};
   std::atomic<std::uint64_t> slow_requests{0};
+  /// Time-axis sharding totals over all sharded requests (core/shard.h).
+  std::atomic<std::uint64_t> sharded_requests{0};
+  std::atomic<std::uint64_t> windows_total{0};
+  std::atomic<std::uint64_t> windows_resumed{0};
+  std::atomic<std::uint64_t> seam_cells{0};
   /// Requests admitted but not yet answered (queued + running).
   std::atomic<std::int64_t> inflight{0};
 };
@@ -425,6 +453,12 @@ class Server {
         want_stats = v->as_bool();
       if (const json::Value* v = doc.find("options"))
         apply_options(*v, req.options);
+      if (const json::Value* v = doc.find("shard_window"))
+        req.shard.window = static_cast<int>(v->as_int());
+      if (const json::Value* v = doc.find("shard_threads"))
+        req.shard.threads = static_cast<int>(v->as_int());
+      if (const json::Value* v = doc.find("checkpoint_dir"))
+        req.shard.checkpoint_dir = v->as_string();
     } catch (const std::exception& e) {
       meta.id = req.id;
       finish_rejected(meta, "bad_request", e.what(), out);
@@ -442,7 +476,7 @@ class Server {
       meta.kind = "icm";
       meta.digest = digest_hex(req.icm_text);
     }
-    meta.options_json = options_json(req.options);
+    meta.options_json = options_json(req);
 
     req.options.cancel = CancelToken();
     const std::string id = req.id;
@@ -490,6 +524,19 @@ class Server {
     if (response.ok) {
       stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       record_stage_times(response.result.timings);
+      if (response.result.shard.enabled) {
+        const core::ShardStats& sh = response.result.shard;
+        stats_.sharded_requests.fetch_add(1, std::memory_order_relaxed);
+        stats_.windows_total.fetch_add(
+            static_cast<std::uint64_t>(sh.windows_total),
+            std::memory_order_relaxed);
+        stats_.windows_resumed.fetch_add(
+            static_cast<std::uint64_t>(sh.windows_resumed),
+            std::memory_order_relaxed);
+        stats_.seam_cells.fetch_add(
+            static_cast<std::uint64_t>(sh.seam_cells),
+            std::memory_order_relaxed);
+      }
     } else {
       stats_.requests_error.fetch_add(1, std::memory_order_relaxed);
     }
@@ -568,6 +615,7 @@ class Server {
       const core::StageTimings& t = res.timings;
       const core::CacheUsage& c = res.cache;
       out += ", \"volume\": " + std::to_string(res.volume) +
+             ", \"peak_rss_bytes\": " + std::to_string(res.peak_rss_bytes) +
              ", \"stages\": {\"pd_graph_s\": " + fmt_double(t.pd_graph_s) +
              ", \"ishape_s\": " + fmt_double(t.ishape_s) +
              ", \"primal_bridge_s\": " + fmt_double(t.primal_bridge_s) +
@@ -580,6 +628,13 @@ class Server {
              ", \"pd_graph\": " + quoted(c.pd_graph) +
              ", \"hits\": " + std::to_string(c.hits) +
              ", \"misses\": " + std::to_string(c.misses) + "}";
+      if (res.shard.enabled)
+        out += ", \"shard\": {\"windows_total\": " +
+               std::to_string(res.shard.windows_total) +
+               ", \"windows_resumed\": " +
+               std::to_string(res.shard.windows_resumed) +
+               ", \"seam_cells\": " + std::to_string(res.shard.seam_cells) +
+               "}";
     }
     if (!debug.empty()) out += ", \"slow\": true, \"debug\": " + debug;
     return out + "}";
@@ -658,6 +713,10 @@ class Server {
             {"admin_requests", v(stats_.admin_requests)},
             {"responses_dropped", v(stats_.responses_dropped)},
             {"slow_requests", v(stats_.slow_requests)},
+            {"sharded_requests", v(stats_.sharded_requests)},
+            {"windows_total", v(stats_.windows_total)},
+            {"windows_resumed", v(stats_.windows_resumed)},
+            {"seam_cells", v(stats_.seam_cells)},
             {"cache_hits", static_cast<long long>(cache.hits)},
             {"cache_misses", static_cast<long long>(cache.misses)},
             {"cache_insertions", static_cast<long long>(cache.insertions)},
@@ -680,6 +739,7 @@ class Server {
            std::to_string(stats_.inflight.load(std::memory_order_relaxed)) +
            ", \"queue_depth\": " + std::to_string(pool_.pending()) +
            ", \"workers\": " + std::to_string(pool_.worker_count()) +
+           ", \"peak_rss_bytes\": " + std::to_string(trace::peak_rss_bytes()) +
            ", \"cache\": {\"hits\": " + std::to_string(cache.hits) +
            ", \"misses\": " + std::to_string(cache.misses) +
            ", \"insertions\": " + std::to_string(cache.insertions) +
@@ -716,7 +776,9 @@ class Server {
         {"tqec_serve_queue_depth", static_cast<double>(pool_.pending())},
         {"tqec_serve_workers", static_cast<double>(pool_.worker_count())},
         {"tqec_serve_cache_entries", static_cast<double>(cache.entries)},
-        {"tqec_serve_cache_bytes", static_cast<double>(cache.bytes)}};
+        {"tqec_serve_cache_bytes", static_cast<double>(cache.bytes)},
+        {"tqec_process_peak_rss_bytes",
+         static_cast<double>(trace::peak_rss_bytes())}};
     std::vector<trace::HistogramSnapshot> histograms =
         histogram_snapshots();
     for (trace::HistogramSnapshot& h : histograms) h.name = prom_name(h.name);
