@@ -5,7 +5,9 @@
 // while keeping hashing a few cycles per byte with zero dependencies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <streambuf>
 #include <string_view>
 
 namespace tqec {
@@ -39,6 +41,50 @@ struct Digest128 {
   }
 
   friend bool operator==(const Digest128&, const Digest128&) = default;
+};
+
+/// std::streambuf that folds everything written through it into a
+/// Digest128 via a fixed-size buffer. Lets a serializer stream straight
+/// into a content hash — `write_x(thing, stream)` hashes identically to
+/// `digest.update(to_x_text(thing))` (FNV-1a is chunking-invariant) while
+/// peak memory stays O(buffer) instead of O(serialized text).
+class DigestStreambuf : public std::streambuf {
+ public:
+  explicit DigestStreambuf(Digest128 init = {}) : digest_(init) {
+    setp(buf_, buf_ + sizeof(buf_));
+  }
+
+  /// Digest of every byte written so far (flushes the pending buffer).
+  Digest128 digest() {
+    drain();
+    return digest_;
+  }
+
+ protected:
+  int overflow(int ch) override {
+    drain();
+    if (ch != traits_type::eof()) {
+      buf_[0] = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch;
+  }
+  int sync() override {
+    drain();
+    return 0;
+  }
+
+ private:
+  void drain() {
+    if (pptr() != pbase()) {
+      digest_.update(std::string_view(
+          pbase(), static_cast<std::size_t>(pptr() - pbase())));
+      setp(buf_, buf_ + sizeof(buf_));
+    }
+  }
+
+  Digest128 digest_;
+  char buf_[4096];
 };
 
 }  // namespace tqec

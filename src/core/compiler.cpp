@@ -1,6 +1,7 @@
 #include "core/compiler.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -14,6 +15,7 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "geom/canonical.h"
+#include "geom/cell_grid.h"
 
 namespace tqec::core {
 
@@ -24,6 +26,35 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+#ifndef NDEBUG
+// Defect::cell_count() double-counts cells where segments overlap (shared
+// corners of L-paths); the routed emit path promises its builders never do
+// that — emit_cell_runs yields disjoint maximal x-runs — so verify the
+// promise per defect in debug builds. Per-defect (not whole-geometry): two
+// defects legally sharing a port-region cell is not an overlap bug.
+bool emitted_defects_have_disjoint_segments(const geom::GeomDescription& g) {
+  std::vector<Vec3> cells;
+  for (const geom::DefectView d : g.defects()) {
+    cells.clear();
+    for (const geom::Segment& s : d.segments) {
+      Vec3 step{0, 0, 0};
+      const Vec3 delta = s.b - s.a;
+      if (delta.x != 0) step = {delta.x > 0 ? 1 : -1, 0, 0};
+      else if (delta.y != 0) step = {0, delta.y > 0 ? 1 : -1, 0};
+      else if (delta.z != 0) step = {0, 0, delta.z > 0 ? 1 : -1};
+      for (Vec3 p = s.a;; p += step) {
+        cells.push_back(p);
+        if (p == s.b) break;
+      }
+    }
+    std::sort(cells.begin(), cells.end());
+    if (std::adjacent_find(cells.begin(), cells.end()) != cells.end())
+      return false;
+  }
+  return true;
+}
+#endif
 
 }  // namespace
 
@@ -119,6 +150,9 @@ geom::GeomDescription emit_geometry(const pdgraph::PdGraph& graph,
   }
 
   for (const geom::DistillBox& box : placement.boxes) g.add_box(box);
+  assert(emitted_defects_have_disjoint_segments(g) &&
+         "emit_geometry produced a defect with overlapping segments; "
+         "Defect::cell_count() would double-count");
   return g;
 }
 
@@ -360,9 +394,23 @@ CompileResult compile(const icm::IcmCircuit& circuit,
   result.routing = routing;
   result.routed_legal = routing.legal;
   result.volume = routing.volume;
-  if (options.emit_geometry)
+  if (options.emit_geometry) {
     result.geometry =
         emit_geometry(graph, nodes, placement, routing, circuit.name());
+    // One occupancy-grid build covers the whole geometry record: exact cell
+    // count from the population count, plus the grid's own build cost and
+    // footprint (the same grid the validator's fast path rasterizes).
+    geom::GridBuildStats gstats;
+    const geom::OccupancyGrid grid =
+        geom::build_occupancy(result.geometry, &gstats);
+    result.geom.grid_build_s = gstats.build_s;
+    result.geom.grid_bytes = gstats.bytes;
+    result.geom.exact_cells =
+        grid.popcount(geom::kPrimalPlane) + grid.popcount(geom::kDualPlane);
+    result.geom.segments =
+        static_cast<std::int64_t>(result.geometry.segment_count());
+    result.geom.arena_bytes = result.geometry.arena_bytes();
+  }
   if (options.keep_internals) {
     result.internals = std::make_shared<PipelineInternals>(
         PipelineInternals{graph, std::move(nodes), std::move(dual)});
@@ -399,6 +447,17 @@ CompileResult compile(const icm::IcmCircuit& circuit,
                      sel.route_parallel_efficiency);
     trace::gauge_set("place.sa_replicas", sel.sa_replicas);
     trace::gauge_set("place.sa_moves_per_sec", sel.sa_moves_per_sec);
+    if (options.emit_geometry) {
+      trace::gauge_set("geom.grid_build_s", result.geom.grid_build_s);
+      trace::gauge_set("geom.grid_bytes",
+                       static_cast<double>(result.geom.grid_bytes));
+      trace::gauge_set("geom.exact_cells",
+                       static_cast<double>(result.geom.exact_cells));
+      trace::gauge_set("geom.segments",
+                       static_cast<double>(result.geom.segments));
+      trace::gauge_set("geom.arena_bytes",
+                       static_cast<double>(result.geom.arena_bytes));
+    }
     trace::gauge_set(
         "place.sa_repacked_per_move",
         static_cast<double>(sel.sa_repacked_nodes) /
@@ -660,6 +719,15 @@ std::string stats_json(const CompileResult& result) {
     os << "\"" << json_escape(sh.issues[i]) << "\"";
   }
   os << "]},\n";
+
+  // Geometry-engine record (additive in v2; zeros when emit_geometry was
+  // off — see core/compiler.h GeomStats).
+  const GeomStats& ge = result.geom;
+  os << "  \"geom\": {\"grid_build_s\": " << json_double(ge.grid_build_s)
+     << ", \"grid_bytes\": " << ge.grid_bytes
+     << ", \"exact_cells\": " << ge.exact_cells
+     << ", \"segments\": " << ge.segments
+     << ", \"arena_bytes\": " << ge.arena_bytes << "},\n";
 
   // Stage-cache usage (additive in v2; all-"skip" defaults for the
   // single-shot CLI path, filled in by the tqec::Compiler facade).

@@ -189,6 +189,18 @@ struct CacheUsage {
   std::int64_t evictions = 0;
 };
 
+/// Geometry-engine observability (geom/cell_grid.h): occupancy-grid build
+/// cost and footprint for the emitted geometry, the exact deduplicated
+/// cell count from the grid's population count, and the segment-arena
+/// size. All zero when CompileOptions::emit_geometry is off.
+struct GeomStats {
+  double grid_build_s = 0;       // occupancy-grid rasterization wall clock
+  std::int64_t grid_bytes = 0;   // grid footprint (dense words or intervals)
+  std::int64_t exact_cells = 0;  // population count over both sublattices
+  std::int64_t segments = 0;     // segment-arena entries
+  std::int64_t arena_bytes = 0;  // arena + defect-record heap bytes
+};
+
 /// Observability record of a time-axis sharded compile (core/shard.h).
 /// Default-constructed (enabled == false) on unsharded results.
 struct ShardStats {
@@ -245,6 +257,10 @@ struct CompileResult {
   /// Time-axis sharding observability (enabled == false unless the result
   /// came from core::compile_sharded).
   ShardStats shard;
+
+  /// Geometry-engine observability of `geometry` (zero when emit_geometry
+  /// was off).
+  GeomStats geom;
 
   /// Process peak RSS in bytes, sampled when the result was assembled
   /// (0 where the platform offers no probe — see trace::peak_rss_bytes).

@@ -18,6 +18,7 @@
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "geom/canonical.h"
+#include "geom/cell_grid.h"
 #include "geom/stitch.h"
 #include "geom/validate.h"
 #include "icm/serialize.h"
@@ -105,15 +106,21 @@ std::string digest_hex(const Digest128& d) {
 
 /// Content hash of one window: its canonical ICM text (carry flags
 /// included), the result-affecting options, and its position in the plan.
-std::string window_digest(const std::string& window_icm_text,
+/// The ICM serializer streams straight into the digest — FNV-1a chunks
+/// identically however the bytes arrive, so the hash equals the old
+/// update(to_icm_text(...)) without materializing the window's text.
+std::string window_digest(const icm::IcmCircuit& window_circuit,
                           const std::string& fingerprint, int index,
                           int total) {
   Digest128 d;
   d.update("tqec.shard.window/v1");
   d.update(fingerprint);
   d.update(std::to_string(index) + "/" + std::to_string(total));
-  d.update(window_icm_text);
-  return digest_hex(d);
+  DigestStreambuf sb(d);
+  std::ostream os(&sb);
+  icm::write_icm(window_circuit, os);
+  os.flush();
+  return digest_hex(sb.digest());
 }
 
 // ---------------------------------------------------------------------------
@@ -151,7 +158,7 @@ void write_checkpoint(std::ostream& out, const std::string& digest,
     write_vec3(out, cell);
     out << "\n";
   }
-  for (const geom::Defect& d : o.geometry.defects()) {
+  for (const geom::DefectView d : o.geometry.defects()) {
     out << "defect " << (d.type == geom::DefectType::Primal ? 'p' : 'd')
         << ' ' << d.source_id << ' ' << d.segments.size() << "\n";
     for (const geom::Segment& s : d.segments) {
@@ -234,11 +241,15 @@ std::optional<WindowOutcome> read_checkpoint(std::istream& in,
   CheckpointReader reader(in);
   std::vector<std::string> t;
   WindowOutcome o;
-  std::vector<geom::Defect> defects;
-  std::vector<geom::DistillBox> ck_boxes;
+  // Defects stream line-by-line straight into the geometry's segment
+  // arena (begin_defect/append_segment) — no intermediate vector-of-
+  // vectors, so peak memory during a resume is the parse buffer plus the
+  // geometry itself. Components are collected for the end-of-record index
+  // check (they may reference any defect).
+  geom::GeomDescription rebuilt;
   std::vector<geom::ImComponent> ck_components;
   bool defect_open = false;
-  std::size_t segs_expected = 0;
+  std::size_t segs_expected = 0, segs_read = 0;
   bool header = false, digest_ok = false, ended = false;
 
   while (reader.next(t)) {
@@ -303,24 +314,23 @@ std::optional<WindowOutcome> read_checkpoint(std::istream& in,
       auto& dst = kw == "carry_in" ? o.carry_in : o.carry_out;
       dst.emplace_back(static_cast<int>(i1), cell);
     } else if (kw == "defect") {
-      if (defect_open && defects.back().segments.size() != segs_expected)
-        return std::nullopt;
+      if (defect_open && segs_read != segs_expected) return std::nullopt;
       if (t.size() != 4 || (t[1] != "p" && t[1] != "d") ||
           !parse_int(t[2], i1) || !parse_int(t[3], i2) || i2 < 0)
         return std::nullopt;
-      geom::Defect d;
-      d.type = t[1] == "p" ? geom::DefectType::Primal
-                           : geom::DefectType::Dual;
-      d.source_id = static_cast<int>(i1);
-      defects.push_back(std::move(d));
+      rebuilt.begin_defect(t[1] == "p" ? geom::DefectType::Primal
+                                       : geom::DefectType::Dual,
+                           static_cast<int>(i1));
       defect_open = true;
       segs_expected = static_cast<std::size_t>(i2);
+      segs_read = 0;
     } else if (kw == "seg") {
       geom::Segment s;
       if (!defect_open || t.size() != 7 || !parse_vec3(t, 1, s.a) ||
           !parse_vec3(t, 4, s.b) || !s.axis_aligned())
         return std::nullopt;
-      defects.back().segments.push_back(s);
+      rebuilt.append_segment(s);
+      ++segs_read;
     } else if (kw == "box") {
       geom::DistillBox b;
       if (t.size() != 6 || (t[1] != "y" && t[1] != "a") ||
@@ -328,7 +338,7 @@ std::optional<WindowOutcome> read_checkpoint(std::istream& in,
         return std::nullopt;
       b.kind = t[1] == "y" ? geom::BoxKind::YBox : geom::BoxKind::ABox;
       b.line = static_cast<int>(i1);
-      ck_boxes.push_back(b);
+      rebuilt.add_box(b);
     } else if (kw == "comp") {
       geom::ImComponent c;
       if (t.size() != 6 || !parse_int(t[1], i1) || i1 < 0 || i1 > 5 ||
@@ -345,15 +355,11 @@ std::optional<WindowOutcome> read_checkpoint(std::istream& in,
     }
   }
   if (!header || !digest_ok || !ended) return std::nullopt;
-  if (defect_open && defects.back().segments.size() != segs_expected)
-    return std::nullopt;
-  // Rebuild through the normal API — defects first so component defect
-  // indices validate against the populated defect list.
-  geom::GeomDescription rebuilt;
-  for (geom::Defect& d : defects) rebuilt.add_defect(std::move(d));
-  for (const geom::DistillBox& b : ck_boxes) rebuilt.add_box(b);
+  if (defect_open && segs_read != segs_expected) return std::nullopt;
+  // Components last, so their defect indices validate against the fully
+  // streamed defect list.
   for (const geom::ImComponent& c : ck_components) {
-    if (c.defect_index >= static_cast<int>(rebuilt.defects().size()))
+    if (c.defect_index >= static_cast<int>(rebuilt.defect_count()))
       return std::nullopt;
     rebuilt.add_component(c);
   }
@@ -601,9 +607,8 @@ CompileResult compile_sharded(const icm::IcmCircuit& circuit,
   std::vector<std::string> digests(n);
   for (std::size_t w = 0; w < n; ++w) {
     window_circuits[w] = extract_window(circuit, plan, static_cast<int>(w));
-    digests[w] = window_digest(icm::to_icm_text(window_circuits[w]),
-                               fingerprint, static_cast<int>(w),
-                               static_cast<int>(n));
+    digests[w] = window_digest(window_circuits[w], fingerprint,
+                               static_cast<int>(w), static_cast<int>(n));
   }
 
   const bool checkpointing = !shard.checkpoint_dir.empty();
@@ -729,9 +734,11 @@ CompileResult compile_sharded(const icm::IcmCircuit& circuit,
   constexpr int kMaxReseedsPerWindow = 3;
   int windows_reseeded = 0;
   for (;;) {
+    // Windows point at the outcome geometries — a retry iteration restages
+    // them without deep-copying a single segment vector.
     std::vector<geom::StitchWindow> stitch_in(n);
     for (std::size_t w = 0; w < n; ++w) {
-      stitch_in[w].geometry = outcomes[w].geometry;
+      stitch_in[w].geometry = &outcomes[w].geometry;
       stitch_in[w].carry_in = outcomes[w].carry_in;
       stitch_in[w].carry_out = outcomes[w].carry_out;
     }
@@ -832,6 +839,25 @@ CompileResult compile_sharded(const icm::IcmCircuit& circuit,
   result.routing.bounding = stitched.geometry.bounding_box();
   result.routed_legal = windows_legal && result.shard.issues.empty();
   result.routing.legal = result.routed_legal;
+
+  // Geometry-engine observability: grid_build_s totals the rasterization
+  // passes of this result (stitcher frame grid, validator grid, and the
+  // final occupancy grid that yields the exact cell count); grid_bytes is
+  // the largest single-grid footprint.
+  {
+    geom::GridBuildStats gstats;
+    const geom::OccupancyGrid grid =
+        geom::build_occupancy(stitched.geometry, &gstats);
+    result.geom.grid_build_s =
+        gstats.build_s + vr.grid_build_s + stitched.grid_build_s;
+    result.geom.grid_bytes =
+        std::max({gstats.bytes, vr.grid_bytes, stitched.grid_bytes});
+    result.geom.exact_cells =
+        grid.popcount(geom::kPrimalPlane) + grid.popcount(geom::kDualPlane);
+    result.geom.segments =
+        static_cast<std::int64_t>(stitched.geometry.segment_count());
+    result.geom.arena_bytes = stitched.geometry.arena_bytes();
+  }
   if (options.emit_geometry) result.geometry = std::move(stitched.geometry);
 
   result.peak_rss_bytes = trace::peak_rss_bytes();
@@ -852,6 +878,15 @@ CompileResult compile_sharded(const icm::IcmCircuit& circuit,
                      static_cast<double>(result.shard.stitches));
     trace::gauge_set("shard.seam_cells",
                      static_cast<double>(result.shard.seam_cells));
+    trace::gauge_set("geom.grid_build_s", result.geom.grid_build_s);
+    trace::gauge_set("geom.grid_bytes",
+                     static_cast<double>(result.geom.grid_bytes));
+    trace::gauge_set("geom.exact_cells",
+                     static_cast<double>(result.geom.exact_cells));
+    trace::gauge_set("geom.segments",
+                     static_cast<double>(result.geom.segments));
+    trace::gauge_set("geom.arena_bytes",
+                     static_cast<double>(result.geom.arena_bytes));
     trace::gauge_set("process.peak_rss_bytes",
                      static_cast<double>(result.peak_rss_bytes));
     result.metrics = trace::snapshot_metrics();

@@ -1,0 +1,222 @@
+// Dense bit-grid occupancy for geometric descriptions.
+//
+// Every downstream consumer of a geometric description (validation,
+// seam stitching, verify's occupancy checks, exports) needs the same
+// primitive: "is lattice cell p occupied, and by which sublattice?".
+// Before this engine each consumer re-materialized the answer into its
+// own node-based hash container (`std::unordered_set<Vec3>` and friends),
+// paying an allocation plus a hash per *cell* of every segment. A
+// CellGrid answers the same queries from a word-packed bitset anchored at
+// the geometry's bounding box:
+//
+//   - one bit plane per sublattice (plane 0 = primal, plane 1 = dual;
+//     primal and dual structures live on half-offset sublattices, so a
+//     cell may legally be set in both planes at once);
+//   - rows run along x, so rasterizing an axis-aligned x-run writes whole
+//     64-bit word masks instead of per-cell inserts;
+//   - test/set/clear are O(1) loads with no hashing and no pointer chase.
+//
+// For geometries whose bounding box is huge but sparsely occupied (a few
+// tall distillation-box pillars in an otherwise empty frame) the dense
+// plane would waste memory, so `OccupancyGrid` transparently falls back
+// to `IntervalOccupancy`: per-(plane, y, z) rows of sorted disjoint
+// x-intervals with the same operation set. Callers pick the wrapper and
+// never care which representation is live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/vec3.h"
+#include "geom/geometry.h"
+
+namespace tqec::geom {
+
+/// Sublattice -> bit-plane index (see DESIGN.md section 13).
+inline constexpr int kPrimalPlane = 0;
+inline constexpr int kDualPlane = 1;
+constexpr int plane_of(DefectType t) {
+  return t == DefectType::Primal ? kPrimalPlane : kDualPlane;
+}
+
+/// Dense word-packed bitset over a closed Box3, `planes` planes deep.
+/// Coordinates outside the bounds test as unoccupied; setting them is a
+/// programming error (callers anchor the grid at the geometry's bounding
+/// box, which by construction contains every cell they will write).
+class CellGrid {
+ public:
+  CellGrid() = default;
+  CellGrid(const Box3& bounds, int planes) { reset(bounds, planes); }
+
+  /// Reallocate for new bounds and zero every plane.
+  void reset(const Box3& bounds, int planes);
+
+  const Box3& bounds() const { return bounds_; }
+  int planes() const { return planes_; }
+  bool empty() const { return words_.empty(); }
+
+  bool in_bounds(Vec3 p) const { return bounds_.contains(p); }
+
+  /// False for out-of-bounds cells (they can never be occupied).
+  bool test(int plane, Vec3 p) const {
+    if (!bounds_.contains(p)) return false;
+    const std::size_t xr = static_cast<std::size_t>(p.x - bounds_.lo.x);
+    return (words_[row_base(plane, p.y, p.z) + (xr >> 6)] >>
+            (xr & 63)) & 1u;
+  }
+
+  /// Set one cell; returns true when it was newly set.
+  bool set(int plane, Vec3 p) {
+    TQEC_REQUIRE(bounds_.contains(p), "CellGrid::set out of bounds");
+    const std::size_t xr = static_cast<std::size_t>(p.x - bounds_.lo.x);
+    std::uint64_t& w = words_[row_base(plane, p.y, p.z) + (xr >> 6)];
+    const std::uint64_t m = std::uint64_t{1} << (xr & 63);
+    const bool fresh = (w & m) == 0;
+    w |= m;
+    return fresh;
+  }
+
+  void clear(int plane, Vec3 p) {
+    TQEC_REQUIRE(bounds_.contains(p), "CellGrid::clear out of bounds");
+    const std::size_t xr = static_cast<std::size_t>(p.x - bounds_.lo.x);
+    words_[row_base(plane, p.y, p.z) + (xr >> 6)] &=
+        ~(std::uint64_t{1} << (xr & 63));
+  }
+
+  /// Rasterize an axis-aligned segment (endpoints inclusive). x-runs are
+  /// written as whole word masks; y/z runs touch one bit per row. Returns
+  /// the number of newly set cells; when `collisions` is non-null, every
+  /// already-set cell is appended to it — x-runs in ascending x (the word
+  /// scan direction, whatever the endpoint order), y/z runs in run order
+  /// from a to b. IntervalOccupancy follows the same convention.
+  std::int64_t set_segment(int plane, const Segment& s,
+                           std::vector<Vec3>* collisions = nullptr);
+
+  /// Clear every cell of an axis-aligned segment.
+  void clear_segment(int plane, const Segment& s);
+
+  /// Population count of one plane.
+  std::int64_t popcount(int plane) const;
+
+  /// Heap bytes held by the bit planes.
+  std::int64_t byte_size() const {
+    return static_cast<std::int64_t>(words_.size() * sizeof(std::uint64_t));
+  }
+
+  /// Zero every plane, keeping the allocation.
+  void clear_all();
+
+  /// Word footprint a dense grid over `bounds` with `planes` planes would
+  /// need, in bytes (0 for an empty box). Used by OccupancyGrid to decide
+  /// dense vs interval representation without allocating.
+  static std::int64_t projected_bytes(const Box3& bounds, int planes);
+
+ private:
+  std::size_t row_base(int plane, int y, int z) const {
+    const std::size_t yr = static_cast<std::size_t>(y - bounds_.lo.y);
+    const std::size_t zr = static_cast<std::size_t>(z - bounds_.lo.z);
+    return (static_cast<std::size_t>(plane) * dy_ * dz_ + yr * dz_ + zr) *
+           words_per_row_;
+  }
+
+  Box3 bounds_;
+  int planes_ = 0;
+  std::size_t dy_ = 0, dz_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Sparse fallback with CellGrid's operation set: per-(plane, y, z) rows
+/// of sorted, disjoint, closed x-intervals. Memory is O(intervals), so a
+/// geometry of a few tall pillars in a huge bounding box stays small; the
+/// per-op cost is a binary search instead of a word load.
+class IntervalOccupancy {
+ public:
+  IntervalOccupancy() = default;
+  IntervalOccupancy(const Box3& bounds, int planes) { reset(bounds, planes); }
+
+  void reset(const Box3& bounds, int planes);
+
+  const Box3& bounds() const { return bounds_; }
+  int planes() const { return planes_; }
+
+  bool test(int plane, Vec3 p) const;
+  bool set(int plane, Vec3 p);
+  std::int64_t set_segment(int plane, const Segment& s,
+                           std::vector<Vec3>* collisions = nullptr);
+  std::int64_t popcount(int plane) const;
+  std::int64_t byte_size() const;
+
+ private:
+  using Row = std::vector<std::pair<int, int>>;  // sorted closed [lo, hi]
+  Row& row(int plane, int y, int z);
+  const Row* find_row(int plane, int y, int z) const;
+  /// Insert [lo, hi] into `r`, merging/deduping; appends already-set
+  /// cells at fixed (y, z) to `collisions` and returns newly set count.
+  static std::int64_t insert_run(Row& r, int y, int z, int lo, int hi,
+                                 std::vector<Vec3>* collisions);
+
+  Box3 bounds_;
+  int planes_ = 0;
+  // Row index keyed by (plane, y, z), sorted; rows are created lazily so
+  // an empty tall box costs nothing.
+  std::vector<std::uint64_t> keys_;
+  std::vector<Row> rows_;
+};
+
+/// Dense-or-interval occupancy: picks the dense CellGrid when its plane
+/// bytes fit `dense_byte_cap`, the interval rows otherwise. This is the
+/// representation validate/exact_cell_count build once per description.
+class OccupancyGrid {
+ public:
+  static constexpr std::int64_t kDefaultDenseByteCap = std::int64_t{64}
+                                                       << 20;  // 64 MiB
+
+  OccupancyGrid() = default;
+  OccupancyGrid(const Box3& bounds, int planes,
+                std::int64_t dense_byte_cap = kDefaultDenseByteCap);
+
+  bool dense() const { return dense_; }
+  const Box3& bounds() const { return dense_ ? grid_.bounds() : sparse_.bounds(); }
+
+  bool test(int plane, Vec3 p) const {
+    return dense_ ? grid_.test(plane, p) : sparse_.test(plane, p);
+  }
+  bool set(int plane, Vec3 p) {
+    return dense_ ? grid_.set(plane, p) : sparse_.set(plane, p);
+  }
+  std::int64_t set_segment(int plane, const Segment& s,
+                           std::vector<Vec3>* collisions = nullptr) {
+    return dense_ ? grid_.set_segment(plane, s, collisions)
+                  : sparse_.set_segment(plane, s, collisions);
+  }
+  std::int64_t popcount(int plane) const {
+    return dense_ ? grid_.popcount(plane) : sparse_.popcount(plane);
+  }
+  std::int64_t byte_size() const {
+    return dense_ ? grid_.byte_size() : sparse_.byte_size();
+  }
+
+ private:
+  bool dense_ = true;
+  CellGrid grid_;
+  IntervalOccupancy sparse_;
+};
+
+/// Build stats published as `geom.grid_build_s` / `geom.grid_bytes`.
+struct GridBuildStats {
+  double build_s = 0;
+  std::int64_t bytes = 0;
+  bool dense = true;
+};
+
+/// Rasterize every defect of `g` (plane 0 primal, plane 1 dual) into an
+/// occupancy grid anchored at the merged defect bounding box. `stats`,
+/// when non-null, receives the wall time and byte footprint of the build.
+OccupancyGrid build_occupancy(
+    const GeomDescription& g, GridBuildStats* stats = nullptr,
+    std::int64_t dense_byte_cap = OccupancyGrid::kDefaultDenseByteCap);
+
+}  // namespace tqec::geom

@@ -57,7 +57,7 @@ int export_obj(const GeomDescription& g, std::ostream& out,
   int vertex = 1;
 
   out << "g primal_defects\nusemtl primal\n";
-  for (const Defect& d : g.defects()) {
+  for (const DefectView d : g.defects()) {
     if (d.type != DefectType::Primal) continue;
     for (const Segment& s : d.segments) {
       vertex = emit_cuboid(
@@ -67,7 +67,7 @@ int export_obj(const GeomDescription& g, std::ostream& out,
   }
 
   out << "g dual_defects\nusemtl dual\n";
-  for (const Defect& d : g.defects()) {
+  for (const DefectView d : g.defects()) {
     if (d.type != DefectType::Dual) continue;
     for (const Segment& s : d.segments) {
       vertex = emit_cuboid(

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -37,26 +36,36 @@ int export_svg(const GeomDescription& g, std::ostream& out,
     return 0;
   }
 
-  // Collect cells per y layer.
-  struct LayerCells {
-    std::vector<std::pair<Vec3, bool>> cells;  // (cell, is_primal)
-  };
-  std::map<int, LayerCells> layers;
-  for (const Defect& d : g.defects()) {
+  // Collect cells grouped by y layer: one flat vector in defect-traversal
+  // order, stable-sorted by y (so within a layer the traversal order — and
+  // therefore the emitted bytes — match the per-layer map this replaced),
+  // plus a sorted-unique list of panel ys including box-only layers.
+  std::vector<std::pair<Vec3, bool>> cells;  // (cell, is_primal)
+  for (const DefectView d : g.defects()) {
     const bool primal = d.type == DefectType::Primal;
     for (const Segment& s : d.segments)
-      for_each_cell(s, [&](Vec3 p) { layers[p.y].cells.push_back({p, primal}); });
+      for_each_cell(s, [&](Vec3 p) { cells.push_back({p, primal}); });
   }
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.y < b.first.y;
+                   });
+  std::vector<int> layer_ys;
+  layer_ys.reserve(cells.size());
+  for (const auto& [cell, primal] : cells) layer_ys.push_back(cell.y);
   if (opt.include_boxes) {
     for (const DistillBox& b : g.boxes()) {
       const Box3 e = b.extent();
       for (int y = e.lo.y; y <= e.hi.y; ++y)
-        layers.try_emplace(y);  // ensure the panel exists
+        layer_ys.push_back(y);  // ensure the panel exists
     }
   }
+  std::sort(layer_ys.begin(), layer_ys.end());
+  layer_ys.erase(std::unique(layer_ys.begin(), layer_ys.end()),
+                 layer_ys.end());
 
   const int panels =
-      std::min(static_cast<int>(layers.size()), opt.max_layers);
+      std::min(static_cast<int>(layer_ys.size()), opt.max_layers);
   const int panel_w = bb.dims().x * opt.cell_px;
   const int panel_h = bb.dims().z * opt.cell_px;
   const int total_w = panel_w + 2 * opt.cell_px;
@@ -69,14 +78,21 @@ int export_svg(const GeomDescription& g, std::ostream& out,
          ".label{font:10px monospace;fill:#333}</style>\n";
 
   int panel_index = 0;
-  for (const auto& [y, layer] : layers) {
+  auto cell_it = cells.begin();
+  for (const int y : layer_ys) {
     if (panel_index >= panels) break;
+    // Cells are sorted by y, so each panel's run starts where the previous
+    // one ended (box-only layers have an empty run).
+    while (cell_it != cells.end() && cell_it->first.y < y) ++cell_it;
+    const auto run_begin = cell_it;
+    while (cell_it != cells.end() && cell_it->first.y == y) ++cell_it;
     const int oy = panel_index * (panel_h + opt.panel_gap_px) + opt.cell_px;
     out << "<text class=\"label\" x=\"2\" y=\"" << oy - 4 << "\">y=" << y
         << "</text>\n";
     auto px = [&](int x) { return (x - bb.lo.x) * opt.cell_px + opt.cell_px; };
     auto pz = [&](int z) { return (z - bb.lo.z) * opt.cell_px + oy; };
-    for (const auto& [cell, primal] : layer.cells) {
+    for (auto it = run_begin; it != cell_it; ++it) {
+      const auto& [cell, primal] = *it;
       if (primal) {
         out << "<rect class=\"primal\" x=\"" << px(cell.x) << "\" y=\""
             << pz(cell.z) << "\" width=\"" << opt.cell_px << "\" height=\""

@@ -2,13 +2,39 @@
 
 #include <sstream>
 
+#include "geom/cell_grid.h"
+
 namespace tqec::geom {
 
-int GeomDescription::add_defect(Defect defect) {
-  for (const Segment& s : defect.segments)
+int GeomDescription::add_defect(DefectType type, int source_id,
+                                std::span<const Segment> segments) {
+  for (const Segment& s : segments)
     TQEC_REQUIRE(s.axis_aligned(), "defect segment not axis-aligned");
-  defects_.push_back(std::move(defect));
-  return static_cast<int>(defects_.size()) - 1;
+  DefectRec rec;
+  rec.first = static_cast<std::uint32_t>(arena_.size());
+  rec.count = static_cast<std::uint32_t>(segments.size());
+  rec.type = type;
+  rec.source_id = source_id;
+  arena_.insert(arena_.end(), segments.begin(), segments.end());
+  recs_.push_back(rec);
+  return static_cast<int>(recs_.size()) - 1;
+}
+
+int GeomDescription::begin_defect(DefectType type, int source_id) {
+  DefectRec rec;
+  rec.first = static_cast<std::uint32_t>(arena_.size());
+  rec.count = 0;
+  rec.type = type;
+  rec.source_id = source_id;
+  recs_.push_back(rec);
+  return static_cast<int>(recs_.size()) - 1;
+}
+
+void GeomDescription::append_segment(const Segment& s) {
+  TQEC_REQUIRE(!recs_.empty(), "append_segment: no open defect");
+  TQEC_REQUIRE(s.axis_aligned(), "defect segment not axis-aligned");
+  arena_.push_back(s);
+  recs_.back().count += 1;
 }
 
 int GeomDescription::add_box(DistillBox box) {
@@ -18,40 +44,43 @@ int GeomDescription::add_box(DistillBox box) {
 
 void GeomDescription::add_component(ImComponent component) {
   TQEC_REQUIRE(component.defect_index >= -1 &&
-                   component.defect_index < static_cast<int>(defects_.size()),
+                   component.defect_index < static_cast<int>(recs_.size()),
                "component defect index out of range");
   components_.push_back(component);
 }
 
 Box3 GeomDescription::bounding_box() const {
   Box3 box;
-  for (const Defect& d : defects_) box = box.merged(d.bounding_box());
+  for (const Segment& s : arena_) box = box.merged(s.box());
   for (const DistillBox& b : boxes_) box = box.merged(b.extent());
   return box;
 }
 
 std::int64_t GeomDescription::additive_volume() const {
   Box3 core;
-  for (const Defect& d : defects_) core = core.merged(d.bounding_box());
+  for (const Segment& s : arena_) core = core.merged(s.box());
   std::int64_t total = core.volume();
   for (const DistillBox& b : boxes_) total += box_volume(b.kind);
   return total;
 }
 
 void GeomDescription::translate(Vec3 delta) {
-  for (Defect& d : defects_) {
-    for (Segment& s : d.segments) {
-      s.a += delta;
-      s.b += delta;
-    }
+  for (Segment& s : arena_) {
+    s.a += delta;
+    s.b += delta;
   }
   for (DistillBox& b : boxes_) b.origin += delta;
   for (ImComponent& c : components_) c.position += delta;
 }
 
 void GeomDescription::absorb(GeomDescription other) {
-  const int defect_shift = static_cast<int>(defects_.size());
-  for (Defect& d : other.defects_) defects_.push_back(std::move(d));
+  const int defect_shift = static_cast<int>(recs_.size());
+  const std::uint32_t seg_shift = static_cast<std::uint32_t>(arena_.size());
+  arena_.insert(arena_.end(), other.arena_.begin(), other.arena_.end());
+  for (DefectRec r : other.recs_) {
+    r.first += seg_shift;
+    recs_.push_back(r);
+  }
   for (const DistillBox& b : other.boxes_) boxes_.push_back(b);
   for (ImComponent c : other.components_) {
     if (c.defect_index >= 0) c.defect_index += defect_shift;
@@ -61,8 +90,13 @@ void GeomDescription::absorb(GeomDescription other) {
 
 std::int64_t GeomDescription::defect_cell_count() const {
   std::int64_t n = 0;
-  for (const Defect& d : defects_) n += d.cell_count();
+  for (const Segment& s : arena_) n += s.length();
   return n;
+}
+
+std::int64_t GeomDescription::exact_cell_count() const {
+  const OccupancyGrid occ = build_occupancy(*this);
+  return occ.popcount(kPrimalPlane) + occ.popcount(kDualPlane);
 }
 
 namespace {
@@ -89,7 +123,7 @@ std::string describe(const GeomDescription& g) {
      << " boxes, volume " << d.x << "x" << d.y << "x" << d.z << " = "
      << g.volume() << "\n";
   for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    const Defect& def = g.defects()[i];
+    const DefectView def = g.defect(i);
     os << "  defect " << i << " (" << defect_type_name(def.type) << ", src "
        << def.source_id << "): ";
     for (const Segment& s : def.segments) os << s.a << "->" << s.b << ' ';
@@ -111,7 +145,7 @@ std::string to_json(const GeomDescription& g) {
   };
   os << "{\"name\":\"" << g.name() << "\",\"defects\":[";
   for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    const Defect& d = g.defects()[i];
+    const DefectView d = g.defect(i);
     if (i) os << ',';
     os << "{\"type\":\"" << defect_type_name(d.type) << "\",\"source\":"
        << d.source_id << ",\"segments\":[";

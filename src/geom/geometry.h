@@ -15,10 +15,20 @@
 // description is #x * #y * #z of its bounding box, and distillation boxes
 // either fall inside the bounding box (after placement) or are accounted
 // additively (canonical forms, matching the paper's Table 2 note).
+//
+// Storage layout: a description owns one pooled segment arena (SoA-style:
+// all segments contiguous, in defect order) and per-defect records holding
+// {first, count, type, source_id} index ranges into it. Defects are read
+// through lightweight `DefectView`s (a span over the arena), so iterating
+// every segment of every defect is one linear scan of one allocation, and
+// copying/translating/absorbing descriptions moves flat arrays instead of
+// a vector-of-vectors. `Defect` remains as the builder type callers fill
+// and hand to `add_defect`.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,7 +62,8 @@ struct Segment {
   friend bool operator==(const Segment&, const Segment&) = default;
 };
 
-/// A defect: one connected primal or dual structure.
+/// Builder for one connected primal or dual structure; `add_defect` moves
+/// its segments into the description's arena.
 struct Defect {
   DefectType type = DefectType::Primal;
   std::vector<Segment> segments;
@@ -66,8 +77,32 @@ struct Defect {
     return box;
   }
 
-  /// Total number of defect cells (double-counts shared corner cells of
-  /// adjacent segments only if segments overlap; builders avoid overlap).
+  /// Total segment length in cells. Double-counts cells where segments
+  /// overlap — canonical rails/rings and stitched seams intentionally
+  /// share corner cells between adjacent segments — so this is an upper
+  /// bound; see GeomDescription::exact_cell_count() for the exact count.
+  std::int64_t cell_count() const {
+    std::int64_t n = 0;
+    for (const Segment& s : segments) n += s.length();
+    return n;
+  }
+};
+
+/// Read-only view of one defect stored in a description's segment arena.
+/// Cheap to copy (a span plus two scalars); never outlives mutation of
+/// the owning GeomDescription.
+struct DefectView {
+  DefectType type = DefectType::Primal;
+  int source_id = -1;
+  std::span<const Segment> segments;
+
+  Box3 bounding_box() const {
+    Box3 box;
+    for (const Segment& s : segments) box = box.merged(s.box());
+    return box;
+  }
+
+  /// Sum of segment lengths (upper bound; see Defect::cell_count).
   std::int64_t cell_count() const {
     std::int64_t n = 0;
     for (const Segment& s : segments) n += s.length();
@@ -118,17 +153,69 @@ struct ImComponent {
 
 class GeomDescription {
  public:
+  /// Random-access range of DefectViews over the arena (see defects()).
+  class DefectList {
+   public:
+    class iterator {
+     public:
+      using value_type = DefectView;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const GeomDescription* g, std::size_t i) : g_(g), i_(i) {}
+      DefectView operator*() const { return g_->defect(i_); }
+      iterator& operator++() { ++i_; return *this; }
+      iterator operator++(int) { iterator t = *this; ++i_; return t; }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.i_ == b.i_;
+      }
+
+     private:
+      const GeomDescription* g_ = nullptr;
+      std::size_t i_ = 0;
+    };
+
+    explicit DefectList(const GeomDescription* g) : g_(g) {}
+    std::size_t size() const { return g_->defect_count(); }
+    bool empty() const { return size() == 0; }
+    DefectView operator[](std::size_t i) const { return g_->defect(i); }
+    iterator begin() const { return {g_, 0}; }
+    iterator end() const { return {g_, size()}; }
+
+   private:
+    const GeomDescription* g_;
+  };
+
   GeomDescription() = default;
   explicit GeomDescription(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
 
-  const std::vector<Defect>& defects() const { return defects_; }
+  DefectList defects() const { return DefectList(this); }
+  std::size_t defect_count() const { return recs_.size(); }
+  DefectView defect(std::size_t i) const {
+    const DefectRec& r = recs_[i];
+    return {r.type, r.source_id,
+            std::span<const Segment>(arena_.data() + r.first, r.count)};
+  }
+
   const std::vector<DistillBox>& boxes() const { return boxes_; }
   const std::vector<ImComponent>& components() const { return components_; }
 
-  /// Append a defect; returns its index.
-  int add_defect(Defect defect);
+  /// Append a defect (builder form); returns its index.
+  int add_defect(const Defect& defect) {
+    return add_defect(defect.type, defect.source_id, defect.segments);
+  }
+  /// Append a defect directly from a segment range; returns its index.
+  int add_defect(DefectType type, int source_id,
+                 std::span<const Segment> segments);
+
+  /// Streaming construction (checkpoint reads): open a defect, then append
+  /// its segments one at a time. The defect closes when the next one opens
+  /// or any other mutation happens; no explicit end call is needed.
+  int begin_defect(DefectType type, int source_id);
+  void append_segment(const Segment& s);
+
   int add_box(DistillBox box);
   void add_component(ImComponent component);
 
@@ -149,11 +236,35 @@ class GeomDescription {
   /// Merge another description into this one (defect/box indices shift).
   void absorb(GeomDescription other);
 
+  /// Sum of per-defect cell_count()s: fast, but an *upper bound* (segments
+  /// may overlap at shared corners; canonical builders and the stitcher do
+  /// this on purpose).
   std::int64_t defect_cell_count() const;
 
+  /// Exact number of occupied (cell, sublattice) sites, from the occupancy
+  /// grid's population count. A cell hosting both a primal and a dual
+  /// structure counts once per sublattice.
+  std::int64_t exact_cell_count() const;
+
+  /// Total segments across all defects (the arena length).
+  std::size_t segment_count() const { return arena_.size(); }
+  /// Heap bytes held by the segment arena and defect records.
+  std::int64_t arena_bytes() const {
+    return static_cast<std::int64_t>(arena_.capacity() * sizeof(Segment) +
+                                     recs_.capacity() * sizeof(DefectRec));
+  }
+
  private:
+  struct DefectRec {
+    std::uint32_t first = 0;  // index of the defect's first arena segment
+    std::uint32_t count = 0;
+    DefectType type = DefectType::Primal;
+    int source_id = -1;
+  };
+
   std::string name_;
-  std::vector<Defect> defects_;
+  std::vector<Segment> arena_;   // all segments, in defect order
+  std::vector<DefectRec> recs_;  // index ranges into arena_
   std::vector<DistillBox> boxes_;
   std::vector<ImComponent> components_;
 };

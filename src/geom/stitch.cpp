@@ -1,11 +1,15 @@
 #include "geom/stitch.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <numeric>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "geom/cell_grid.h"
 
 namespace tqec::geom {
 
@@ -24,9 +28,118 @@ void for_each_cell(const Segment& s, Fn&& fn) {
   }
 }
 
+/// Occupancy + A* bookkeeping, reference flavor: the original node-based
+/// hash containers. Kept verbatim behind the policy interface so
+/// `StitchOptions.use_grid = false` reproduces the pre-grid engine
+/// bit-for-bit (A/B tests compare the two end to end).
+class HashSpace {
+ public:
+  static constexpr bool kGrid = false;
+
+  bool init_frame(const Box3&) { return true; }
+  bool occupy(Vec3 c) { return occupied_.insert(c).second; }
+  void release(Vec3 c) { occupied_.erase(c); }
+  bool is_occupied(Vec3 c) const { return occupied_.count(c) != 0; }
+  bool is_pass(Vec3 c) const { return pass_.count(c) != 0; }
+  void pass_insert(Vec3 c) { pass_.insert(c); }
+  void pass_remove(Vec3 c) { pass_.erase(c); }
+
+  void begin_search(const Box3&) { best_.clear(); }
+  int g_of(Vec3 c) const {
+    const auto it = best_.find(c);
+    return it == best_.end() ? -1 : it->second.first;
+  }
+  Vec3 parent_of(Vec3 c) const { return best_.at(c).second; }
+  void set_node(Vec3 c, int g, Vec3 parent) { best_[c] = {g, parent}; }
+
+  std::int64_t byte_size() const { return 0; }
+
+ private:
+  std::unordered_set<Vec3> occupied_;
+  std::unordered_set<Vec3> pass_;
+  std::unordered_map<Vec3, std::pair<int, Vec3>> best_;
+};
+
+/// Occupancy + A* bookkeeping, grid flavor: occupancy and pass-through
+/// cells are bit planes of one CellGrid over the merged frame, and the
+/// search keeps g/parent in dense scratch arrays over the carve region
+/// (reset with a fill per search, allocation reused across carves). Every
+/// operation has the exact semantics of HashSpace, so seam paths — and
+/// therefore the stitched geometry — are bit-identical; only the cost per
+/// cell changes (a word load instead of a hash + pointer chase).
+class GridSpace {
+ public:
+  static constexpr bool kGrid = true;
+  /// Fall back to HashSpace above this dense-frame footprint (the frame
+  /// spans every window, so a pathological input could ask for gigabytes).
+  static constexpr std::int64_t kFrameByteCap = std::int64_t{64} << 20;
+
+  bool init_frame(const Box3& frame) {
+    if (CellGrid::projected_bytes(frame, 2) > kFrameByteCap) return false;
+    grid_.reset(frame, 2);
+    return true;
+  }
+  bool occupy(Vec3 c) { return grid_.set(kOccupiedPlane, c); }
+  void release(Vec3 c) { grid_.clear(kOccupiedPlane, c); }
+  bool is_occupied(Vec3 c) const { return grid_.test(kOccupiedPlane, c); }
+  bool is_pass(Vec3 c) const { return grid_.test(kPassPlane, c); }
+  void pass_insert(Vec3 c) { grid_.set(kPassPlane, c); }
+  void pass_remove(Vec3 c) { grid_.clear(kPassPlane, c); }
+
+  /// Callers guarantee the search's start and goal lie inside `region`
+  /// (the carve region is expanded around both endpoints and the pin).
+  void begin_search(const Box3& region) {
+    const std::int64_t n = region.volume();
+    TQEC_REQUIRE(n <= std::numeric_limits<std::int32_t>::max(),
+                 "stitch: carve region too large");
+    rlo_ = region.lo;
+    const Vec3 d = region.dims();
+    rdy_ = static_cast<std::size_t>(d.y);
+    rdz_ = static_cast<std::size_t>(d.z);
+    g_.assign(static_cast<std::size_t>(n), -1);
+    parent_.resize(static_cast<std::size_t>(n));
+  }
+  int g_of(Vec3 c) const { return g_[idx(c)]; }
+  Vec3 parent_of(Vec3 c) const { return cell(parent_[idx(c)]); }
+  void set_node(Vec3 c, int g, Vec3 parent) {
+    const std::size_t i = idx(c);
+    g_[i] = g;
+    parent_[i] = static_cast<std::int32_t>(idx(parent));
+  }
+
+  std::int64_t byte_size() const {
+    return grid_.byte_size() +
+           static_cast<std::int64_t>((g_.capacity() + parent_.capacity()) *
+                                     sizeof(std::int32_t));
+  }
+
+ private:
+  static constexpr int kOccupiedPlane = 0;
+  static constexpr int kPassPlane = 1;
+
+  std::size_t idx(Vec3 c) const {
+    return (static_cast<std::size_t>(c.x - rlo_.x) * rdy_ +
+            static_cast<std::size_t>(c.y - rlo_.y)) *
+               rdz_ +
+           static_cast<std::size_t>(c.z - rlo_.z);
+  }
+  Vec3 cell(std::int32_t i) const {
+    const auto u = static_cast<std::size_t>(i);
+    return {rlo_.x + static_cast<int>(u / (rdy_ * rdz_)),
+            rlo_.y + static_cast<int>((u / rdz_) % rdy_),
+            rlo_.z + static_cast<int>(u % rdz_)};
+  }
+
+  CellGrid grid_;
+  Vec3 rlo_;
+  std::size_t rdy_ = 1, rdz_ = 1;
+  std::vector<std::int32_t> g_;        // settled cost, -1 = unreached
+  std::vector<std::int32_t> parent_;   // region index of the parent cell
+};
+
 /// Deterministic A* (unit edge costs, Manhattan heuristic) from `start` to
-/// `goal` through cells of `region` not in `blocked` (the endpoints
-/// themselves are exempt, as is every cell of `pass` — the carve's own
+/// `goal` through cells of `region` not occupied in `space` (the endpoints
+/// themselves are exempt, as is every pass-through cell — the carve's own
 /// endpoint defects, whose rails the seam path may legally ride since they
 /// all merge into one final defect). Returns a shortest cell path
 /// start..goal inclusive, or empty when unreachable. Ties on f = g + h
@@ -35,9 +148,9 @@ void for_each_cell(const Segment& s, Fn&& fn) {
 /// seam regions span two whole windows, and a breadth-first flood visits
 /// every free cell of that box per carve (tens of millions of cells across
 /// a long circuit's seams) where A* walks essentially straight to the pin.
+template <typename Space>
 std::vector<Vec3> seam_path(Vec3 start, Vec3 goal, const Box3& region,
-                            const std::unordered_set<Vec3>& blocked,
-                            const std::unordered_set<Vec3>& pass) {
+                            Space& space) {
   if (start == goal) return {start};
   static constexpr Vec3 kSteps[6] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
                                      {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
@@ -49,24 +162,24 @@ std::vector<Vec3> seam_path(Vec3 start, Vec3 goal, const Box3& region,
     return kWeight * (std::abs(v.x - goal.x) + std::abs(v.y - goal.y) +
                       std::abs(v.z - goal.z));
   };
-  // (f, insertion order, cell): lazy-deletion open list; `best` holds the
-  // settled g and the parent of every reached cell.
+  // (f, insertion order, cell): lazy-deletion open list; the space holds
+  // the settled g and the parent of every reached cell.
   using OpenEntry = std::tuple<int, long, Vec3>;
   std::priority_queue<OpenEntry, std::vector<OpenEntry>,
                       std::greater<OpenEntry>>
       open;
-  std::unordered_map<Vec3, std::pair<int, Vec3>> best;
+  space.begin_search(region);
   long order = 0;
-  best.emplace(start, std::pair<int, Vec3>{0, start});
+  space.set_node(start, 0, start);
   open.emplace(h(start), order++, start);
   while (!open.empty()) {
     const auto [f, tie, p] = open.top();
     open.pop();
-    const int gp = best.at(p).first;
+    const int gp = space.g_of(p);
     if (f != gp + h(p)) continue;  // stale entry
     if (p == goal) {
       std::vector<Vec3> path;
-      for (Vec3 c = goal;; c = best.at(c).second) {
+      for (Vec3 c = goal;; c = space.parent_of(c)) {
         path.push_back(c);
         if (c == start) break;
       }
@@ -76,15 +189,11 @@ std::vector<Vec3> seam_path(Vec3 start, Vec3 goal, const Box3& region,
     for (const Vec3 s : kSteps) {
       const Vec3 n = p + s;
       if (!region.contains(n)) continue;
-      if (n != goal && blocked.count(n) && !pass.count(n)) continue;
+      if (n != goal && space.is_occupied(n) && !space.is_pass(n)) continue;
       const int gn = gp + 1;
-      const auto it = best.find(n);
-      if (it != best.end() && it->second.first <= gn) continue;
-      if (it == best.end()) {
-        best.emplace(n, std::pair<int, Vec3>{gn, p});
-      } else {
-        it->second = {gn, p};
-      }
+      const int cur = space.g_of(n);
+      if (cur >= 0 && cur <= gn) continue;
+      space.set_node(n, gn, p);
       open.emplace(gn + h(n), order++, n);
     }
   }
@@ -137,15 +246,24 @@ class Dsu {
   std::vector<std::size_t> parent_;
 };
 
-}  // namespace
+/// One staged (translated) defect: an index range into the staging arena
+/// plus the metadata the emit step needs. The bounding box pre-filters the
+/// carry-cell -> defect resolution scan.
+struct StagedRec {
+  std::size_t first = 0;
+  std::size_t count = 0;
+  DefectType type = DefectType::Primal;
+  int source_id = -1;
+  Box3 bb;
+};
 
-StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
-                            const std::string& name,
-                            const StitchOptions& options) {
-  StitchResult res;
-  res.geometry = GeomDescription(name);
-  if (windows.empty()) return res;
-
+/// The whole stitch, parameterized over the occupancy engine. Returns
+/// false when the engine declines the frame (grid too large) *before any
+/// work happened*, so the caller can rerun with the reference engine.
+template <typename Space>
+bool stitch_impl(const std::vector<StitchWindow>& windows,
+                 const StitchOptions& options, Space& space,
+                 StitchResult& res) {
   const int gap = std::max(1, options.seam_gap);
 
   // Window layout along +x and global extents for the pin plane.
@@ -153,7 +271,7 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
   int cursor = 0;
   int max_y = 0, min_z = 0, max_z = 0;
   for (std::size_t w = 0; w < windows.size(); ++w) {
-    const Box3 bb = windows[w].geometry.bounding_box();
+    const Box3 bb = windows[w].geometry->bounding_box();
     off[w] = cursor - std::min(0, bb.lo.x);
     cursor = off[w] + (bb.empty() ? 1 : bb.hi.x + 1) + gap;
     if (!bb.empty()) {
@@ -162,47 +280,79 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
       max_z = std::max(max_z, bb.hi.z);
     }
   }
-  res.window_offsets = off;
   const int pin_y = max_y + 1;
+  const int max_up = options.max_attempts - 1;
 
-  // Stage all window geometry in the merged frame. `occupied` blocks seam
-  // carving; `primal_at` resolves a carry cell to its staged defect (a
-  // primal module cell can legally coincide with dual net cells, so the
-  // primal index is tracked separately).
-  std::vector<Defect> staged;
+  // Frame: a box containing every cell the occupancy may ever hold or
+  // test-and-carve — the staged windows (boxes included), every seam pin
+  // and carry endpoint, and the widest per-line search region.
+  Box3 frame;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    Box3 bb = windows[w].geometry->bounding_box();
+    if (bb.empty()) continue;
+    bb.lo += Vec3{off[w], 0, 0};
+    bb.hi += Vec3{off[w], 0, 0};
+    frame = frame.merged(bb);
+  }
+  for (std::size_t w = 0; w + 1 < windows.size(); ++w) {
+    for (const auto& [line, cell] : windows[w].carry_out)
+      frame = frame.expanded(cell + Vec3{off[w], 0, 0});
+    const auto& ins = windows[w + 1].carry_in;
+    for (std::size_t r = 0; r < ins.size(); ++r) {
+      const Vec3 pin{off[w + 1] - gap + gap / 2, pin_y,
+                     2 * static_cast<int>(r)};
+      const Box3 mr{
+          {off[w], -1 - max_up, std::min(min_z, pin.z) - 1 - max_up},
+          {off[w + 1] + windows[w + 1].geometry->bounding_box().hi.x,
+           pin_y + 1 + 2 * max_up, std::max(max_z, pin.z) + 1 + max_up}};
+      frame = frame.merged(mr).expanded(pin).expanded(
+          ins[r].second + Vec3{off[w + 1], 0, 0});
+    }
+  }
+  if (!space.init_frame(frame)) return false;
+  res.window_offsets = off;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Stage all window geometry in the merged frame. The occupancy blocks
+  // seam carving; `find_primal` below resolves a carry cell to its staged
+  // defect (a primal module cell can legally coincide with dual net cells,
+  // so the primal resolution ignores dual defects). Staged segments live
+  // in one flat arena — laying out a thousand windows appends to two
+  // vectors instead of allocating a Defect per structure.
+  std::vector<Segment> sarena;
+  std::vector<StagedRec> srecs;
   std::vector<DistillBox> boxes;
   std::vector<ImComponent> components;
-  std::unordered_set<Vec3> occupied;
-  std::unordered_map<Vec3, std::size_t> primal_at;
   std::vector<std::size_t> defect_base(windows.size(), 0);
   for (std::size_t w = 0; w < windows.size(); ++w) {
     const Vec3 delta{off[w], 0, 0};
-    defect_base[w] = staged.size();
-    for (const Defect& d : windows[w].geometry.defects()) {
-      Defect t = d;
-      for (Segment& s : t.segments) {
-        s.a += delta;
-        s.b += delta;
+    const GeomDescription& g = *windows[w].geometry;
+    defect_base[w] = srecs.size();
+    for (const DefectView d : g.defects()) {
+      StagedRec rec;
+      rec.first = sarena.size();
+      rec.count = d.segments.size();
+      rec.type = d.type;
+      rec.source_id = d.source_id;
+      for (const Segment& s : d.segments) {
+        const Segment t{s.a + delta, s.b + delta};
+        sarena.push_back(t);
+        rec.bb = rec.bb.merged(t.box());
+        for_each_cell(t, [&](Vec3 c) { space.occupy(c); });
       }
-      const std::size_t idx = staged.size();
-      for (const Segment& s : t.segments)
-        for_each_cell(s, [&](Vec3 c) {
-          occupied.insert(c);
-          if (t.type == DefectType::Primal) primal_at.emplace(c, idx);
-        });
-      staged.push_back(std::move(t));
+      srecs.push_back(rec);
     }
-    for (const DistillBox& b : windows[w].geometry.boxes()) {
+    for (const DistillBox& b : g.boxes()) {
       DistillBox t = b;
       t.origin += delta;
       const Box3 e = t.extent();
       for (int x = e.lo.x; x <= e.hi.x; ++x)
         for (int y = e.lo.y; y <= e.hi.y; ++y)
-          for (int z = e.lo.z; z <= e.hi.z; ++z)
-            occupied.insert({x, y, z});
+          for (int z = e.lo.z; z <= e.hi.z; ++z) space.occupy({x, y, z});
       boxes.push_back(t);
     }
-    for (const ImComponent& c : windows[w].geometry.components()) {
+    for (const ImComponent& c : g.components()) {
       ImComponent t = c;
       t.position += delta;
       if (t.defect_index >= 0)
@@ -210,18 +360,40 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
       components.push_back(t);
     }
   }
+  if constexpr (Space::kGrid) {
+    res.grid_build_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  // Resolve a carry cell to the first staged *primal* defect containing it
+  // (first in staging order — windows are disjoint along x, so at most one
+  // window's defects can match, and within a window the first-declared
+  // defect wins, matching the first-wins cell map this scan replaced).
+  const auto find_primal = [&](Vec3 c) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < srecs.size(); ++i) {
+      const StagedRec& r = srecs[i];
+      if (r.type != DefectType::Primal || !r.bb.contains(c)) continue;
+      for (std::size_t j = 0; j < r.count; ++j)
+        if (sarena[r.first + j].box().contains(c))
+          return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
 
   // Carve seams serially in (seam, line-rank) order. `comp_cells` keeps
   // every component's cell list at its DSU root (seam paths included),
   // merged small-into-root on unite, so building a carve's pass-through
   // set costs O(|component|) instead of rescanning every staged cell —
   // the difference between seconds and minutes at hundreds of crossings.
-  Dsu dsu(staged.size());
+  Dsu dsu(srecs.size());
   std::vector<std::pair<std::size_t, std::vector<Segment>>> stitch_segs;
-  std::vector<std::vector<Vec3>> comp_cells(staged.size());
-  for (std::size_t d = 0; d < staged.size(); ++d)
-    for (const Segment& s : staged[d].segments)
-      for_each_cell(s, [&](Vec3 c) { comp_cells[d].push_back(c); });
+  std::vector<std::vector<Vec3>> comp_cells(srecs.size());
+  for (std::size_t d = 0; d < srecs.size(); ++d)
+    for (std::size_t j = 0; j < srecs[d].count; ++j)
+      for_each_cell(sarena[srecs[d].first + j],
+                    [&](Vec3 c) { comp_cells[d].push_back(c); });
+  std::vector<Vec3> pass_list;
   for (std::size_t w = 0; w + 1 < windows.size(); ++w) {
     std::unordered_map<int, Vec3> outs;
     for (const auto& [line, cell] : windows[w].carry_out)
@@ -231,12 +403,12 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
     std::sort(ins.begin(), ins.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
 
-    // Reserve every pin cell of this seam up front: the BFS goal cell is
-    // exempt from the blocked set, so without the reservation an earlier
+    // Reserve every pin cell of this seam up front: the search goal cell
+    // is exempt from the occupancy, so without the reservation an earlier
     // rank's path could run along the pin column and squat on a later
     // rank's pin — two distinct final defects sharing a cell.
     for (std::size_t r = 0; r < ins.size(); ++r)
-      occupied.insert(
+      space.occupy(
           {off[w + 1] - gap + gap / 2, pin_y, 2 * static_cast<int>(r)});
 
     std::unordered_set<int> seen_in;
@@ -254,9 +426,9 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
       const Vec3 Q = cell_in + Vec3{off[w + 1], 0, 0};
       const Vec3 pin{off[w + 1] - gap + gap / 2, pin_y, 2 * rank};
       ++rank;
-      const auto pit = primal_at.find(P);
-      const auto qit = primal_at.find(Q);
-      if (pit == primal_at.end() || qit == primal_at.end()) {
+      const std::ptrdiff_t pi = find_primal(P);
+      const std::ptrdiff_t qi = find_primal(Q);
+      if (pi < 0 || qi < 0) {
         res.issues.push_back(where.str() +
                              ": carry cell not on a primal defect");
         continue;
@@ -269,20 +441,20 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
       // The components chain across every seam stitched so far, but the
       // search never leaves the widest attempt's region, so only cells
       // inside it are kept (the rest of a chain can be arbitrarily long).
-      const int max_up = options.max_attempts - 1;
       Box3 max_region{
           {off[w], -1 - max_up, std::min(min_z, pin.z) - 1 - max_up},
-          {off[w + 1] + windows[w + 1].geometry.bounding_box().hi.x,
+          {off[w + 1] + windows[w + 1].geometry->bounding_box().hi.x,
            pin_y + 1 + 2 * max_up, std::max(max_z, pin.z) + 1 + max_up}};
       max_region = max_region.expanded(P).expanded(Q).expanded(pin);
-      const std::size_t rp = dsu.find(pit->second);
-      const std::size_t rq = dsu.find(qit->second);
-      std::unordered_set<Vec3> pass;
+      const std::size_t rp = dsu.find(static_cast<std::size_t>(pi));
+      const std::size_t rq = dsu.find(static_cast<std::size_t>(qi));
+      pass_list.clear();
       for (const std::size_t r : {rp, rq}) {
         for (const Vec3 c : comp_cells[r])
-          if (max_region.contains(c)) pass.insert(c);
+          if (max_region.contains(c)) pass_list.push_back(c);
         if (rq == rp) break;
       }
+      for (const Vec3 c : pass_list) space.pass_insert(c);
 
       bool carved = false;
       bool q_side_failed = false;
@@ -293,34 +465,33 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
         // floor plane can always escape under the structure.
         Box3 region{
             {off[w], -1 - attempt, std::min(min_z, pin.z) - 1 - attempt},
-            {off[w + 1] + windows[w + 1].geometry.bounding_box().hi.x,
+            {off[w + 1] + windows[w + 1].geometry->bounding_box().hi.x,
              pin_y + 1 + 2 * attempt, std::max(max_z, pin.z) + 1 + attempt}};
         region = region.expanded(P).expanded(Q).expanded(pin);
 
-        const std::vector<Vec3> leg1 =
-            seam_path(P, pin, region, occupied, pass);
+        const std::vector<Vec3> leg1 = seam_path(P, pin, region, space);
         if (leg1.empty()) {
           q_side_failed = false;
           continue;
         }
         std::vector<Vec3> added;
         for (const Vec3 c : leg1)
-          if (occupied.insert(c).second) added.push_back(c);
-        const std::vector<Vec3> leg2 =
-            seam_path(pin, Q, region, occupied, pass);
+          if (space.occupy(c)) added.push_back(c);
+        const std::vector<Vec3> leg2 = seam_path(pin, Q, region, space);
         if (leg2.empty()) {
           q_side_failed = true;
-          for (const Vec3 c : added) occupied.erase(c);
+          for (const Vec3 c : added) space.release(c);
           continue;
         }
         for (const Vec3 c : leg2)
-          if (occupied.insert(c).second) added.push_back(c);
+          if (space.occupy(c)) added.push_back(c);
 
         std::vector<Vec3> path = leg1;
         path.insert(path.end(), leg2.begin() + 1, leg2.end());
-        stitch_segs.emplace_back(pit->second, path_to_segments(path));
-        dsu.unite(pit->second, qit->second);
-        const std::size_t root = dsu.find(pit->second);
+        stitch_segs.emplace_back(static_cast<std::size_t>(pi),
+                                 path_to_segments(path));
+        dsu.unite(static_cast<std::size_t>(pi), static_cast<std::size_t>(qi));
+        const std::size_t root = dsu.find(static_cast<std::size_t>(pi));
         for (const std::size_t r : {rp, rq})
           if (r != root) {
             comp_cells[root].insert(comp_cells[root].end(),
@@ -336,6 +507,7 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
         ++res.stitches;
         carved = true;
       }
+      for (const Vec3 c : pass_list) space.pass_remove(c);
       if (!carved) {
         res.issues.push_back(where.str() + ": seam path blocked after " +
                              std::to_string(options.max_attempts) +
@@ -355,23 +527,24 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
       }
     }
   }
+  if constexpr (Space::kGrid) res.grid_bytes = space.byte_size();
 
   // Emit merged defects in first-member order so the output is stable.
-  std::vector<int> final_of(staged.size(), -1);
+  std::vector<int> final_of(srecs.size(), -1);
   std::vector<Defect> finals;
-  for (std::size_t i = 0; i < staged.size(); ++i) {
+  for (std::size_t i = 0; i < srecs.size(); ++i) {
     const std::size_t r = dsu.find(i);
     if (final_of[r] < 0) {
       Defect d;
-      d.type = staged[r].type;
-      d.source_id = staged[r].source_id;
+      d.type = srecs[r].type;
+      d.source_id = srecs[r].source_id;
       final_of[r] = static_cast<int>(finals.size());
       finals.push_back(std::move(d));
     }
     final_of[i] = final_of[r];
     auto& out = finals[static_cast<std::size_t>(final_of[i])];
-    out.segments.insert(out.segments.end(), staged[i].segments.begin(),
-                        staged[i].segments.end());
+    out.segments.insert(out.segments.end(), sarena.data() + srecs[i].first,
+                        sarena.data() + srecs[i].first + srecs[i].count);
   }
   for (auto& [member, segs] : stitch_segs) {
     auto& out = finals[static_cast<std::size_t>(
@@ -379,13 +552,34 @@ StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
     out.segments.insert(out.segments.end(), segs.begin(), segs.end());
   }
 
-  for (Defect& d : finals) res.geometry.add_defect(std::move(d));
+  for (const Defect& d : finals) res.geometry.add_defect(d);
   for (const DistillBox& b : boxes) res.geometry.add_box(b);
   for (ImComponent c : components) {
     if (c.defect_index >= 0)
       c.defect_index = final_of[static_cast<std::size_t>(c.defect_index)];
     res.geometry.add_component(c);
   }
+  return true;
+}
+
+}  // namespace
+
+StitchResult stitch_windows(const std::vector<StitchWindow>& windows,
+                            const std::string& name,
+                            const StitchOptions& options) {
+  StitchResult res;
+  res.geometry = GeomDescription(name);
+  if (windows.empty()) return res;
+  for (const StitchWindow& w : windows)
+    TQEC_REQUIRE(w.geometry != nullptr, "stitch: window without geometry");
+  if (options.use_grid) {
+    GridSpace space;
+    if (stitch_impl(windows, options, space, res)) return res;
+    // Frame too large for the dense grid: fall back to the reference
+    // engine (which declined nothing and left `res` untouched).
+  }
+  HashSpace space;
+  stitch_impl(windows, options, space, res);
   return res;
 }
 

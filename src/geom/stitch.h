@@ -47,9 +47,13 @@ namespace tqec::geom {
 
 /// One compiled window, normalized so its bounding box starts at the
 /// origin. Carry cells are (global ICM line, cell) pairs in the window's
-/// own (normalized) frame; they must lie on a primal defect of `geometry`.
+/// own (normalized) frame; they must lie on a primal defect of
+/// `*geometry`. The window only *points at* its geometry (owned by the
+/// caller, e.g. the shard compiler's per-window outcomes): stitching
+/// reads it, so retry loops re-stitch without deep-copying a single
+/// segment vector.
 struct StitchWindow {
-  GeomDescription geometry;
+  const GeomDescription* geometry = nullptr;
   std::vector<std::pair<int, Vec3>> carry_in;   // line -> row-initial cell
   std::vector<std::pair<int, Vec3>> carry_out;  // line -> row-final cell
 };
@@ -59,10 +63,19 @@ struct StitchOptions {
   int seam_gap = 3;
   /// Extra y headroom added per retry when a seam path is blocked.
   int max_attempts = 4;
+  /// false: hash-set reference occupancy (A/B testing). The grid engine
+  /// keeps occupancy, pass-through cells, and the A* bookkeeping in dense
+  /// bit planes / scratch arrays (geom/cell_grid.h) and is bit-identical
+  /// to the reference on every input.
+  bool use_grid = true;
 };
 
 struct StitchResult {
   GeomDescription geometry;
+  /// Occupancy-grid build cost (staging every window into the merged
+  /// frame); 0 for the hash reference engine.
+  double grid_build_s = 0;
+  std::int64_t grid_bytes = 0;
   /// Seam paths carved (one per crossing line per cut).
   int stitches = 0;
   /// New cells added by seam paths (excludes the carry endpoints).

@@ -1,10 +1,11 @@
 #include "geom/validate.h"
 
+#include <chrono>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/union_find.h"
+#include "geom/cell_grid.h"
 
 namespace tqec::geom {
 
@@ -30,6 +31,81 @@ bool boxes_touch_or_overlap(const Box3& a, const Box3& b) {
   return a.inflated(1).intersects(b);
 }
 
+/// True when `p` lies on one of the first `upto` segments of `d` — i.e.
+/// the collision is the defect overlapping *itself* (shared corner cells
+/// of adjacent segments), which is legal and common (canonical rails,
+/// stitched seams).
+bool cell_on_earlier_segment(const DefectView& d, std::size_t upto, Vec3 p) {
+  for (std::size_t j = 0; j < upto; ++j)
+    if (d.segments[j].box().contains(p)) return true;
+  return false;
+}
+
+/// Reference V3 for one sublattice: the original hash-map pass. Emits the
+/// exact issue text/order the pre-grid validator produced; also fills
+/// `cells` (cell -> owning defect) for the dual pass's port-region test.
+template <typename PortExempt, typename Fail>
+void v3_reference_pass(const GeomDescription& g, DefectType type,
+                       std::unordered_map<Vec3, int>& cells,
+                       PortExempt&& exempt, Fail&& fail) {
+  const bool primal = type == DefectType::Primal;
+  for (std::size_t i = 0; i < g.defects().size(); ++i) {
+    const DefectView d = g.defect(i);
+    if (d.type != type) continue;
+    for (const Segment& s : d.segments) {
+      for_each_cell(s, [&](Vec3 p) {
+        const auto [it, inserted] = cells.emplace(p, static_cast<int>(i));
+        if (primal) {
+          if (!inserted && it->second != static_cast<int>(i)) {
+            std::ostringstream os;
+            os << "primal defects " << it->second << " and " << i
+               << " share cell " << p;
+            fail("V3", os.str());
+            it->second = static_cast<int>(i);  // report each pair once
+          }
+        } else {
+          if (!inserted && it->second != static_cast<int>(i) && !exempt(p)) {
+            std::ostringstream os;
+            os << "dual defects " << it->second << " and " << i
+               << " share cell " << p;
+            fail("V3", os.str());
+          }
+          it->second = static_cast<int>(i);
+        }
+      });
+    }
+  }
+}
+
+/// Grid V3 for one sublattice: rasterize every defect into `occ`'s plane,
+/// inspecting collisions. A collision against an *earlier segment of the
+/// same defect* is legal self-overlap; anything else is a cross-defect
+/// conflict (for duals, unless port-exempt). Returns true when a conflict
+/// was found — the caller then re-runs the reference pass for identical
+/// issue output. Legal geometries complete without hashing a single cell.
+template <typename PortExempt>
+bool v3_grid_pass(const GeomDescription& g, DefectType type,
+                  OccupancyGrid& occ, std::vector<Vec3>& collisions,
+                  PortExempt&& exempt) {
+  const int plane = plane_of(type);
+  bool conflict = false;
+  for (std::size_t i = 0; i < g.defects().size() && !conflict; ++i) {
+    const DefectView d = g.defect(i);
+    if (d.type != type) continue;
+    for (std::size_t j = 0; j < d.segments.size() && !conflict; ++j) {
+      collisions.clear();
+      occ.set_segment(plane, d.segments[j], &collisions);
+      for (const Vec3 p : collisions) {
+        if (cell_on_earlier_segment(d, j, p)) continue;
+        if (type == DefectType::Dual && exempt(p)) continue;
+        conflict = true;
+        break;
+      }
+    }
+  }
+  return conflict;
+}
+
 }  // namespace
 
 std::string ValidationReport::summary() const {
@@ -41,15 +117,16 @@ std::string ValidationReport::summary() const {
   return os.str();
 }
 
-ValidationReport validate(const GeomDescription& g) {
+ValidationReport validate(const GeomDescription& g,
+                          const ValidateOptions& options) {
   ValidationReport report;
-  auto fail = [&](const char* rule, const std::string& detail) {
+  const auto fail = [&](const char* rule, const std::string& detail) {
     report.issues.push_back({rule, detail});
   };
 
   // V1 + V2: per-defect checks.
   for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    const Defect& d = g.defects()[i];
+    const DefectView d = g.defect(i);
     if (d.segments.empty()) {
       fail("V2", "defect " + std::to_string(i) + " has no segments");
       continue;
@@ -81,50 +158,63 @@ ValidationReport validate(const GeomDescription& g) {
   // dual defects may share a cell that also hosts a primal defect — that
   // cell is a primal module loop, which is spatially extended and offers
   // one crossing slot per threading net (see route/router.h).
-  std::unordered_map<Vec3, int> primal_cells;
-  std::unordered_map<Vec3, int> dual_cells;
-  for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    const Defect& d = g.defects()[i];
-    if (d.type != DefectType::Primal) continue;
-    for (const Segment& s : d.segments) {
-      for_each_cell(s, [&](Vec3 p) {
-        const auto [it, inserted] = primal_cells.emplace(p, static_cast<int>(i));
-        if (!inserted && it->second != static_cast<int>(i)) {
-          std::ostringstream os;
-          os << "primal defects " << it->second << " and " << i
-             << " share cell " << p;
-          fail("V3", os.str());
-          it->second = static_cast<int>(i);  // report each pair once
-        }
-      });
+  if (options.use_grid) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Box3 bb;
+    for (const DefectView d : g.defects()) bb = bb.merged(d.bounding_box());
+    OccupancyGrid occ(bb, 2);
+    std::vector<Vec3> collisions;
+    const auto no_exempt = [](Vec3) { return false; };
+    const bool primal_conflict =
+        v3_grid_pass(g, DefectType::Primal, occ, collisions, no_exempt);
+    // A dual-dual shared cell is legal on a primal module loop itself or
+    // in its port region (the face-adjacent cells).
+    const auto grid_exempt = [&](Vec3 p) {
+      if (occ.test(kPrimalPlane, p)) return true;
+      for (const Vec3 step : {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
+                              Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+        if (occ.test(kPrimalPlane, p + step)) return true;
+      return false;
+    };
+    const bool dual_conflict =
+        !primal_conflict &&
+        v3_grid_pass(g, DefectType::Dual, occ, collisions, grid_exempt);
+    report.grid_build_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    report.grid_bytes = occ.byte_size();
+    if (primal_conflict || dual_conflict) {
+      // Conflict found: re-run the reference engine for both sublattices
+      // so issue text and order match it byte-for-byte (the primal map
+      // also feeds the dual pass's port-region test).
+      std::unordered_map<Vec3, int> primal_cells;
+      std::unordered_map<Vec3, int> dual_cells;
+      v3_reference_pass(g, DefectType::Primal, primal_cells,
+                        [](Vec3) { return false; }, fail);
+      const auto map_exempt = [&](Vec3 p) {
+        if (primal_cells.find(p) != primal_cells.end()) return true;
+        for (const Vec3 step :
+             {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, -1, 0},
+              Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+          if (primal_cells.find(p + step) != primal_cells.end()) return true;
+        return false;
+      };
+      v3_reference_pass(g, DefectType::Dual, dual_cells, map_exempt, fail);
     }
-  }
-  // A dual-dual shared cell is legal on a primal module loop itself or in
-  // its port region (the face-adjacent cells): the loop is spatially
-  // extended and guides each threading net through its own sub-cell slot.
-  auto in_port_region = [&](Vec3 p) {
-    if (primal_cells.find(p) != primal_cells.end()) return true;
-    for (const Vec3 step : {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0},
-                            Vec3{0, -1, 0}, Vec3{0, 0, 1}, Vec3{0, 0, -1}})
-      if (primal_cells.find(p + step) != primal_cells.end()) return true;
-    return false;
-  };
-  for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    const Defect& d = g.defects()[i];
-    if (d.type != DefectType::Dual) continue;
-    for (const Segment& s : d.segments) {
-      for_each_cell(s, [&](Vec3 p) {
-        const auto [it, inserted] = dual_cells.emplace(p, static_cast<int>(i));
-        if (!inserted && it->second != static_cast<int>(i) &&
-            !in_port_region(p)) {
-          std::ostringstream os;
-          os << "dual defects " << it->second << " and " << i
-             << " share cell " << p;
-          fail("V3", os.str());
-        }
-        it->second = static_cast<int>(i);
-      });
-    }
+  } else {
+    std::unordered_map<Vec3, int> primal_cells;
+    std::unordered_map<Vec3, int> dual_cells;
+    v3_reference_pass(g, DefectType::Primal, primal_cells,
+                      [](Vec3) { return false; }, fail);
+    const auto map_exempt = [&](Vec3 p) {
+      if (primal_cells.find(p) != primal_cells.end()) return true;
+      for (const Vec3 step :
+           {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, -1, 0},
+            Vec3{0, 0, 1}, Vec3{0, 0, -1}})
+        if (primal_cells.find(p + step) != primal_cells.end()) return true;
+      return false;
+    };
+    v3_reference_pass(g, DefectType::Dual, dual_cells, map_exempt, fail);
   }
 
   // V4: box overlap.
@@ -142,7 +232,7 @@ ValidationReport validate(const GeomDescription& g) {
   // face where the injected state exits is outside the extent, so plain
   // containment is the right test).
   for (std::size_t i = 0; i < g.defects().size(); ++i) {
-    for (const Segment& s : g.defects()[i].segments) {
+    for (const Segment& s : g.defect(i).segments) {
       for (std::size_t b = 0; b < g.boxes().size(); ++b) {
         if (g.boxes()[b].extent().intersects(s.box())) {
           std::ostringstream os;

@@ -16,8 +16,18 @@
 //   V5. defect cells do not enter distillation-box interiors (boxes hold
 //       the place for the distillation sub-circuit).
 // Cross-type sharing of a cell is legal (half-offset sublattices).
+//
+// Engines: the default V3 pass rasterizes each defect into a dense
+// bit-grid (geom/cell_grid.h) and inspects word-level collisions, so a
+// legal geometry never hashes a single Vec3. When a cross-defect
+// collision *is* detected, the pass re-runs the original hash-map
+// reference for that sublattice so the emitted issues (text and order)
+// are byte-identical to the reference engine. `ValidateOptions.use_grid
+// = false` forces the reference engine throughout — kept for A/B tests
+// and benchmarks.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,11 +42,21 @@ struct ValidationIssue {
 
 struct ValidationReport {
   std::vector<ValidationIssue> issues;
+  /// Occupancy-grid build cost of the V3 pass (0 for the reference
+  /// engine); surfaced as the geom.grid_build_s / geom.grid_bytes gauges.
+  double grid_build_s = 0;
+  std::int64_t grid_bytes = 0;
   bool ok() const { return issues.empty(); }
   std::string summary() const;
 };
 
-ValidationReport validate(const GeomDescription& g);
+struct ValidateOptions {
+  /// false: force the hash-map reference engine (A/B testing).
+  bool use_grid = true;
+};
+
+ValidationReport validate(const GeomDescription& g,
+                          const ValidateOptions& options = {});
 
 /// Convenience: throws TqecError with the report summary when invalid.
 void validate_or_throw(const GeomDescription& g);

@@ -1,8 +1,7 @@
 #include "verify/verifier.h"
 
+#include <algorithm>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "geom/validate.h"
 
@@ -10,40 +9,81 @@ namespace tqec::verify {
 
 namespace {
 
-void check_braid_threading(const VerifyInputs& in, VerifyReport& report) {
-  // Component -> routed cells.
-  std::unordered_map<pdgraph::NetId, std::size_t> component_index;
-  for (const pdgraph::DualNet& net : in.graph->nets())
-    component_index.emplace(in.dual->component_of(net.id),
-                            component_index.size());
+/// Sort + dedup, leaving a vector std::binary_search can probe. The
+/// verifier's occupancy checks ran on node-based hash sets before the
+/// data-oriented geometry engine; sorted flat vectors keep the memory in
+/// three contiguous runs and make every membership probe a branchy-but-
+/// cache-resident binary search.
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
 
-  std::vector<std::unordered_set<Vec3>> component_cells(
-      in.routing->nets.size());
+void check_braid_threading(const VerifyInputs& in, VerifyReport& report) {
+  // Component representative -> dense index, in first-seen order.
+  std::vector<std::pair<pdgraph::NetId, std::size_t>> component_index;
+  for (const pdgraph::DualNet& net : in.graph->nets()) {
+    const pdgraph::NetId rep = in.dual->component_of(net.id);
+    bool known = false;
+    for (const auto& [seen_rep, idx] : component_index)
+      if (seen_rep == rep) {
+        known = true;
+        break;
+      }
+    if (!known) component_index.emplace_back(rep, component_index.size());
+  }
+  std::sort(component_index.begin(), component_index.end());
+  const auto index_of = [&](pdgraph::NetId rep) {
+    const auto it = std::lower_bound(
+        component_index.begin(), component_index.end(), rep,
+        [](const auto& e, pdgraph::NetId key) { return e.first < key; });
+    TQEC_REQUIRE(it != component_index.end() && it->first == rep,
+                 "verify: unknown dual component");
+    return it->second;
+  };
+
+  // Component -> routed cells, sorted-unique.
+  std::vector<std::vector<Vec3>> component_cells(in.routing->nets.size());
   for (const route::RoutedNet& net : in.routing->nets) {
     auto& cells = component_cells[static_cast<std::size_t>(net.component)];
-    cells.insert(net.cells.begin(), net.cells.end());
+    cells.insert(cells.end(), net.cells.begin(), net.cells.end());
   }
+  for (auto& cells : component_cells) sort_unique(cells);
 
-  // Module cell -> module id (for the unrelated-threading check).
-  std::unordered_map<Vec3, pdgraph::ModuleId> module_at;
+  // Module cell -> module id (for the unrelated-threading check); ties on
+  // a cell resolve to the smallest module id, matching the first-wins map
+  // this replaced (module ids were inserted in ascending order).
+  std::vector<std::pair<Vec3, pdgraph::ModuleId>> module_at;
+  module_at.reserve(in.placement->module_cell.size());
   for (std::size_t m = 0; m < in.placement->module_cell.size(); ++m)
-    module_at.emplace(in.placement->module_cell[m],
-                      static_cast<pdgraph::ModuleId>(m));
+    module_at.emplace_back(in.placement->module_cell[m],
+                           static_cast<pdgraph::ModuleId>(m));
+  std::sort(module_at.begin(), module_at.end());
+  const auto module_of = [&](Vec3 cell) -> const pdgraph::ModuleId* {
+    const auto it = std::lower_bound(
+        module_at.begin(), module_at.end(), cell,
+        [](const auto& e, Vec3 key) { return e.first < key; });
+    if (it == module_at.end() || it->first != cell) return nullptr;
+    return &it->second;
+  };
 
   // Pin sets per component (what the braid record allows).
-  std::vector<std::unordered_set<pdgraph::ModuleId>> allowed(
+  std::vector<std::vector<pdgraph::ModuleId>> allowed(
       in.nodes->net_pins.size());
-  for (std::size_t c = 0; c < in.nodes->net_pins.size(); ++c)
-    allowed[c].insert(in.nodes->net_pins[c].begin(),
+  for (std::size_t c = 0; c < in.nodes->net_pins.size(); ++c) {
+    allowed[c].assign(in.nodes->net_pins[c].begin(),
                       in.nodes->net_pins[c].end());
+    sort_unique(allowed[c]);
+  }
 
   for (const pdgraph::DualNet& net : in.graph->nets()) {
-    const std::size_t c = component_index.at(in.dual->component_of(net.id));
+    const std::size_t c = index_of(in.dual->component_of(net.id));
     const auto& cells = component_cells[c];
     for (pdgraph::ModuleId m : net.path()) {
       ++report.braids_checked;
       const Vec3 pin = in.placement->module_cell[static_cast<std::size_t>(m)];
-      if (!cells.count(pin)) {
+      if (!std::binary_search(cells.begin(), cells.end(), pin)) {
         std::ostringstream os;
         os << "net " << net.id << " no longer threads module " << m;
         report.issues.push_back({"B1", os.str()});
@@ -52,12 +92,12 @@ void check_braid_threading(const VerifyInputs& in, VerifyReport& report) {
   }
   for (std::size_t c = 0; c < component_cells.size(); ++c) {
     for (const Vec3& cell : component_cells[c]) {
-      const auto it = module_at.find(cell);
-      if (it == module_at.end()) continue;
-      if (!allowed[c].count(it->second)) {
+      const pdgraph::ModuleId* m = module_of(cell);
+      if (m == nullptr) continue;
+      if (!std::binary_search(allowed[c].begin(), allowed[c].end(), *m)) {
         std::ostringstream os;
         os << "component " << c << " threads unrelated module "
-           << it->second << " at " << cell;
+           << *m << " at " << cell;
         report.issues.push_back({"B1", os.str()});
       }
     }
@@ -66,14 +106,24 @@ void check_braid_threading(const VerifyInputs& in, VerifyReport& report) {
 
 void check_structure_claims(const VerifyInputs& in, VerifyReport& report) {
   // Each primal cell belongs to exactly one module (already implied by the
-  // module-cell map being injective).
-  std::unordered_set<Vec3> seen;
-  for (std::size_t m = 0; m < in.placement->module_cell.size(); ++m) {
-    if (!seen.insert(in.placement->module_cell[m]).second) {
-      std::ostringstream os;
-      os << "two modules placed at " << in.placement->module_cell[m];
-      report.issues.push_back({"B2", os.str()});
-    }
+  // module-cell map being injective). Sort a (cell, module) index and
+  // report every member of a duplicate run but its first, in ascending
+  // module order — the same issues the incremental hash-set scan emitted.
+  std::vector<std::pair<Vec3, std::size_t>> by_cell;
+  by_cell.reserve(in.placement->module_cell.size());
+  for (std::size_t m = 0; m < in.placement->module_cell.size(); ++m)
+    by_cell.emplace_back(in.placement->module_cell[m], m);
+  std::sort(by_cell.begin(), by_cell.end());
+  std::vector<std::pair<std::size_t, Vec3>> dup_modules;
+  for (std::size_t i = 1; i < by_cell.size(); ++i)
+    if (by_cell[i].first == by_cell[i - 1].first)
+      dup_modules.emplace_back(by_cell[i].second, by_cell[i].first);
+  std::sort(dup_modules.begin(), dup_modules.end());
+  for (const auto& [m, cell] : dup_modules) {
+    (void)m;
+    std::ostringstream os;
+    os << "two modules placed at " << cell;
+    report.issues.push_back({"B2", os.str()});
   }
   // Boxes must not cover module cells.
   for (const geom::DistillBox& box : in.placement->boxes) {

@@ -459,7 +459,7 @@ TEST(EmitGeometryTest, CensusMatchesPipelineState) {
   // One primal chain defect + two dual component defects; no boxes.
   int primal = 0;
   int dual = 0;
-  for (const geom::Defect& d : r.geometry.defects())
+  for (const geom::DefectView d : r.geometry.defects())
     (d.type == geom::DefectType::Primal ? primal : dual) += 1;
   EXPECT_EQ(primal, 1);
   EXPECT_EQ(dual, 2);

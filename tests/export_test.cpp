@@ -161,6 +161,61 @@ TEST(ExportSvgTest, LayerCapRespected) {
   EXPECT_EQ(export_svg(g, os, opt), 4);
 }
 
+TEST(ExportSvgTest, ByteIdenticalToMapBasedLayerIndex) {
+  // Golden output captured from the std::map<int, LayerCells> layer index
+  // this exporter used before the sorted-flat-vector rewrite. Everything
+  // ordering-sensitive is pinned: within a panel cells stay in defect
+  // traversal order (note the duplicate rect at the primal L-corner),
+  // panels ascend by y, and box-only layers still get empty panels.
+  GeomDescription g("svg-regression");
+  Defect p;
+  p.type = DefectType::Primal;
+  p.source_id = 0;
+  p.segments.push_back({{0, 0, 0}, {4, 0, 0}});
+  p.segments.push_back({{4, 0, 0}, {4, 0, 3}});
+  g.add_defect(p);
+  Defect d;
+  d.type = DefectType::Dual;
+  d.source_id = 1;
+  d.segments.push_back({{1, 2, 1}, {3, 2, 1}});
+  d.segments.push_back({{2, 0, 2}, {2, 2, 2}});
+  g.add_defect(d);
+  g.add_box({BoxKind::YBox, {6, 4, 0}, 3});  // box-only layers y = 4..6
+
+  const std::string golden =
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"132\" "
+      "height=\"444\">\n"
+      "<style>.primal{fill:#c0392b}.dual{fill:#2980b9}"
+      ".box{fill:none;stroke:#27ae60;stroke-width:2}"
+      ".label{font:10px monospace;fill:#333}</style>\n"
+      "<text class=\"label\" x=\"2\" y=\"8\">y=0</text>\n"
+      "<rect class=\"primal\" x=\"12\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"24\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"36\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"48\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"60\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"60\" y=\"12\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"60\" y=\"24\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"60\" y=\"36\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"primal\" x=\"60\" y=\"48\" width=\"12\" height=\"12\"/>\n"
+      "<rect class=\"dual\" x=\"40\" y=\"40\" width=\"8\" height=\"8\"/>\n"
+      "<text class=\"label\" x=\"2\" y=\"80\">y=1</text>\n"
+      "<rect class=\"dual\" x=\"40\" y=\"112\" width=\"8\" height=\"8\"/>\n"
+      "<text class=\"label\" x=\"2\" y=\"152\">y=2</text>\n"
+      "<rect class=\"dual\" x=\"28\" y=\"172\" width=\"8\" height=\"8\"/>\n"
+      "<rect class=\"dual\" x=\"40\" y=\"172\" width=\"8\" height=\"8\"/>\n"
+      "<rect class=\"dual\" x=\"52\" y=\"172\" width=\"8\" height=\"8\"/>\n"
+      "<rect class=\"dual\" x=\"40\" y=\"184\" width=\"8\" height=\"8\"/>\n"
+      "<text class=\"label\" x=\"2\" y=\"224\">y=4</text>\n"
+      "<rect class=\"box\" x=\"84\" y=\"228\" width=\"36\" height=\"24\"/>\n"
+      "<text class=\"label\" x=\"2\" y=\"296\">y=5</text>\n"
+      "<rect class=\"box\" x=\"84\" y=\"300\" width=\"36\" height=\"24\"/>\n"
+      "<text class=\"label\" x=\"2\" y=\"368\">y=6</text>\n"
+      "<rect class=\"box\" x=\"84\" y=\"372\" width=\"36\" height=\"24\"/>\n"
+      "</svg>\n";
+  EXPECT_EQ(to_svg(g), golden);
+}
+
 TEST(ExportSvgTest, PipelineGeometryRendersEveryLayer) {
   core::CompileOptions copt;
   const core::CompileResult result =

@@ -270,6 +270,20 @@ void render_shard(const Value& stats) {
         std::printf("    ISSUE: %s\n", i.string.c_str());
 }
 
+void render_geom(const Value& stats) {
+  const Value* geom = stats.find("geom");
+  if (geom == nullptr || !geom->is_object()) return;
+  if (num_or(*geom, "segments", 0) <= 0) return;
+  std::printf("\n  geometry engine\n");
+  std::printf("    %.0f segments (arena %.1f KiB), %.0f exact cells\n",
+              num_or(*geom, "segments", 0),
+              num_or(*geom, "arena_bytes", 0) / 1024.0,
+              num_or(*geom, "exact_cells", 0));
+  std::printf("    occupancy grid %.1f KiB, built in %.3f ms\n",
+              num_or(*geom, "grid_bytes", 0) / 1024.0,
+              num_or(*geom, "grid_build_s", 0) * 1000.0);
+}
+
 void render_cache(const Value& stats) {
   const Value* cache = stats.find("cache");
   if (cache == nullptr || !cache->is_object()) return;
@@ -356,6 +370,7 @@ void render_stats(const Value& stats, const std::string& label) {
   render_attempts(stats);
   render_route(stats);
   render_shard(stats);
+  render_geom(stats);
   render_cache(stats);
   render_metrics(stats);
   std::printf("\n");
